@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Conventions:
+
+- every benchmark uses the ``benchmark`` fixture so that
+  ``pytest benchmarks/ --benchmark-only`` runs them all;
+- the rows/series the paper reports are written to
+  ``benchmarks/results/<experiment>.txt`` (and echoed to stdout), so
+  EXPERIMENTS.md can quote them;
+- shape assertions (who wins, what is linear, what coincides) are part
+  of the benchmark body — a bench that produces the wrong shape fails.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.data.loaders import load_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Entity counts per dataset for the quality benchmarks.  Parks is
+#: capped by its finite vocabulary (and is deliberately the easy,
+#: "no improvement" dataset, as in the paper).
+QUALITY_SIZES = {
+    "media": 110,
+    "org": 110,
+    "restaurants": 110,
+    "birds": 110,
+    "parks": 110,
+    "census": 110,
+}
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a benchmark's report table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@functools.lru_cache(maxsize=None)
+def quality_dataset(name: str, seed: int = 1):
+    """Session-cached dirty dataset for the quality benchmarks."""
+    return load_dataset(
+        name,
+        n_entities=QUALITY_SIZES[name],
+        duplicate_fraction=0.3,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def report():
+    return write_report

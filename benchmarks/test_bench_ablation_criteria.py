@@ -1,0 +1,70 @@
+"""Experiment A1 — ablation: CS-only vs CS+SN.
+
+The paper motivates *both* criteria: compactness alone admits groups of
+mutually-close unique tuples (track series, households), the SN
+criterion filters them.  This ablation runs DE with the SN threshold
+effectively disabled (c very large = CS-only) against the standard
+c = 4 configuration and reports precision/recall on three datasets.
+
+Expected shape (asserted): disabling SN never improves precision, and
+on at least one family-rich dataset it strictly hurts.
+"""
+
+import pytest
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.distances.base import CachedDistance
+from repro.distances.edit import EditDistance
+from repro.eval.metrics import pairwise_scores
+from repro.eval.report import format_table
+
+from conftest import quality_dataset, write_report
+
+DATASETS = ("media", "restaurants", "census")
+CS_ONLY_C = 10_000.0  # effectively disables the SN criterion
+
+
+def run_ablation():
+    rows = []
+    deltas = []
+    for name in DATASETS:
+        dataset = quality_dataset(name)
+        solver = DuplicateEliminator(CachedDistance(EditDistance()))
+        base = solver.run(dataset.relation, DEParams.size(5, c=4.0))
+        cs_only = solver.run_from_nn(
+            dataset.relation, base.nn_relation, DEParams.size(5, c=CS_ONLY_C)
+        )
+        score_full = pairwise_scores(base.partition, dataset.gold)
+        score_cs = pairwise_scores(cs_only.partition, dataset.gold)
+        rows.append(
+            (
+                name,
+                "CS+SN (c=4)",
+                f"{score_full.recall:.3f}",
+                f"{score_full.precision:.3f}",
+            )
+        )
+        rows.append(
+            (name, "CS only", f"{score_cs.recall:.3f}", f"{score_cs.precision:.3f}")
+        )
+        deltas.append(score_full.precision - score_cs.precision)
+    return rows, deltas
+
+
+def test_cs_vs_cs_sn(benchmark):
+    rows, deltas = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    write_report(
+        "A1_ablation_criteria",
+        format_table(
+            ("dataset", "criteria", "recall", "precision"),
+            rows,
+            title="A1: ablation — CS-only vs CS+SN (edit distance, DE_S(5))",
+        ),
+    )
+
+    # SN never hurts precision...
+    assert all(delta >= -1e-9 for delta in deltas), deltas
+    # ...and strictly helps somewhere (the family-rich datasets).
+    assert max(deltas) > 0.0

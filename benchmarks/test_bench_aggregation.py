@@ -1,0 +1,63 @@
+"""Experiment F7 — aggregation functions (paper Figure 7).
+
+On the Restaurants dataset, compare DE_S and DE_D under the three SN
+aggregation functions (max, avg, max2).  The paper's finding: "all
+three aggregation functions yield very similar results because a large
+percentage of groups are of size 2" — asserted here as near-identical
+PR points across aggregations.
+"""
+
+from repro.distances.edit import EditDistance
+from repro.eval.experiment import default_ks, default_thetas
+from repro.eval.pr_curve import QualitySweeper
+from repro.eval.report import format_pr_sweeps
+
+from conftest import quality_dataset
+
+AGGREGATIONS = ("max", "avg", "max2")
+
+
+def run_aggregations():
+    dataset = quality_dataset("restaurants")
+    sweeper = QualitySweeper(dataset, EditDistance(), k_max=6, theta_max=0.6)
+    sweeps = {}
+    for agg in AGGREGATIONS:
+        sweeps[f"DE_S:{agg}"] = sweeper.sweep_de_size(
+            default_ks(6), c=4.0, agg=agg
+        )
+        sweeps[f"DE_D:{agg}"] = sweeper.sweep_de_diameter(
+            default_thetas(0.6), c=4.0, agg=agg
+        )
+    return sweeps, dataset
+
+
+def group_size_distribution(dataset):
+    from repro.core.formulation import DEParams
+    from repro.core.pipeline import DuplicateEliminator
+
+    solver = DuplicateEliminator(EditDistance())
+    result = solver.run(dataset.relation, DEParams.size(6, c=4.0))
+    sizes = [len(g) for g in result.partition.non_trivial_groups()]
+    return sizes
+
+
+def test_aggregation_functions(benchmark, report):
+    sweeps, dataset = benchmark.pedantic(run_aggregations, rounds=1, iterations=1)
+
+    report(
+        "F7_aggregation",
+        format_pr_sweeps(sweeps, title="F7: aggregation functions (restaurants)"),
+    )
+
+    # Shape: the three aggregations produce very similar best-F1 points
+    # for each formulation.
+    for prefix in ("DE_S", "DE_D"):
+        best = [sweeps[f"{prefix}:{agg}"].best_f1() for agg in AGGREGATIONS]
+        f1s = [point.f1 for point in best]
+        assert max(f1s) - min(f1s) < 0.10, f"{prefix}: {f1s}"
+
+    # The underlying reason (paper): duplicate groups are mostly pairs.
+    sizes = group_size_distribution(dataset)
+    assert sizes, "no duplicate groups found at all"
+    pair_fraction = sum(1 for s in sizes if s == 2) / len(sizes)
+    assert pair_fraction >= 0.6

@@ -1,0 +1,96 @@
+"""Experiment L1-L4 — empirical verification of the framework lemmas.
+
+The paper proves (section 3.1) uniqueness, scale invariance,
+split/merge consistency, and constrained richness of the DE
+formulations.  This bench verifies each on batches of randomized
+instances and reports the pass counts — the "table" is 4 rows of
+property / trials / passes.
+"""
+
+import random
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.properties import (
+    check_scale_invariance,
+    check_split_merge_consistency,
+    check_uniqueness,
+    realize_partition,
+)
+from repro.core.result import Partition
+from repro.data.schema import Relation
+from repro.distances.base import FunctionDistance
+from repro.eval.report import format_table
+
+from conftest import write_report
+
+TRIALS = 20
+
+
+def random_instance(rng):
+    values = rng.sample(range(0, 900), rng.randint(6, 16))
+    relation = Relation.from_rows(
+        "rand", ("value",), [[str(v)] for v in values]
+    )
+
+    def diff(a, b):
+        return abs(int(a.fields[0]) - int(b.fields[0])) / 1000.0
+
+    return relation, FunctionDistance(diff, name="absdiff")
+
+
+def random_target_partition(rng):
+    groups = []
+    next_id = 0
+    for _ in range(rng.randint(2, 6)):
+        size = rng.randint(1, 4)
+        groups.append(list(range(next_id, next_id + size)))
+        next_id += size
+    return Partition.from_groups(groups)
+
+
+def run_properties():
+    rng = random.Random(17)
+    params = DEParams.size(4, c=4.0)
+    counts = {"uniqueness": 0, "scale_invariance": 0, "consistency": 0, "richness": 0}
+    for _ in range(TRIALS):
+        relation, distance = random_instance(rng)
+        if check_uniqueness(relation, distance, params):
+            counts["uniqueness"] += 1
+        if check_scale_invariance(relation, distance, params, alpha=rng.uniform(0.2, 0.9)):
+            counts["scale_invariance"] += 1
+        if check_split_merge_consistency(relation, distance, params):
+            counts["consistency"] += 1
+        target = random_target_partition(rng)
+        rel2, dist2 = realize_partition(target)
+        k = max(len(g) for g in target.groups)
+        solved = DuplicateEliminator(dist2, cache_distance=False).run(
+            rel2, DEParams.size(max(2, k), c=float(k + 1))
+        )
+        if solved.partition == target:
+            counts["richness"] += 1
+    return counts
+
+
+def test_framework_lemmas(benchmark):
+    counts = benchmark.pedantic(run_properties, rounds=1, iterations=1)
+
+    rows = [
+        ("L1 uniqueness", TRIALS, counts["uniqueness"]),
+        ("L2 scale invariance (DE_S)", TRIALS, counts["scale_invariance"]),
+        ("L3 split/merge consistency", TRIALS, counts["consistency"]),
+        ("L4 constrained richness", TRIALS, counts["richness"]),
+    ]
+    write_report(
+        "L_properties",
+        format_table(
+            ("property", "trials", "passes"),
+            rows,
+            title="L1-L4: framework lemmas on randomized instances",
+        ),
+    )
+
+    assert counts["uniqueness"] == TRIALS
+    assert counts["scale_invariance"] == TRIALS
+    assert counts["consistency"] == TRIALS
+    assert counts["richness"] == TRIALS

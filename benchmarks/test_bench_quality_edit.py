@@ -1,0 +1,57 @@
+"""Experiment F10ed — quality with edit distance (paper section 5.1).
+
+For every evaluation dataset, sweep the thr baseline, DE_S(K) and
+DE_D(θ) at c in {4, 6}, and print the recall/precision series behind
+the paper's edit-distance quality figures.
+
+Expected shape (asserted):
+- on every dataset except Parks, some DE configuration matches or beats
+  thr's precision at the moderate-recall operating floor;
+- on Parks (well-separated unique names) thr is already fine — parity,
+  no regression in either direction beyond noise.
+"""
+
+import pytest
+
+from repro.distances.edit import EditDistance
+from repro.eval.experiment import QualityExperiment
+from repro.eval.figures import pr_plot
+from repro.eval.report import format_pr_sweeps
+
+from conftest import quality_dataset
+
+DATASETS = ["media", "org", "restaurants", "birds", "parks", "census"]
+RECALL_FLOOR = 0.3
+
+
+def run_quality(name: str):
+    dataset = quality_dataset(name)
+    experiment = QualityExperiment(
+        dataset, EditDistance(), k_max=6, theta_max=0.6, c_values=(4.0, 6.0)
+    )
+    return experiment.run()
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_quality_edit(benchmark, report, name):
+    result = benchmark.pedantic(run_quality, args=(name,), rounds=1, iterations=1)
+
+    report(
+        f"F10ed_{name}",
+        format_pr_sweeps(result.sweeps, title=f"F10 (edit distance) — {name}")
+        + "\n\n"
+        + pr_plot(result.sweeps, title=f"F10 (edit distance) — {name} (precision vs recall)"),
+    )
+
+    thr_p = result.thr.precision_at_recall(RECALL_FLOOR)
+    de_p = result.best_de_precision_at(RECALL_FLOOR)
+
+    if name == "parks":
+        # The paper's null result: no improvement on Parks, but no
+        # catastrophic loss either.
+        assert de_p >= thr_p - 0.15
+    else:
+        assert de_p >= thr_p, (
+            f"{name}: DE precision {de_p:.3f} below thr {thr_p:.3f} "
+            f"at recall >= {RECALL_FLOOR}"
+        )

@@ -1,0 +1,45 @@
+"""Experiment F10fms — quality with fuzzy match similarity (section 5.1).
+
+The same sweep as F10ed under the paper's second distance function.
+fms is costlier per pair (token assignment), so the bench uses a
+representative three-dataset subset; the shape claim is identical.
+"""
+
+import pytest
+
+from repro.distances.fms import FuzzyMatchDistance
+from repro.eval.experiment import QualityExperiment
+from repro.eval.figures import pr_plot
+from repro.eval.report import format_pr_sweeps
+
+from conftest import quality_dataset
+
+DATASETS = ["org", "restaurants", "media"]
+RECALL_FLOOR = 0.25
+
+
+def run_quality(name: str):
+    dataset = quality_dataset(name)
+    experiment = QualityExperiment(
+        dataset, FuzzyMatchDistance(), k_max=6, theta_max=0.6, c_values=(4.0, 6.0)
+    )
+    return experiment.run()
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_quality_fms(benchmark, report, name):
+    result = benchmark.pedantic(run_quality, args=(name,), rounds=1, iterations=1)
+
+    report(
+        f"F10fms_{name}",
+        format_pr_sweeps(result.sweeps, title=f"F10 (fms) — {name}")
+        + "\n\n"
+        + pr_plot(result.sweeps, title=f"F10 (fms) — {name} (precision vs recall)"),
+    )
+
+    thr_p = result.thr.precision_at_recall(RECALL_FLOOR)
+    de_p = result.best_de_precision_at(RECALL_FLOOR)
+    assert de_p >= thr_p, (
+        f"{name}: DE precision {de_p:.3f} below thr {thr_p:.3f} "
+        f"at recall >= {RECALL_FLOOR}"
+    )

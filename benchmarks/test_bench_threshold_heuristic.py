@@ -1,0 +1,88 @@
+"""Experiment A2 — ablation: the SN threshold heuristic vs an oracle.
+
+Section 4.4's heuristic derives c from the user's estimated duplicate
+fraction f.  We compare, per dataset, the F1 at the heuristic's c
+(computed from the *true* f, then from deliberately misestimated f)
+against the best F1 over an oracle sweep of c.
+
+Expected shape (asserted): the heuristic lands within a modest margin
+of the oracle, and is robust to +/-30% error in the user's estimate.
+"""
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.threshold import estimate_sn_threshold
+from repro.distances.base import CachedDistance
+from repro.distances.edit import EditDistance
+from repro.eval.metrics import pairwise_scores
+from repro.eval.report import format_table
+
+from conftest import quality_dataset, write_report
+
+DATASETS = ("restaurants", "census", "org")
+ORACLE_GRID = (2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 12.0)
+
+
+def f1_at(solver, dataset, nn_relation, c):
+    result = solver.run_from_nn(
+        dataset.relation, nn_relation, DEParams.size(5, c=c)
+    )
+    return pairwise_scores(result.partition, dataset.gold).f1
+
+
+def run_heuristic():
+    rows = []
+    margins = []
+    robustness = []
+    for name in DATASETS:
+        dataset = quality_dataset(name)
+        solver = DuplicateEliminator(CachedDistance(EditDistance()))
+        base = solver.run(dataset.relation, DEParams.size(5, c=4.0))
+        ng_values = base.nn_relation.ng_values()
+        true_f = dataset.gold.duplicate_fraction()
+
+        oracle = max(f1_at(solver, dataset, base.nn_relation, c) for c in ORACLE_GRID)
+        estimate = estimate_sn_threshold(ng_values, true_f)
+        heuristic_f1 = f1_at(solver, dataset, base.nn_relation, estimate.c)
+
+        misestimates = []
+        for factor in (0.7, 1.3):
+            f = min(0.95, max(0.05, true_f * factor))
+            mis = estimate_sn_threshold(ng_values, f)
+            misestimates.append(f1_at(solver, dataset, base.nn_relation, mis.c))
+
+        rows.append(
+            (
+                name,
+                f"{true_f:.2f}",
+                f"{estimate.c:g}",
+                f"{heuristic_f1:.3f}",
+                f"{min(misestimates):.3f}",
+                f"{oracle:.3f}",
+            )
+        )
+        margins.append(oracle - heuristic_f1)
+        robustness.append(heuristic_f1 - min(misestimates))
+    return rows, margins, robustness
+
+
+def test_threshold_heuristic(benchmark):
+    rows, margins, robustness = benchmark.pedantic(
+        run_heuristic, rounds=1, iterations=1
+    )
+
+    write_report(
+        "A2_threshold_heuristic",
+        format_table(
+            ("dataset", "true f", "c (heuristic)", "F1 @ heuristic",
+             "F1 @ worst misestimate", "F1 @ oracle c"),
+            rows,
+            title="A2: SN threshold heuristic vs oracle sweep",
+        ),
+    )
+
+    # Heuristic within a modest margin of the oracle everywhere.
+    assert all(margin <= 0.15 for margin in margins), margins
+    # A +/-30% misestimate of f degrades gracefully, never
+    # catastrophically (the worst case still finds a usable c).
+    assert all(drop <= 0.35 for drop in robustness), robustness

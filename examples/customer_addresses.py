@@ -1,0 +1,66 @@
+"""Organization/address deduplication with fuzzy match similarity.
+
+The paper's Org scenario: multi-attribute records (name, address, city,
+state, zip) with abbreviation noise ("Corporation"/"corp"), typos, and
+token swaps.  Uses:
+
+- the fuzzy match similarity distance (IDF-weighted token matching with
+  edit-distance token comparison) — the paper's fms;
+- the q-gram inverted index for Phase 1 (the disk-resident index type
+  the BF ordering optimizes);
+- the storage engine path for Phase 2 (the paper's SQL architecture).
+
+Run with:  python examples/customer_addresses.py
+"""
+
+from repro import DEParams, DuplicateEliminator, FuzzyMatchDistance
+from repro.data import load_dataset
+from repro.eval import pairwise_scores
+from repro.index import QgramInvertedIndex
+from repro.storage import Engine
+
+
+def main() -> None:
+    dataset = load_dataset(
+        "org", n_entities=150, duplicate_fraction=0.3, seed=42
+    )
+    relation = dataset.relation
+    print(f"Loaded {len(relation)} organization records "
+          f"({len(dataset.gold.true_pairs())} true duplicate pairs)")
+    print()
+    print("Sample records:")
+    for record in list(relation)[:5]:
+        print(f"  [{record.rid:3d}] {' | '.join(record.fields)}")
+    print()
+
+    engine = Engine(buffer_pages=256)
+    solver = DuplicateEliminator(
+        FuzzyMatchDistance(),
+        index=QgramInvertedIndex(q=3),
+        engine=engine,
+    )
+    result = solver.run(relation, DEParams.size(4, c=4.0))
+
+    score = pairwise_scores(result.partition, dataset.gold)
+    print(f"DE_S(K=4, c=4) with fms over a q-gram index:")
+    print(f"  precision = {score.precision:.3f}")
+    print(f"  recall    = {score.recall:.3f}")
+    print(f"  f1        = {score.f1:.3f}")
+    print()
+
+    print("A few detected groups:")
+    for group in result.duplicate_groups[:6]:
+        print()
+        for rid in group:
+            print(f"  [{rid:3d}] {' | '.join(relation.get(rid).fields)}")
+    print()
+
+    stats = engine.buffer.stats
+    print("Storage engine (Phase 2 ran as relational queries):")
+    print(f"  tables          : {engine.catalog.names()}")
+    print(f"  buffer accesses : {stats.accesses}")
+    print(f"  buffer hit ratio: {stats.hit_ratio:.2%}")
+
+
+if __name__ == "__main__":
+    main()

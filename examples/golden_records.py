@@ -1,0 +1,76 @@
+"""From dirty table to golden records, with a review queue.
+
+The full production loop around the paper's algorithm:
+
+1. detect duplicate groups (DE_S with fms);
+2. consolidate each group into a golden record (survivorship rules);
+3. rank the borderline decisions for human review.
+
+Run with:  python examples/golden_records.py
+"""
+
+from repro import DEParams, DuplicateEliminator, FuzzyMatchDistance
+from repro.core.merge import MergePlan, merge_partition, most_frequent_value
+from repro.core.review import fragile_groups, near_miss_pairs
+from repro.data import load_dataset
+from repro.eval import pairwise_scores
+
+
+def main() -> None:
+    dataset = load_dataset("org", n_entities=100, duplicate_fraction=0.35, seed=11)
+    relation = dataset.relation
+    print(f"input: {len(relation)} organization records")
+
+    # 1. Detect.
+    solver = DuplicateEliminator(FuzzyMatchDistance())
+    result = solver.run(relation, DEParams.size(4, c=4.0))
+    score = pairwise_scores(result.partition, dataset.gold)
+    print(
+        f"detected {len(result.duplicate_groups)} duplicate groups "
+        f"(precision {score.precision:.2f}, recall {score.recall:.2f})"
+    )
+    print()
+
+    # 2. Consolidate.  Names keep the least-abbreviated variant; the
+    #    categorical fields take the majority value.
+    plan = MergePlan(
+        per_field={
+            "city": most_frequent_value,
+            "state": most_frequent_value,
+            "zipcode": most_frequent_value,
+        }
+    )
+    merged = merge_partition(relation, result.partition, plan=plan)
+    print(
+        f"golden table: {len(merged.golden)} records "
+        f"({merged.n_merged_away} duplicates eliminated)"
+    )
+    print()
+    print("Example consolidations:")
+    shown = 0
+    for golden_rid, sources in merged.lineage.items():
+        if len(sources) < 2 or shown >= 3:
+            continue
+        shown += 1
+        print()
+        for rid in sources:
+            print(f"    src [{rid:3d}] {' | '.join(relation.get(rid).fields)}")
+        print(f"  golden --> {' | '.join(merged.golden.get(golden_rid).fields)}")
+    print()
+
+    # 3. Review queue: the decisions a human should double-check.
+    print("Top near-miss pairs (almost grouped — verify they are distinct):")
+    for candidate in near_miss_pairs(result, limit=4):
+        a, b = candidate.members
+        print(f"  [{a}] {relation.get(a).text()}")
+        print(f"  [{b}] {relation.get(b).text()}")
+        print(f"      -> {candidate.reason}")
+    print()
+    print("Fragile groups (grouped with little SN headroom):")
+    for candidate in fragile_groups(result, limit=3):
+        members = ", ".join(str(rid) for rid in candidate.members)
+        print(f"  group [{members}]: {candidate.reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""The paper's Table 1 scenario: a music catalog with fuzzy duplicates.
+
+Shows *why* global thresholds fail and the CS + SN criteria succeed:
+
+- the "Ears/Eyes - Part II/III/IV" series tuples are legitimately close
+  to each other (closer than some true duplicates!), so any threshold
+  that recovers all duplicates also merges the series;
+- four different artists share the track "Are You Ready"; their
+  neighborhood growth is 4, so the SN criterion (c = 4) refuses to
+  group them no matter how close they are.
+
+Run with:  python examples/music_catalog.py
+"""
+
+from repro import DEParams, DuplicateEliminator, EditDistance
+from repro.cluster import single_linkage_from_nn
+from repro.data import table1_gold, table1_relation
+from repro.eval import pairwise_scores
+
+
+def show(title, relation, partition, gold) -> None:
+    score = pairwise_scores(partition, gold)
+    print(f"--- {title}")
+    for group in partition.non_trivial_groups():
+        members = "; ".join(relation.get(rid).text() for rid in group)
+        print(f"  group {group}: {members}")
+    print(f"  precision={score.precision:.2f} recall={score.recall:.2f}")
+    print()
+
+
+def main() -> None:
+    relation = table1_relation()
+    gold = table1_gold()
+
+    print("Input (paper Table 1):")
+    for record in relation:
+        print(f"  [{record.rid:2d}] {record.fields[0]:<15} | {record.fields[1]}")
+    print()
+
+    # The DE approach: one Phase-1 pass, CS+SN partitioning.
+    solver = DuplicateEliminator(EditDistance())
+    result = solver.run(relation, DEParams.size(5, c=4.0))
+    show("DE_S(K=5, c=4) — compact sets with sparse neighborhoods",
+         relation, result.partition, gold)
+
+    # The thr baseline at several global thresholds, over the same NN
+    # lists (as in the paper's experimental setup).
+    radius_result = solver.run(relation, DEParams.diameter(0.6, c=4.0))
+    nn_lists = radius_result.nn_relation.nn_lists()
+    for theta in (0.25, 0.35, 0.45):
+        partition = single_linkage_from_nn(relation.ids(), nn_lists, theta)
+        show(f"thr (single linkage, theta={theta})", relation, partition, gold)
+
+    print(
+        "Note how every threshold either misses true duplicates (low\n"
+        "recall) or collapses the 'Ears/Eyes' series and the four\n"
+        "'Are You Ready' artists into false groups (low precision),\n"
+        "while DE recovers all three duplicate pairs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Restaurant-name deduplication: the full quality comparison.
+
+Reproduces the paper's section 5.1 methodology on the Restaurants-style
+dataset: sweep the global threshold for the single-linkage baseline
+(thr) and K / θ for DE_S / DE_D at c in {4, 6}, and print the
+precision-recall table (the data behind the paper's quality figures).
+
+Run with:  python examples/restaurant_dedup.py
+"""
+
+from repro import DEParams, DuplicateEliminator
+from repro.cluster import single_linkage_brute
+from repro.data import load_dataset
+from repro.distances import EditDistance
+from repro.eval import QualityExperiment, bootstrap_difference, format_pr_sweeps
+
+
+def main() -> None:
+    dataset = load_dataset(
+        "restaurants", n_entities=150, duplicate_fraction=0.3, seed=1
+    )
+    print(
+        f"{len(dataset.relation)} restaurant records, "
+        f"{len(dataset.gold.true_pairs())} true duplicate pairs"
+    )
+    print()
+
+    experiment = QualityExperiment(
+        dataset, EditDistance(), k_max=6, theta_max=0.6, c_values=(4.0, 6.0)
+    )
+    result = experiment.run()
+
+    print(format_pr_sweeps(result.sweeps, title="Restaurants / edit distance"))
+    print()
+
+    for floor in (0.3, 0.4, 0.5):
+        thr_p = result.thr.precision_at_recall(floor)
+        de_p = result.best_de_precision_at(floor)
+        print(
+            f"precision at recall >= {floor}: thr={thr_p:.3f}  "
+            f"best DE={de_p:.3f}  "
+            f"({'DE wins' if de_p >= thr_p else 'thr wins'})"
+        )
+
+    print()
+    print("This is the paper's headline result: at comparable recall,")
+    print("the DE formulations dominate global-threshold single linkage.")
+
+    # Is the difference statistically meaningful?  Paired cluster
+    # bootstrap over entities, comparing the best-F1 operating points.
+    de_best = result.sweeps["DE_S(c=6,max)"].best_f1()
+    thr_best = result.thr.best_f1()
+    de_partition = (
+        DuplicateEliminator(EditDistance())
+        .run(dataset.relation, DEParams.size(int(de_best.parameter), c=6.0))
+        .partition
+    )
+    thr_partition = single_linkage_brute(
+        dataset.relation, EditDistance(), thr_best.parameter
+    )
+    interval = bootstrap_difference(
+        de_partition, thr_partition, dataset.gold, metric="f1", n_resamples=300
+    )
+    print()
+    print(f"F1(DE) - F1(thr) at each method's best operating point: {interval}")
+    if interval.excludes_zero():
+        print("the advantage is significant at 95% confidence")
+    else:
+        print("the advantage is within bootstrap noise on this sample")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Streaming deduplication: records arrive one at a time.
+
+The paper solves a batch problem; this example uses the incremental
+maintainer to keep the DE solution current as records are inserted —
+showing a new duplicate being caught the moment it arrives, and a
+previously-emitted group dissolving when later arrivals reveal it sat
+in a dense family (its neighborhood growth rose).
+
+Run with:  python examples/streaming_dedup.py
+"""
+
+from repro import DEParams, EditDistance
+from repro.core.incremental import IncrementalDeduplicator
+
+ARRIVALS = [
+    "Cascade Systems Corporation",
+    "Granite Manufacturing Ltd",
+    "Sterling Partners Group",
+    "Cascade Sistems Corporation",   # typo'd duplicate of record 0
+    "Harbor Analytics",
+    "Sterling Partner Group",        # duplicate of record 2
+    "Sterling Partners Group II",    # a *distinct* sibling company...
+    "Sterling Partners Group III",   # ...another...
+    "Sterling Partners Group IV",    # ...and the family becomes dense
+]
+
+
+def main() -> None:
+    params = DEParams.size(3, c=3.0)
+    stream = IncrementalDeduplicator(
+        EditDistance(), params, schema=("name",)
+    )
+
+    for text in ARRIVALS:
+        rid = stream.add((text,))
+        groups = stream.partition().non_trivial_groups()
+        rendered = (
+            "; ".join(
+                "{" + ", ".join(str(m) for m in group) + "}" for group in groups
+            )
+            or "(none)"
+        )
+        print(f"+ [{rid}] {text!r}")
+        print(f"    duplicate groups now: {rendered}")
+
+    print()
+    print("Notice:")
+    print(" - record 3 was grouped with record 0 the moment it arrived;")
+    print(" - records 6 and 7 briefly formed a group (two siblings are")
+    print("   mutual nearest neighbors in a still-sparse vicinity), but")
+    print("   the arrival of record 8 made the family dense: their")
+    print("   neighborhood growth rose and the SN criterion (c=3)")
+    print("   dissolved the group — exactly what the batch algorithm")
+    print("   decides on the full data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the adoption path:
+
+- ``dedup`` — deduplicate a CSV file and print (or write) the groups;
+- ``generate`` — emit one of the synthetic evaluation datasets (with
+  its gold standard) for experimentation;
+- ``estimate-c`` — run Phase 1 on a CSV and report the SN threshold
+  suggested for an estimated duplicate fraction (paper section 4.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.threshold import estimate_sn_threshold
+from repro.data.loaders import (
+    dataset_names,
+    load_dataset,
+    relation_from_csv,
+)
+from repro.distances.base import DistanceFunction
+from repro.distances.cosine import CosineDistance
+from repro.distances.edit import EditDistance
+from repro.distances.fms import FuzzyMatchDistance
+from repro.distances.jaccard import TokenJaccardDistance
+from repro.index.base import NNIndex
+from repro.index.bktree import BKTreeIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.inverted import QgramInvertedIndex
+from repro.index.minhash import MinHashIndex
+from repro.index.pivot import PivotIndex
+
+__all__ = ["main", "build_parser"]
+
+DISTANCES = {
+    "edit": EditDistance,
+    "fms": FuzzyMatchDistance,
+    "cosine": CosineDistance,
+    "jaccard": TokenJaccardDistance,
+}
+
+INDEXES = {
+    "brute": BruteForceIndex,
+    "bktree": BKTreeIndex,
+    "qgram": QgramInvertedIndex,
+    "minhash": MinHashIndex,
+    "pivot": PivotIndex,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robust Identification of Fuzzy Duplicates (ICDE 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dedup = sub.add_parser("dedup", help="deduplicate a CSV file")
+    dedup.add_argument("input", help="CSV file (header row expected)")
+    dedup.add_argument("--distance", choices=sorted(DISTANCES), default="fms")
+    dedup.add_argument("--index", choices=sorted(INDEXES), default="brute")
+    dedup.add_argument("--k", type=int, default=5, help="max group size (DE_S)")
+    dedup.add_argument(
+        "--theta", type=float, default=None,
+        help="diameter bound; switches to DE_D(theta)",
+    )
+    dedup.add_argument("--c", type=float, default=4.0, help="SN threshold")
+    dedup.add_argument(
+        "--agg", choices=("max", "avg", "max2"), default="max",
+        help="SN aggregation function",
+    )
+    dedup.add_argument(
+        "--output", default=None,
+        help="write rid,group_id CSV here instead of printing groups",
+    )
+    dedup.add_argument(
+        "--singletons", action="store_true",
+        help="include singleton groups in the output",
+    )
+
+    generate = sub.add_parser("generate", help="emit a synthetic dataset")
+    generate.add_argument("dataset", choices=dataset_names())
+    generate.add_argument("--entities", type=int, default=200)
+    generate.add_argument("--duplicate-fraction", type=float, default=0.3)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True, help="CSV path to write")
+    generate.add_argument(
+        "--gold", default=None, help="optional path for the rid,entity gold CSV"
+    )
+
+    estimate = sub.add_parser(
+        "estimate-c", help="suggest an SN threshold from a duplicate-fraction estimate"
+    )
+    estimate.add_argument("input", help="CSV file (header row expected)")
+    estimate.add_argument(
+        "--fraction", type=float, required=True,
+        help="estimated fraction of duplicated records, in (0, 1)",
+    )
+    estimate.add_argument("--distance", choices=sorted(DISTANCES), default="fms")
+    estimate.add_argument("--k", type=int, default=5)
+
+    return parser
+
+
+def _make_solver(distance_name: str, index_name: str) -> DuplicateEliminator:
+    distance: DistanceFunction = DISTANCES[distance_name]()
+    index: NNIndex = INDEXES[index_name]()
+    return DuplicateEliminator(distance, index=index)
+
+
+def _cmd_dedup(args: argparse.Namespace, out) -> int:
+    relation = relation_from_csv(args.input)
+    if args.theta is not None:
+        params = DEParams.diameter(args.theta, agg=args.agg, c=args.c)
+    else:
+        params = DEParams.size(args.k, agg=args.agg, c=args.c)
+    solver = _make_solver(args.distance, args.index)
+    result = solver.run(relation, params)
+
+    if args.output:
+        with Path(args.output).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("rid", "group_id"))
+            for group_id, group in enumerate(result.partition):
+                if len(group) == 1 and not args.singletons:
+                    continue
+                for rid in group:
+                    writer.writerow((rid, group_id))
+        print(f"wrote group assignments to {args.output}", file=out)
+    else:
+        groups = result.duplicate_groups
+        print(f"{len(groups)} duplicate group(s) found:", file=out)
+        for group in groups:
+            print(file=out)
+            for rid in group:
+                print(f"  [{rid}] {relation.get(rid).text()}", file=out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    dataset = load_dataset(
+        args.dataset,
+        n_entities=args.entities,
+        duplicate_fraction=args.duplicate_fraction,
+        seed=args.seed,
+    )
+    from repro.data.loaders import relation_to_csv
+
+    relation_to_csv(dataset.relation, args.output)
+    print(
+        f"wrote {len(dataset.relation)} records "
+        f"({len(dataset.gold.true_pairs())} duplicate pairs) to {args.output}",
+        file=out,
+    )
+    if args.gold:
+        with Path(args.gold).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("rid", "entity"))
+            for rid in sorted(dataset.gold.entity_of):
+                writer.writerow((rid, dataset.gold.entity_of[rid]))
+        print(f"wrote gold standard to {args.gold}", file=out)
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace, out) -> int:
+    relation = relation_from_csv(args.input)
+    solver = _make_solver(args.distance, "brute")
+    result = solver.run(relation, DEParams.size(args.k, c=4.0))
+    estimate = estimate_sn_threshold(
+        result.nn_relation.ng_values(), args.fraction
+    )
+    print(
+        f"suggested SN threshold: c = {estimate.c:g} "
+        f"(ng anchor {estimate.ng_value}, "
+        f"{'spike' if estimate.spike_found else 'fallback'}, "
+        f"cumulative {estimate.cumulative:.2f})",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "dedup":
+        return _cmd_dedup(args, out)
+    if args.command == "generate":
+        return _cmd_generate(args, out)
+    if args.command == "estimate-c":
+        return _cmd_estimate(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")

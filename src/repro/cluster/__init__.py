@@ -1,0 +1,42 @@
+"""Baseline clustering approaches the paper compares against.
+
+``thr`` — global-threshold single linkage (connected components of the
+threshold graph) — plus the star and clique componentization variants
+and an MST-backed hierarchy for fast threshold sweeps.
+"""
+
+from repro.cluster.blocking import (
+    blocking_recall,
+    candidate_pairs_from_blocks,
+    first_token_key,
+    key_blocking,
+    prefix_key,
+    sorted_neighborhood,
+)
+from repro.cluster.clique import clique_partition
+from repro.cluster.hierarchy import SingleLinkageHierarchy
+from repro.cluster.single_linkage import (
+    single_linkage_brute,
+    single_linkage_from_nn,
+    single_linkage_partition,
+    threshold_edges,
+)
+from repro.cluster.star import star_partition
+from repro.cluster.unionfind import DisjointSets
+
+__all__ = [
+    "DisjointSets",
+    "threshold_edges",
+    "single_linkage_partition",
+    "single_linkage_from_nn",
+    "single_linkage_brute",
+    "SingleLinkageHierarchy",
+    "star_partition",
+    "clique_partition",
+    "key_blocking",
+    "sorted_neighborhood",
+    "candidate_pairs_from_blocks",
+    "blocking_recall",
+    "first_token_key",
+    "prefix_key",
+]

@@ -1,0 +1,79 @@
+"""Disjoint-set (union-find) structure.
+
+Substrate for connected-component extraction over the threshold graph
+(the ``thr`` baseline) and for the single-linkage hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["DisjointSets"]
+
+
+class DisjointSets:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register an element as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:  # path compression
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they differed."""
+        self.add(a)
+        self.add(b)
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return whether ``a`` and ``b`` are in the same set."""
+        if a not in self._parent or b not in self._parent:
+            return False
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[list[Hashable]]:
+        """Return all sets, each sorted, ordered by their first element."""
+        by_root: dict[Hashable, list[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), []).append(element)
+        result = [sorted(members) for members in by_root.values()]
+        result.sort(key=lambda members: members[0])
+        return result
+
+    def set_size(self, element: Hashable) -> int:
+        """Return the size of the set containing ``element``."""
+        return self._size[self.find(element)]
+
+    def __len__(self) -> int:
+        """Number of registered elements."""
+        return len(self._parent)
+
+    def n_sets(self) -> int:
+        """Number of disjoint sets."""
+        return sum(1 for e in self._parent if self.find(e) == e)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent

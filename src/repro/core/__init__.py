@@ -1,0 +1,96 @@
+"""Core DE framework: criteria, formulation, two-phase algorithm.
+
+The paper's primary contribution lives here; substrates (distances,
+indexes, storage, baselines, data) live in sibling subpackages.
+"""
+
+from repro.core.criteria import (
+    AGGREGATIONS,
+    aggregate,
+    group_diameter,
+    is_compact_set,
+    is_sn_group,
+    neighborhood_growth_brute,
+    nn_distance_brute,
+)
+from repro.core.cspairs import CSPair, build_cs_pairs, prefix_equal_flags
+from repro.core.explain import PairExplanation, explain_group, explain_pair
+from repro.core.incremental import IncrementalDeduplicator
+from repro.core.merge import (
+    MergePlan,
+    MergeResult,
+    first_by_id,
+    least_abbreviated_value,
+    longest_value,
+    merge_partition,
+    most_frequent_value,
+)
+from repro.core.review import ReviewCandidate, fragile_groups, near_miss_pairs
+from repro.core.formulation import CombinedCut, CutSpec, DEParams, DiameterCut, SizeCut
+from repro.core.minimality import enforce_minimality
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.core.nn_phase import Phase1Stats, prepare_nn_lists
+from repro.core.partitioner import partition_records
+from repro.core.pipeline import DEResult, DuplicateEliminator
+from repro.core.predicates import apply_constraining_predicate
+from repro.core.radius import (
+    AffineRadius,
+    CappedRadius,
+    LinearRadius,
+    PowerRadius,
+    RadiusFunction,
+)
+from repro.core.result import Partition
+from repro.core.serialize import load_result, save_result
+from repro.core.threshold import ThresholdEstimate, estimate_sn_threshold
+
+__all__ = [
+    "AGGREGATIONS",
+    "aggregate",
+    "is_compact_set",
+    "is_sn_group",
+    "group_diameter",
+    "neighborhood_growth_brute",
+    "nn_distance_brute",
+    "DEParams",
+    "SizeCut",
+    "DiameterCut",
+    "CombinedCut",
+    "CutSpec",
+    "NNEntry",
+    "NNRelation",
+    "Phase1Stats",
+    "prepare_nn_lists",
+    "CSPair",
+    "build_cs_pairs",
+    "prefix_equal_flags",
+    "partition_records",
+    "Partition",
+    "DEResult",
+    "DuplicateEliminator",
+    "estimate_sn_threshold",
+    "ThresholdEstimate",
+    "enforce_minimality",
+    "apply_constraining_predicate",
+    "explain_pair",
+    "explain_group",
+    "PairExplanation",
+    "RadiusFunction",
+    "LinearRadius",
+    "AffineRadius",
+    "PowerRadius",
+    "CappedRadius",
+    "save_result",
+    "load_result",
+    "IncrementalDeduplicator",
+    "MergePlan",
+    "MergeResult",
+    "merge_partition",
+    "longest_value",
+    "most_frequent_value",
+    "least_abbreviated_value",
+    "first_by_id",
+    "ReviewCandidate",
+    "near_miss_pairs",
+    "fragile_groups",
+]

@@ -1,0 +1,73 @@
+"""Breadth-first (BF) index lookup ordering — paper section 4.1.1.
+
+Phase 1 looks up every tuple's nearest neighbors against a disk-resident
+index.  Looking tuples up in relation order wastes the database buffer:
+consecutive tuples are usually unrelated, so each lookup touches a cold
+region of the index.  The BF order instead walks a conceptual tree whose
+children are a node's nearest neighbors, so each lookup is preceded by
+tuples close to it and hits pages the previous lookups already cached.
+
+Per Figure 5, the order is produced online: a queue is seeded with an
+arbitrary tuple; dequeuing an unvisited tuple performs its (real) index
+lookup and enqueues its neighbors; when the queue drains, the scan of
+``R`` continues from the next unvisited tuple.  The queue holds record
+ids only and is capped (``max_queue``) as the paper prescribes for
+bounded memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Sequence
+
+from repro.data.schema import Relation
+from repro.index.base import Neighbor
+
+__all__ = ["breadth_first_order", "random_order", "sequential_order"]
+
+
+def breadth_first_order(
+    relation: Relation,
+    lookup: Callable[[int], Sequence[Neighbor]],
+    max_queue: int = 100_000,
+) -> Iterator[int]:
+    """Yield record ids in BF order, driving ``lookup`` as a side effect.
+
+    ``lookup(rid)`` must perform the actual index probe for ``rid`` and
+    return its neighbor list; this function decides only the *order* of
+    probes.  Each id is yielded exactly once, immediately after its
+    lookup, so callers can consume ``(rid, result)`` pairs by capturing
+    the lookup results themselves.
+    """
+    visited: set[int] = set()  # the paper's bit vector H
+    queue: deque[int] = deque()
+
+    for record in relation:  # the outer scan of R
+        if record.rid in visited:
+            continue
+        queue.append(record.rid)
+        while queue:
+            rid = queue.popleft()
+            if rid in visited:
+                continue
+            visited.add(rid)
+            neighbors = lookup(rid)
+            yield rid
+            for neighbor in neighbors:
+                if neighbor.rid not in visited and len(queue) < max_queue:
+                    queue.append(neighbor.rid)
+
+
+def sequential_order(relation: Relation) -> list[int]:
+    """Record ids in relation (insertion) order."""
+    return relation.ids()
+
+
+def random_order(relation: Relation, seed: int = 0) -> list[int]:
+    """A seeded random permutation of record ids (the ``rnd`` baseline
+    order of the Figure 8 experiment)."""
+    import random
+
+    ids = relation.ids()
+    random.Random(seed).shuffle(ids)
+    return ids

@@ -1,0 +1,201 @@
+"""CSPairs construction — first step of Phase 2 (paper section 4.2).
+
+For every *mutual* pair in the NN relation (each appears in the other's
+NN-list; ``ID1 < ID2``), compute the boolean vector ``[CS2, .., CSm]``
+where ``CSi`` says whether the two records' i-neighbor sets are equal.
+The paper materializes this as a SQL *select into* over a self-join of
+``NN_Reln``; we provide both a direct in-memory builder and an
+engine-backed builder that issues the same logical plan against the
+storage layer (self-join via an id hash index, then ``ORDER BY ID1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.formulation import CombinedCut, DEParams, SizeCut
+from repro.core.neighborhood import NNRelation
+from repro.storage.engine import Engine
+from repro.storage.table import HeapTable
+
+__all__ = [
+    "CSPair",
+    "max_pair_size",
+    "prefix_equal_flags",
+    "build_cs_pairs",
+    "materialize_nn_reln",
+    "build_cs_pairs_engine",
+    "cs_pairs_from_table",
+]
+
+#: Schema of the materialized CSPairs relation.
+CSPAIRS_SCHEMA = ("id1", "id2", "ng1", "ng2", "flags")
+NN_RELN_SCHEMA = ("id", "nn_list", "ng")
+
+
+@dataclass(frozen=True)
+class CSPair:
+    """One CSPairs row: a mutual-NN pair and its prefix-set equalities.
+
+    ``flags[i]`` corresponds to group size ``m = i + 2``: whether the
+    (i + 2)-neighbor sets of the two records coincide.
+    """
+
+    id1: int
+    id2: int
+    ng1: int
+    ng2: int
+    flags: tuple[bool, ...]
+
+    def supports_size(self, m: int) -> bool:
+        """Whether the pair's m-neighbor sets are known to be equal."""
+        index = m - 2
+        return 0 <= index < len(self.flags) and self.flags[index]
+
+
+def max_pair_size(
+    len1: int, len2: int, params: DEParams
+) -> int:
+    """Largest group size ``m`` checkable for a pair with the given
+    NN-list lengths (lists exclude self)."""
+    bound = min(len1 + 1, len2 + 1)
+    if isinstance(params.cut, (SizeCut, CombinedCut)):
+        bound = min(bound, params.cut.k)
+    return bound
+
+
+def prefix_equal_flags(
+    id1: int,
+    ids1: tuple[int, ...],
+    id2: int,
+    ids2: tuple[int, ...],
+    max_m: int,
+) -> tuple[bool, ...]:
+    """Compute ``[CS2, .., CS_max_m]`` from two ordered NN-id lists.
+
+    The i-neighbor set of a record is itself plus its ``i - 1`` nearest
+    others; equality is set equality, computed incrementally.
+    """
+    flags: list[bool] = []
+    set1: set[int] = {id1}
+    set2: set[int] = {id2}
+    for m in range(2, max_m + 1):
+        set1.add(ids1[m - 2])
+        set2.add(ids2[m - 2])
+        # Growing sets of equal cardinality: equal iff same elements.
+        flags.append(len(set1) == len(set2) == m and set1 == set2)
+    return tuple(flags)
+
+
+def build_cs_pairs(nn_relation: NNRelation, params: DEParams) -> list[CSPair]:
+    """Direct (in-memory) CSPairs construction, sorted by ``(id1, id2)``."""
+    pairs: list[CSPair] = []
+    for entry in nn_relation:
+        limit = (
+            params.cut.k
+            if isinstance(params.cut, (SizeCut, CombinedCut))
+            else len(entry.neighbors)
+        )
+        for neighbor in entry.neighbors[:limit]:
+            other_id = neighbor.rid
+            if other_id <= entry.rid:
+                continue
+            if other_id not in nn_relation:
+                continue
+            other = nn_relation.get(other_id)
+            other_limit = (
+                params.cut.k
+                if isinstance(params.cut, (SizeCut, CombinedCut))
+                else len(other.neighbors)
+            )
+            if entry.rid not in other.neighbor_ids[:other_limit]:
+                continue  # not mutual
+            max_m = max_pair_size(len(entry.neighbors), len(other.neighbors), params)
+            flags = prefix_equal_flags(
+                entry.rid,
+                entry.neighbor_ids,
+                other.rid,
+                other.neighbor_ids,
+                max_m,
+            )
+            pairs.append(
+                CSPair(
+                    id1=entry.rid,
+                    id2=other.rid,
+                    ng1=entry.ng,
+                    ng2=other.ng,
+                    flags=flags,
+                )
+            )
+    pairs.sort(key=lambda pair: (pair.id1, pair.id2))
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Engine-backed path (faithful to the paper's SQL architecture)
+# ----------------------------------------------------------------------
+
+
+def materialize_nn_reln(
+    engine: Engine, nn_relation: NNRelation, table_name: str = "NN_Reln"
+) -> HeapTable:
+    """Write the Phase-1 output into a heap table ``(id, nn_list, ng)``."""
+    table = engine.create_table(table_name, NN_RELN_SCHEMA, replace=True)
+    table.insert_many(nn_relation.as_rows())
+    return table
+
+
+def build_cs_pairs_engine(
+    engine: Engine,
+    params: DEParams,
+    nn_table_name: str = "NN_Reln",
+    cs_table_name: str = "CSPairs",
+) -> HeapTable:
+    """CSPairs via the storage engine: index self-join + ORDER BY.
+
+    Mirrors the paper's SQL: ``SELECT .. INTO CSPairs FROM NN_Reln,
+    NN_Reln2 WHERE NN_Reln.ID < NN_Reln2.ID AND mutual(NN-lists)``, with
+    the case-expression flag columns packed into one ``flags`` tuple,
+    followed by the CS-group query ``SELECT * FROM CSPairs ORDER BY ID``.
+    """
+    nn_table = engine.table(nn_table_name)
+    id_index = engine.hash_index(nn_table, "id")
+
+    bounded_by_k = isinstance(params.cut, (SizeCut, CombinedCut))
+
+    def probe_keys(row):
+        rid, nn_list, _ = row
+        limit = params.cut.k if bounded_by_k else len(nn_list)
+        return [other for other in nn_list[:limit] if other > rid]
+
+    def on(left, right) -> bool:
+        lid, _, _ = left
+        rid, r_list, _ = right
+        limit = params.cut.k if bounded_by_k else len(r_list)
+        return lid in r_list[:limit]
+
+    def project(left, right):
+        lid, l_list, l_ng = left
+        rid, r_list, r_ng = right
+        max_m = max_pair_size(len(l_list), len(r_list), params)
+        flags = prefix_equal_flags(lid, l_list, rid, r_list, max_m)
+        return (lid, rid, l_ng, r_ng, flags)
+
+    unsorted = engine.index_join(
+        dest=f"{cs_table_name}_unsorted",
+        schema=CSPAIRS_SCHEMA,
+        outer=nn_table,
+        probe_keys=probe_keys,
+        index=id_index,
+        on=on,
+        project=project,
+    )
+    return engine.order_by(cs_table_name, unsorted, key=lambda row: (row[0], row[1]))
+
+
+def cs_pairs_from_table(table: HeapTable) -> list[CSPair]:
+    """Read a materialized CSPairs table back into row objects."""
+    return [
+        CSPair(id1=row[0], id2=row[1], ng1=row[2], ng2=row[3], flags=tuple(row[4]))
+        for row in table.scan()
+    ]

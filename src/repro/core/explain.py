@@ -1,0 +1,164 @@
+"""Explanations: *why* records were, or were not, grouped.
+
+Adopters of a deduplication tool invariably ask "why didn't it merge
+these two?"  This module answers mechanically, in terms of the paper's
+criteria, from a finished :class:`~repro.core.pipeline.DEResult`:
+
+- are the two records mutual nearest neighbors at any prefix size
+  (the CS evidence)?
+- what are their neighborhood growths, and does the group they would
+  form pass the SN threshold?
+- which constraint (CS / SN / cut specification / missing from each
+  other's NN lists) is the binding one?
+
+>>> explanation = explain_pair(result, rid_a, rid_b, params)
+>>> print(explanation.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.criteria import aggregate
+from repro.core.cspairs import max_pair_size, prefix_equal_flags
+from repro.core.formulation import CombinedCut, DEParams, SizeCut
+from repro.core.pipeline import DEResult
+
+__all__ = ["PairExplanation", "explain_pair", "explain_group"]
+
+
+@dataclass(frozen=True)
+class PairExplanation:
+    """Structured verdict for a record pair."""
+
+    rid_a: int
+    rid_b: int
+    grouped: bool
+    in_a_list: bool
+    in_b_list: bool
+    mutual: bool
+    equal_set_sizes: tuple[int, ...]
+    ng_a: int
+    ng_b: int
+    sn_value: float | None
+    sn_threshold: float
+    sn_passes: bool | None
+    verdict: str
+
+    def render(self) -> str:
+        """Human-readable multi-line explanation."""
+        lines = [f"records {self.rid_a} and {self.rid_b}:"]
+        lines.append(
+            f"  grouped together: {'YES' if self.grouped else 'no'}"
+        )
+        lines.append(
+            f"  NN-list membership: "
+            f"{self.rid_b} in {self.rid_a}'s list: {self.in_a_list}; "
+            f"{self.rid_a} in {self.rid_b}'s list: {self.in_b_list}"
+        )
+        if self.equal_set_sizes:
+            lines.append(
+                "  equal m-neighbor sets at sizes "
+                f"{list(self.equal_set_sizes)} (CS evidence)"
+            )
+        else:
+            lines.append("  no equal m-neighbor sets (no CS evidence)")
+        lines.append(
+            f"  neighborhood growths: ng({self.rid_a})={self.ng_a}, "
+            f"ng({self.rid_b})={self.ng_b}"
+        )
+        if self.sn_value is not None:
+            outcome = "passes" if self.sn_passes else "FAILS"
+            lines.append(
+                f"  SN check: AGG={self.sn_value:g} vs c={self.sn_threshold:g} "
+                f"-> {outcome}"
+            )
+        lines.append(f"  verdict: {self.verdict}")
+        return "\n".join(lines)
+
+
+def explain_pair(
+    result: DEResult, rid_a: int, rid_b: int, params: DEParams | None = None
+) -> PairExplanation:
+    """Explain the pipeline's decision for one pair of records."""
+    params = params if params is not None else result.params
+    if rid_a == rid_b:
+        raise ValueError("explain_pair needs two distinct records")
+    if rid_a > rid_b:
+        rid_a, rid_b = rid_b, rid_a
+    nn = result.nn_relation
+    entry_a = nn.get(rid_a)
+    entry_b = nn.get(rid_b)
+
+    bounded_by_k = isinstance(params.cut, (SizeCut, CombinedCut))
+    limit_a = params.cut.k if bounded_by_k else len(entry_a.neighbors)
+    limit_b = params.cut.k if bounded_by_k else len(entry_b.neighbors)
+    in_a = rid_b in entry_a.neighbor_ids[:limit_a]
+    in_b = rid_a in entry_b.neighbor_ids[:limit_b]
+    mutual = in_a and in_b
+
+    equal_sizes: tuple[int, ...] = ()
+    if mutual:
+        max_m = max_pair_size(len(entry_a.neighbors), len(entry_b.neighbors), params)
+        flags = prefix_equal_flags(
+            rid_a, entry_a.neighbor_ids, rid_b, entry_b.neighbor_ids, max_m
+        )
+        equal_sizes = tuple(m for m, flag in enumerate(flags, start=2) if flag)
+
+    sn_value: float | None = None
+    sn_passes: bool | None = None
+    if equal_sizes:
+        sn_value = aggregate(params.agg, [float(entry_a.ng), float(entry_b.ng)])
+        sn_passes = sn_value < params.c
+
+    grouped = result.partition.same_group(rid_a, rid_b)
+
+    if grouped:
+        verdict = "grouped: compact SN set"
+    elif not (in_a or in_b):
+        verdict = "not candidates: absent from each other's NN lists"
+    elif not mutual:
+        verdict = "CS fails: not mutual nearest neighbors within the cut"
+    elif not equal_sizes:
+        verdict = "CS fails: m-neighbor sets never coincide"
+    elif sn_passes is False:
+        verdict = (
+            f"SN fails: {params.agg}(ng) = {sn_value:g} not below c = {params.c:g}"
+        )
+    else:
+        verdict = (
+            "pair qualifies but was absorbed differently "
+            "(a larger compact set won, or a partner was claimed first)"
+        )
+
+    return PairExplanation(
+        rid_a=rid_a,
+        rid_b=rid_b,
+        grouped=grouped,
+        in_a_list=in_a,
+        in_b_list=in_b,
+        mutual=mutual,
+        equal_set_sizes=equal_sizes,
+        ng_a=entry_a.ng,
+        ng_b=entry_b.ng,
+        sn_value=sn_value,
+        sn_threshold=params.c,
+        sn_passes=sn_passes,
+        verdict=verdict,
+    )
+
+
+def explain_group(result: DEResult, rid: int) -> str:
+    """Render the evidence for the group containing ``rid``."""
+    group = result.partition.group_of(rid)
+    nn = result.nn_relation
+    lines = [f"group of record {rid}: {group}"]
+    for member in group:
+        entry = nn.get(member)
+        neighbors = ", ".join(
+            f"{n.rid}@{n.distance:.3f}" for n in entry.neighbors[:5]
+        )
+        lines.append(f"  [{member}] ng={entry.ng} nn-list: {neighbors}")
+    if len(group) == 1:
+        lines.append("  singleton: no compact SN group claimed this record")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Golden-record consolidation (the *elimination* in duplicate
+elimination).
+
+Detecting groups is half the task; most pipelines then collapse each
+group into one canonical ("golden") record.  This module implements the
+standard survivorship policies over a detected
+:class:`~repro.core.result.Partition`:
+
+- per-field **resolvers** pick the surviving value among a group's
+  field values (longest, most frequent, least abbreviated, first by
+  record id);
+- a :class:`MergePlan` applies one resolver per schema field and emits
+  the consolidated relation plus a lineage map (golden id → source
+  ids).
+
+The policies are deliberately simple and deterministic; the interesting
+question — *which records co-refer* — is the paper's problem and is
+solved upstream.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.result import Partition
+from repro.data.schema import Record, Relation
+
+__all__ = [
+    "FieldResolver",
+    "longest_value",
+    "most_frequent_value",
+    "least_abbreviated_value",
+    "first_by_id",
+    "MergePlan",
+    "MergeResult",
+    "merge_partition",
+]
+
+#: A field resolver picks the surviving value from the group's values
+#: (in ascending record-id order; never called with an empty list).
+FieldResolver = Callable[[Sequence[str]], str]
+
+
+def longest_value(values: Sequence[str]) -> str:
+    """The longest value (ties: first in id order).
+
+    A good default for free-text fields: corrupted copies usually *lose*
+    information (dropped tokens, contractions), so the longest variant
+    tends to be the intact one.
+    """
+    best = values[0]
+    for value in values[1:]:
+        if len(value) > len(best):
+            best = value
+    return best
+
+
+def most_frequent_value(values: Sequence[str]) -> str:
+    """The modal value (ties: first in id order).
+
+    Right for categorical fields (state, zip code) where the majority
+    is almost surely correct.
+    """
+    counts = Counter(values)
+    best = values[0]
+    for value in values:
+        if counts[value] > counts[best]:
+            best = value
+    return best
+
+
+def least_abbreviated_value(values: Sequence[str]) -> str:
+    """The value with the fewest 1-2 character tokens, then longest.
+
+    Prefers "Microsoft Corporation" over "Microsoft Corp" over
+    "M S Corp": initials and contractions are what error injection (and
+    real entry) produce.
+    """
+
+    def short_tokens(value: str) -> int:
+        return sum(1 for token in value.split() if len(token) <= 2)
+
+    best = values[0]
+    for value in values[1:]:
+        key_new = (short_tokens(value), -len(value))
+        key_best = (short_tokens(best), -len(best))
+        if key_new < key_best:
+            best = value
+    return best
+
+
+def first_by_id(values: Sequence[str]) -> str:
+    """The value of the smallest record id (stable, audit-friendly)."""
+    return values[0]
+
+
+@dataclass
+class MergePlan:
+    """Field-by-field survivorship policy.
+
+    Parameters
+    ----------
+    default:
+        Resolver applied to fields without an explicit entry.
+    per_field:
+        Attribute name → resolver overrides.
+    """
+
+    default: FieldResolver = longest_value
+    per_field: dict[str, FieldResolver] = field(default_factory=dict)
+
+    def resolver_for(self, attribute: str) -> FieldResolver:
+        return self.per_field.get(attribute, self.default)
+
+
+@dataclass
+class MergeResult:
+    """Outcome of consolidating a partition."""
+
+    #: The consolidated relation (one record per group, fresh dense ids).
+    golden: Relation
+    #: golden record id -> sorted source record ids.
+    lineage: dict[int, tuple[int, ...]]
+
+    def sources_of(self, golden_rid: int) -> tuple[int, ...]:
+        return self.lineage[golden_rid]
+
+    @property
+    def n_merged_away(self) -> int:
+        """How many records the consolidation removed."""
+        return sum(len(src) - 1 for src in self.lineage.values())
+
+
+def merge_partition(
+    relation: Relation,
+    partition: Partition,
+    plan: MergePlan | None = None,
+    name: str | None = None,
+) -> MergeResult:
+    """Collapse each group of ``partition`` into one golden record.
+
+    Groups are processed in canonical partition order; singleton groups
+    pass their record through unchanged (but still re-identified, so
+    golden ids are dense).
+    """
+    plan = plan if plan is not None else MergePlan()
+    resolvers = [plan.resolver_for(attribute) for attribute in relation.schema]
+
+    golden = Relation(
+        name=name or f"{relation.name}_golden", schema=relation.schema
+    )
+    lineage: dict[int, tuple[int, ...]] = {}
+    for golden_rid, group in enumerate(partition.groups):
+        members = [relation.get(rid) for rid in group]
+        fields_out = tuple(
+            resolvers[index]([member.fields[index] for member in members])
+            for index in range(len(relation.schema))
+        )
+        golden.add(Record(golden_rid, fields_out))
+        lineage[golden_rid] = tuple(group)
+    return MergeResult(golden=golden, lineage=lineage)

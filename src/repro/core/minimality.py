@@ -1,0 +1,104 @@
+"""Minimal compact sets — paper section 4.5.2.
+
+A compact SN set can, in contrived configurations, be the union of
+disjoint smaller compact sets (the paper's ``{v1, v1', v2, v2', v3,
+v3'}`` example of three duplicate pairs mutually close together).  The
+*minimality* refinement forbids this: ``S`` is a minimal compact set if
+no two disjoint non-trivial subsets of ``S`` are both compact.
+
+As the paper prescribes, the refinement is a post-processing check:
+groups that are unions of disjoint non-trivial compact subsets are
+split into those subsets (recursively).  The check runs off the NN
+relation: a candidate subset of size ``j`` anchored at member ``v`` is
+``v``'s j-neighbor set, and it is compact iff all its members share
+that j-neighbor set — the same prefix-set reasoning Phase 2 uses.
+
+The paper's experiments found violations "very rare" on real data; the
+pipeline therefore leaves the option off by default.
+"""
+
+from __future__ import annotations
+
+from repro.core.neighborhood import NNRelation
+from repro.core.result import Partition
+
+__all__ = ["compact_subsets", "split_to_minimal", "enforce_minimality"]
+
+
+def _prefix_compact(nn_relation: NNRelation, anchor: int, size: int) -> frozenset[int] | None:
+    """Return the anchor's size-``size`` neighbor set if it is compact."""
+    entry = nn_relation.get(anchor)
+    if size > entry.max_group_size:
+        return None
+    candidate = entry.prefix_set(size)
+    for member in candidate:
+        if member == anchor:
+            continue
+        if member not in nn_relation:
+            return None
+        other = nn_relation.get(member)
+        if size > other.max_group_size or other.prefix_set(size) != candidate:
+            return None
+    return candidate
+
+
+def compact_subsets(
+    nn_relation: NNRelation, group: tuple[int, ...]
+) -> list[frozenset[int]]:
+    """All non-trivial proper compact subsets of ``group``.
+
+    Compact sets containing a record are exactly its prefix-neighbor
+    sets, so it suffices to scan sizes ``2 .. |group| - 1`` per member.
+    """
+    members = set(group)
+    found: set[frozenset[int]] = set()
+    for anchor in group:
+        if anchor not in nn_relation:
+            continue
+        for size in range(2, len(group)):
+            candidate = _prefix_compact(nn_relation, anchor, size)
+            if candidate is not None and candidate < members:
+                found.add(candidate)
+    return sorted(found, key=lambda s: (len(s), sorted(s)))
+
+
+def split_to_minimal(
+    nn_relation: NNRelation, group: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Split ``group`` until every emitted group is a minimal compact set.
+
+    If the group contains two *disjoint* non-trivial compact subsets, it
+    is not minimal: replace it by its maximal disjoint compact subsets
+    (largest first, deterministic) plus singletons for the remainder,
+    recursing into each part.
+    """
+    if len(group) <= 3:
+        # A size-2 or size-3 set cannot contain two disjoint subsets of
+        # size >= 2.
+        return [tuple(sorted(group))]
+    subsets = compact_subsets(nn_relation, group)
+    chosen: list[frozenset[int]] = []
+    covered: set[int] = set()
+    for subset in sorted(subsets, key=lambda s: (-len(s), sorted(s))):
+        if not subset & covered:
+            chosen.append(subset)
+            covered |= subset
+    if len(chosen) < 2:
+        return [tuple(sorted(group))]
+    parts: list[tuple[int, ...]] = []
+    for subset in chosen:
+        parts.extend(split_to_minimal(nn_relation, tuple(sorted(subset))))
+    for rid in sorted(set(group) - covered):
+        parts.append((rid,))
+    return parts
+
+
+def enforce_minimality(partition: Partition, nn_relation: NNRelation) -> Partition:
+    """Apply the minimality refinement to every group of a partition."""
+    groups: list[tuple[int, ...]] = []
+    for group in partition:
+        if len(group) <= 3:
+            groups.append(group)
+        else:
+            groups.extend(split_to_minimal(nn_relation, group))
+    return Partition.from_groups(groups)

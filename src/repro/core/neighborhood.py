@@ -1,0 +1,117 @@
+"""The NN relation: Phase 1 output (paper's ``NN_Reln[ID, NN-List, NG]``).
+
+Each record contributes one :class:`NNEntry` holding its ordered
+nearest-neighbor list and its neighborhood growth ``ng``.  For the size
+specification ``DE_S(K)`` the list holds the K nearest others; for the
+diameter specification ``DE_D(θ)`` it holds all others within θ.
+
+The *i-neighbor set* of a record — the set containing the record itself
+plus its ``i - 1`` nearest others — is the object the CS criterion
+compares between tuple pairs: a set ``S`` of size ``m`` is compact iff
+the m-neighbor sets of all its members coincide (and equal ``S``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.index.base import Neighbor
+
+__all__ = ["NNEntry", "NNRelation"]
+
+
+@dataclass(frozen=True)
+class NNEntry:
+    """One row of the NN relation.
+
+    Parameters
+    ----------
+    rid:
+        Record identifier.
+    neighbors:
+        Other records ordered by ``(distance, rid)``; self excluded.
+    ng:
+        Neighborhood growth of the record (self included, as in the
+        paper's Table 1 discussion where unique tuples sit in growth-4
+        neighborhoods).
+    """
+
+    rid: int
+    neighbors: tuple[Neighbor, ...]
+    ng: int
+
+    @property
+    def neighbor_ids(self) -> tuple[int, ...]:
+        return tuple(n.rid for n in self.neighbors)
+
+    @property
+    def nn_distance(self) -> float:
+        """Distance to the nearest other record (``inf`` if none)."""
+        if not self.neighbors:
+            return float("inf")
+        return self.neighbors[0].distance
+
+    def prefix_set(self, size: int) -> frozenset[int]:
+        """The ``size``-neighbor set: self plus the ``size - 1`` nearest.
+
+        Raises :class:`ValueError` when the stored list is too short to
+        answer (callers bound ``size`` by :meth:`max_group_size`).
+        """
+        if size < 1:
+            raise ValueError("neighbor-set size must be at least 1")
+        if size - 1 > len(self.neighbors):
+            raise ValueError(
+                f"record {self.rid} has only {len(self.neighbors)} neighbors; "
+                f"cannot form a {size}-neighbor set"
+            )
+        return frozenset((self.rid, *(n.rid for n in self.neighbors[: size - 1])))
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest group size this entry can participate in checks for."""
+        return len(self.neighbors) + 1
+
+    def contains_within_list(self, rid: int) -> bool:
+        """Whether ``rid`` appears anywhere in the stored NN list."""
+        return any(n.rid == rid for n in self.neighbors)
+
+
+class NNRelation:
+    """The materialized Phase-1 output, keyed by record id."""
+
+    def __init__(self, entries: Mapping[int, NNEntry] | None = None):
+        self._entries: dict[int, NNEntry] = dict(entries or {})
+
+    def add(self, entry: NNEntry) -> None:
+        if entry.rid in self._entries:
+            raise ValueError(f"duplicate NN entry for record {entry.rid}")
+        self._entries[entry.rid] = entry
+
+    def get(self, rid: int) -> NNEntry:
+        return self._entries[rid]
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[NNEntry]:
+        """Iterate entries in ascending record-id order."""
+        return iter(sorted(self._entries.values(), key=lambda e: e.rid))
+
+    def ids(self) -> list[int]:
+        return sorted(self._entries)
+
+    def ng_values(self) -> list[int]:
+        """All neighborhood growths (input to the SN threshold heuristic)."""
+        return [entry.ng for entry in self]
+
+    def nn_lists(self) -> dict[int, tuple[Neighbor, ...]]:
+        """id -> neighbor list mapping (used by the ``thr`` baseline)."""
+        return {rid: entry.neighbors for rid, entry in self._entries.items()}
+
+    def as_rows(self) -> list[tuple[int, tuple[int, ...], int]]:
+        """Render as ``(ID, NN-List, NG)`` rows for the storage engine."""
+        return [(entry.rid, entry.neighbor_ids, entry.ng) for entry in self]

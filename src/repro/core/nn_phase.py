@@ -1,0 +1,128 @@
+"""Phase 1 — nearest-neighbor list computation (paper section 4.1).
+
+``prepare_nn_lists`` materializes the NN relation
+``NN_Reln[ID, NN-List, NG]``: for every tuple, its nearest neighbors
+(the best K for ``DE_S(K)``; all within θ for ``DE_D(θ)``) and its
+neighborhood growth ``ng``.  Lookups are issued in breadth-first order
+by default to maximize index buffer locality (Figure 5 / section 4.1.1);
+the Figure 8 benchmark compares this against random order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.core.bforder import breadth_first_order, random_order, sequential_order
+from repro.core.formulation import CombinedCut, DEParams, SizeCut
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.data.schema import Relation
+from repro.index.base import Neighbor, NNIndex
+
+__all__ = ["Phase1Stats", "prepare_nn_lists"]
+
+LookupOrder = Literal["bf", "random", "sequential"]
+
+
+@dataclass
+class Phase1Stats:
+    """Cost accounting for Phase 1."""
+
+    lookups: int = 0
+    seconds: float = 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Lookups per second (the paper's ``pt`` metric, wall-clock)."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.lookups / self.seconds
+
+
+def _fetch(
+    index: NNIndex, relation: Relation, rid: int, params: DEParams
+) -> Sequence[Neighbor]:
+    record = relation.get(rid)
+    if isinstance(params.cut, SizeCut):
+        return index.knn(record, params.cut.k)
+    if isinstance(params.cut, CombinedCut):
+        # The K nearest neighbors within radius theta: both bounds hold.
+        return index.within(record, params.theta)[: params.cut.k]
+    return index.within(record, params.theta)
+
+
+def prepare_nn_lists(
+    relation: Relation,
+    index: NNIndex,
+    params: DEParams,
+    order: LookupOrder = "bf",
+    order_seed: int = 0,
+    stats: Phase1Stats | None = None,
+    radius_fn=None,
+) -> NNRelation:
+    """Materialize the NN relation for a DE problem instance.
+
+    Parameters
+    ----------
+    relation:
+        The input relation (must already be indexed: ``index.build``
+        called with the same relation and the problem's distance).
+    index:
+        A built NN index.
+    params:
+        The DE parameters; the cut specification decides the query
+        shape (top-K vs. within-θ) exactly as in the paper.
+    order:
+        Index lookup order: ``"bf"`` (breadth-first, the paper's
+        choice), ``"random"`` (the paper's baseline), or
+        ``"sequential"`` (relation order).
+    order_seed:
+        Seed for the random order.
+    stats:
+        Optional mutable stats object to fill with lookup counts and
+        wall-clock time.
+    radius_fn:
+        Optional :class:`~repro.core.radius.RadiusFunction` overriding
+        the linear ``p * nn(v)`` neighborhood in the NG computation
+        (the non-linear extension the paper's section 2 permits).
+    """
+    if index.relation is not relation:
+        raise ValueError("index was not built over the given relation")
+
+    nn_relation = NNRelation()
+    started = time.perf_counter()
+
+    def lookup(rid: int) -> Sequence[Neighbor]:
+        neighbors = _fetch(index, relation, rid, params)
+        # The fetched list already reveals nn(v) when non-empty (for
+        # the size spec always; for the diameter spec whenever some
+        # neighbor lies within θ), sparing the index a redundant 1-NN
+        # probe inside the NG computation.
+        nn_distance = neighbors[0].distance if neighbors else None
+        ng = index.neighborhood_growth(
+            relation.get(rid),
+            p=params.p,
+            nn_distance=nn_distance,
+            radius_fn=radius_fn,
+        )
+        nn_relation.add(NNEntry(rid=rid, neighbors=tuple(neighbors), ng=ng))
+        if stats is not None:
+            stats.lookups += 1
+        return neighbors
+
+    if order == "bf":
+        for _ in breadth_first_order(relation, lookup):
+            pass
+    else:
+        ids = (
+            random_order(relation, seed=order_seed)
+            if order == "random"
+            else sequential_order(relation)
+        )
+        for rid in ids:
+            lookup(rid)
+
+    if stats is not None:
+        stats.seconds += time.perf_counter() - started
+    return nn_relation

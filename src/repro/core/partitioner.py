@@ -1,0 +1,95 @@
+"""Partitioning step — second step of Phase 2 (paper section 4.2).
+
+Consume the CSPairs rows grouped by their minimum id (``Q[ID = v]`` in
+the paper) and extract, for each unassigned ``v``, the largest
+non-trivial compact SN set ``G_v`` that ``v`` can belong to:
+
+- a group of size ``m`` exists under ``v`` iff exactly ``m - 1``
+  partners ``w`` have equal m-neighbor sets with ``v`` (set equality is
+  transitive, so the pairwise checks extend to the whole group);
+- the group must satisfy the SN criterion ``AGG({ng}) < c``;
+- the cut specification is honored by construction (flags are only
+  computed up to ``K`` for the size spec; for the diameter spec, equal
+  prefix sets of within-θ lists imply ``Diameter(G) <= θ``).
+
+Scanning candidate sizes from largest to smallest guarantees maximality
+("it cannot be extended to a larger compact SN set"); records never
+claimed by any group become singletons.  The correctness argument is
+the paper's: every compact SN set in the solution is grouped under its
+minimum id, because its members' m-neighbor sets all equal the set
+itself.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+from typing import Iterable, Sequence
+
+from repro.core.criteria import aggregate
+from repro.core.cspairs import CSPair
+from repro.core.formulation import DEParams
+from repro.core.result import Partition
+
+__all__ = ["partition_records", "extract_group"]
+
+
+def extract_group(
+    anchor: int,
+    anchor_ng: int,
+    rows: Sequence[CSPair],
+    params: DEParams,
+    assigned: set[int],
+) -> list[int] | None:
+    """Return the largest valid compact SN group under ``anchor``.
+
+    ``rows`` are the CSPairs rows with ``id1 == anchor``.  Returns the
+    sorted member list (anchor included) or ``None`` when no non-trivial
+    group qualifies.
+    """
+    if not rows:
+        return None
+    max_m = max(len(row.flags) + 1 for row in rows)
+    for m in range(max_m, 1, -1):
+        partners = [row for row in rows if row.supports_size(m)]
+        if len(partners) != m - 1:
+            continue
+        if any(row.id2 in assigned for row in partners):
+            # Only possible under tie/approximation noise; the paper's
+            # distinct-distance analysis rules it out.  Try smaller m.
+            continue
+        growths = [float(anchor_ng)] + [float(row.ng2) for row in partners]
+        if aggregate(params.agg, growths) >= params.c:
+            continue
+        return sorted([anchor] + [row.id2 for row in partners])
+    return None
+
+
+def partition_records(
+    ids: Iterable[int],
+    cs_pairs: Sequence[CSPair],
+    params: DEParams,
+) -> Partition:
+    """Partition the relation given its (sorted) CSPairs rows.
+
+    ``cs_pairs`` must be sorted by ``(id1, id2)`` — the output order of
+    the CS-group query.  ``ids`` is the full id universe; records
+    claimed by no group become singletons.
+    """
+    assigned: set[int] = set()
+    groups: list[list[int]] = []
+
+    for anchor, group_rows in groupby(cs_pairs, key=lambda row: row.id1):
+        if anchor in assigned:
+            continue
+        rows = list(group_rows)
+        group = extract_group(anchor, rows[0].ng1, rows, params, assigned)
+        if group is not None:
+            groups.append(group)
+            assigned.update(group)
+
+    for rid in ids:
+        if rid not in assigned:
+            groups.append([rid])
+            assigned.add(rid)
+
+    return Partition.from_groups(groups)

@@ -1,0 +1,181 @@
+"""The end-to-end duplicate elimination pipeline (paper Figure 3).
+
+:class:`DuplicateEliminator` wires the two phases together:
+
+1. **NN list computation** — build (or accept) a nearest-neighbor index
+   over the relation and materialize ``NN_Reln`` in breadth-first
+   lookup order;
+2. **Partitioning** — construct CSPairs and extract compact SN groups,
+   either directly in memory or through the storage engine (the paper's
+   SQL path), which produce identical results.
+
+Optional post-processing applies the minimality refinement
+(section 4.5.2) and constraining predicates (section 4.5.1).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cspairs import (
+    build_cs_pairs,
+    build_cs_pairs_engine,
+    cs_pairs_from_table,
+    materialize_nn_reln,
+)
+from repro.core.formulation import DEParams
+from repro.core.minimality import enforce_minimality
+from repro.core.neighborhood import NNRelation
+from repro.core.nn_phase import LookupOrder, Phase1Stats, prepare_nn_lists
+from repro.core.partitioner import partition_records
+from repro.core.predicates import CannotLinkPredicate, apply_constraining_predicate
+from repro.core.result import Partition
+from repro.data.schema import Relation
+from repro.distances.base import CachedDistance, DistanceFunction
+from repro.index.base import NNIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.storage.engine import Engine
+
+__all__ = ["DEResult", "DuplicateEliminator"]
+
+
+@dataclass
+class DEResult:
+    """Everything a DE run produces.
+
+    The NN relation is part of the result because downstream consumers
+    need it: the SN threshold heuristic reuses the NG values, and the
+    ``thr`` baseline induces its threshold graph from the same NN lists
+    (as in the paper's experimental setup).
+    """
+
+    partition: Partition
+    nn_relation: NNRelation
+    params: DEParams
+    phase1: Phase1Stats = field(default_factory=Phase1Stats)
+    phase2_seconds: float = 0.0
+    n_cs_pairs: int = 0
+
+    @property
+    def duplicate_groups(self) -> list[tuple[int, ...]]:
+        """The non-trivial groups (reported duplicates)."""
+        return self.partition.non_trivial_groups()
+
+
+class DuplicateEliminator:
+    """Configurable solver for DE problem instances.
+
+    Parameters
+    ----------
+    distance:
+        The tuple distance function (wrapped in a memo cache unless
+        ``cache_distance=False``).
+    index:
+        NN index instance; defaults to :class:`BruteForceIndex`.  The
+        index is (re)built per :meth:`run` call.
+    engine:
+        Optional storage engine.  When given (or ``use_engine=True``),
+        Phase 2 executes through the engine's relational operators,
+        faithfully to the paper's client-over-SQL-server architecture.
+    order:
+        Phase 1 lookup order (``"bf"``, ``"random"``, ``"sequential"``).
+    minimal:
+        Enforce minimal compact sets (off by default, as in the paper).
+    cannot_link:
+        Optional constraining predicate; violating groups are split.
+    radius_fn:
+        Optional :class:`~repro.core.radius.RadiusFunction` overriding
+        the linear ``p * nn(v)`` neighborhood in the NG computation.
+    """
+
+    def __init__(
+        self,
+        distance: DistanceFunction,
+        index: NNIndex | None = None,
+        engine: Engine | None = None,
+        use_engine: bool = False,
+        order: LookupOrder = "bf",
+        order_seed: int = 0,
+        minimal: bool = False,
+        cannot_link: CannotLinkPredicate | None = None,
+        cache_distance: bool = True,
+        radius_fn=None,
+    ):
+        wrap = cache_distance and not isinstance(distance, CachedDistance)
+        self.distance: DistanceFunction = (
+            CachedDistance(distance) if wrap else distance
+        )
+        self.index: NNIndex = index if index is not None else BruteForceIndex()
+        self.engine = engine if engine is not None else (Engine() if use_engine else None)
+        self.order: LookupOrder = order
+        self.order_seed = order_seed
+        self.minimal = minimal
+        self.cannot_link = cannot_link
+        #: Optional RadiusFunction generalizing the p*nn(v) neighborhood
+        #: (paper section 2's non-linear remark); None = linear.
+        self.radius_fn = radius_fn
+
+    # ------------------------------------------------------------------
+
+    def run(self, relation: Relation, params: DEParams) -> DEResult:
+        """Solve the DE instance over ``relation``."""
+        stats = Phase1Stats()
+        self.index.build(relation, self.distance)
+        nn_relation = prepare_nn_lists(
+            relation,
+            self.index,
+            params,
+            order=self.order,
+            order_seed=self.order_seed,
+            stats=stats,
+            radius_fn=self.radius_fn,
+        )
+        partition, phase2_seconds, n_pairs = self._phase2(relation, nn_relation, params)
+        return DEResult(
+            partition=partition,
+            nn_relation=nn_relation,
+            params=params,
+            phase1=stats,
+            phase2_seconds=phase2_seconds,
+            n_cs_pairs=n_pairs,
+        )
+
+    def run_from_nn(
+        self, relation: Relation, nn_relation: NNRelation, params: DEParams
+    ) -> DEResult:
+        """Solve Phase 2 only, over a precomputed NN relation.
+
+        Useful for parameter sweeps that share one (expensive) Phase 1:
+        the paper notes the SN threshold is not needed until Phase 2,
+        and the quality benchmarks sweep ``c``/``AGG``/``K`` this way.
+        """
+        partition, phase2_seconds, n_pairs = self._phase2(relation, nn_relation, params)
+        return DEResult(
+            partition=partition,
+            nn_relation=nn_relation,
+            params=params,
+            phase2_seconds=phase2_seconds,
+            n_cs_pairs=n_pairs,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _phase2(
+        self, relation: Relation, nn_relation: NNRelation, params: DEParams
+    ) -> tuple[Partition, float, int]:
+        started = time.perf_counter()
+        if self.engine is not None:
+            materialize_nn_reln(self.engine, nn_relation)
+            table = build_cs_pairs_engine(self.engine, params)
+            pairs = cs_pairs_from_table(table)
+        else:
+            pairs = build_cs_pairs(nn_relation, params)
+        partition = partition_records(relation.ids(), pairs, params)
+        if self.minimal:
+            partition = enforce_minimality(partition, nn_relation)
+        if self.cannot_link is not None:
+            partition = apply_constraining_predicate(
+                partition, relation, self.cannot_link
+            )
+        return partition, time.perf_counter() - started, len(pairs)

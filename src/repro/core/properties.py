@@ -1,0 +1,171 @@
+"""Checkers for the DE framework properties (paper section 3.1).
+
+The paper analyzes DE in the spirit of Kleinberg's axiomatic framework
+for clustering, establishing four lemmas.  This module provides
+*empirical verifiers* used by the property-based tests and the L1-L4
+benchmark:
+
+- **Lemma 1 (uniqueness)** — re-solving an instance yields the same
+  partition (the solver is a function).
+- **Lemma 2 (scale invariance)** — ``DE_S(K)`` is unchanged under
+  ``d -> alpha * d``.
+- **Lemma 3 (split/merge consistency)** — under a P-conscious
+  transformation of ``d`` (within-group distances shrink, cross-group
+  distances grow), every new group is a subset of an old group or a
+  union of old groups.
+- **Lemma 4 (constrained richness)** — for suitable parameters the
+  range of ``DE_S(K)`` includes all partitions into many small groups;
+  :func:`realize_partition` constructs a distance function whose DE
+  solution is a requested target partition.
+"""
+
+from __future__ import annotations
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.result import Partition
+from repro.data.schema import Relation
+from repro.distances.base import DistanceFunction, FunctionDistance, ScaledDistance
+
+__all__ = [
+    "check_uniqueness",
+    "check_scale_invariance",
+    "p_conscious_transform",
+    "is_p_conscious",
+    "check_split_merge_consistency",
+    "realize_partition",
+]
+
+
+def _solve(relation: Relation, distance: DistanceFunction, params: DEParams) -> Partition:
+    solver = DuplicateEliminator(distance, cache_distance=False)
+    return solver.run(relation, params).partition
+
+
+def check_uniqueness(
+    relation: Relation, distance: DistanceFunction, params: DEParams, trials: int = 3
+) -> bool:
+    """Lemma 1: repeated runs produce identical partitions."""
+    first = _solve(relation, distance, params)
+    return all(_solve(relation, distance, params) == first for _ in range(trials - 1))
+
+
+def check_scale_invariance(
+    relation: Relation,
+    distance: DistanceFunction,
+    params: DEParams,
+    alpha: float = 0.5,
+) -> bool:
+    """Lemma 2: ``DE_S(K)`` under ``d`` equals ``DE_S(K)`` under ``alpha*d``."""
+    base = _solve(relation, distance, params)
+    scaled = _solve(relation, ScaledDistance(distance, alpha), params)
+    return base == scaled
+
+
+def p_conscious_transform(
+    distance: DistanceFunction,
+    partition: Partition,
+    shrink: float = 0.5,
+    grow: float = 1.0,
+    cap: float = 1.0,
+) -> DistanceFunction:
+    """Build a P-conscious transformation ``d'`` of ``distance``.
+
+    Within-group distances are multiplied by ``shrink`` (<= 1); cross-
+    group distances are pushed toward ``cap`` by factor ``grow`` (>= 1,
+    clamped at ``cap``), so ``d'(u, v) >= d(u, v)`` across groups and
+    ``d'(u, v) <= d(u, v)`` within groups — the paper's definition.
+    """
+    if shrink > 1.0 or shrink < 0.0:
+        raise ValueError("shrink must be in [0, 1]")
+    if grow < 1.0:
+        raise ValueError("grow must be at least 1")
+
+    def transformed(a, b) -> float:
+        d = distance.distance(a, b)
+        if partition.same_group(a.rid, b.rid):
+            return d * shrink
+        return min(cap, d * grow)
+
+    wrapper = FunctionDistance(transformed, name=f"pconscious({distance.name})")
+    return wrapper
+
+
+def is_p_conscious(
+    relation: Relation,
+    original: DistanceFunction,
+    transformed: DistanceFunction,
+    partition: Partition,
+) -> bool:
+    """Verify the defining inequalities of a P-conscious transformation."""
+    records = list(relation)
+    for i, a in enumerate(records):
+        for b in records[i + 1 :]:
+            d0 = original.distance(a, b)
+            d1 = transformed.distance(a, b)
+            if partition.same_group(a.rid, b.rid):
+                if d1 > d0:
+                    return False
+            elif d1 < d0:
+                return False
+    return True
+
+
+def check_split_merge_consistency(
+    relation: Relation,
+    distance: DistanceFunction,
+    params: DEParams,
+    shrink: float = 0.5,
+    grow: float = 1.2,
+) -> bool:
+    """Lemma 3: after a P-conscious transformation, every group of the
+    new solution is a subset of an old group or a union of old groups."""
+    original = _solve(relation, distance, params)
+    transformed = p_conscious_transform(distance, original, shrink=shrink, grow=grow)
+    new = _solve(relation, transformed, params)
+    for group in new:
+        subset_of_old = False
+        try:
+            container = set(original.group_of(group[0]))
+            subset_of_old = set(group).issubset(container)
+        except KeyError:
+            return False
+        if subset_of_old:
+            continue
+        if not new.is_union_of_groups(group, original):
+            return False
+    return True
+
+
+def realize_partition(
+    target: Partition,
+    within: float = 0.05,
+    across: float = 0.9,
+) -> tuple[Relation, DistanceFunction]:
+    """Construct an instance whose DE solution is ``target`` (Lemma 4).
+
+    Builds a synthetic relation over the target's ids and a distance
+    function placing group members at distance ``within`` (scaled by a
+    distinct per-pair epsilon to keep distances unique) and everything
+    else at about ``across``.  With ``c`` above the maximum group size
+    and ``K`` at least the maximum group size, ``DE_S(K)`` recovers
+    ``target``, which demonstrates the (α, β)-richness of the range.
+    """
+    ids = target.ids()
+    relation = Relation.from_rows(
+        "realized", ("value",), [[f"record-{rid}"] for rid in ids]
+    )
+    # Map relation record ids onto target ids positionally.
+    id_map = dict(zip(relation.ids(), ids))
+
+    def synthetic(a, b) -> float:
+        ta, tb = id_map[a.rid], id_map[b.rid]
+        if ta == tb:
+            return 0.0
+        lo, hi = min(ta, tb), max(ta, tb)
+        jitter = ((lo * 31 + hi * 17) % 97) / 97.0
+        if target.same_group(ta, tb):
+            return within * (1.0 + 0.5 * jitter)
+        return across * (1.0 + 0.1 * jitter)
+
+    return relation, FunctionDistance(synthetic, name="realized")

@@ -1,0 +1,122 @@
+"""Generalized neighborhood radius functions.
+
+The paper fixes the neighborhood of a tuple to a sphere of radius
+``p * nn(v)`` with ``p = 2``, but notes that "functions more general
+than linear functions may be used to define neighborhood" (section 2).
+This module implements that extension: a radius function maps the
+nearest-neighbor distance to the neighborhood radius used by the NG
+computation.
+
+- :class:`LinearRadius` — the paper's ``p * nn(v)``;
+- :class:`AffineRadius` — ``p * nn(v) + delta``, giving isolated
+  records a minimum absolute vicinity;
+- :class:`PowerRadius` — ``p * nn(v) ** gamma`` (sub-linear growth for
+  ``gamma > 1`` since distances live in [0, 1]);
+- :class:`CappedRadius` — clamps another radius function, bounding the
+  work of range queries on very isolated records.
+
+All functions are monotone in ``nn(v)``, which keeps the SN intuition
+intact: a record's vicinity scales with how isolated it already is.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "RadiusFunction",
+    "LinearRadius",
+    "AffineRadius",
+    "PowerRadius",
+    "CappedRadius",
+]
+
+
+class RadiusFunction(abc.ABC):
+    """Maps the NN distance of a record to its neighborhood radius."""
+
+    @abc.abstractmethod
+    def __call__(self, nn_distance: float) -> float:
+        """Return the neighborhood radius for the given ``nn(v)``."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class LinearRadius(RadiusFunction):
+    """The paper's linear neighborhood: ``p * nn(v)``."""
+
+    def __init__(self, p: float = 2.0):
+        if p <= 1.0:
+            raise ValueError("p must exceed 1 (the sphere must grow)")
+        self.p = p
+
+    def __call__(self, nn_distance: float) -> float:
+        return self.p * nn_distance
+
+    def describe(self) -> str:
+        return f"{self.p}*nn"
+
+
+class AffineRadius(RadiusFunction):
+    """``p * nn(v) + delta``: a minimum absolute vicinity."""
+
+    def __init__(self, p: float = 2.0, delta: float = 0.0):
+        if p < 1.0:
+            raise ValueError("p must be at least 1")
+        if delta < 0.0:
+            raise ValueError("delta must be non-negative")
+        if p == 1.0 and delta == 0.0:
+            raise ValueError("the neighborhood must be larger than nn(v)")
+        self.p = p
+        self.delta = delta
+
+    def __call__(self, nn_distance: float) -> float:
+        return self.p * nn_distance + self.delta
+
+    def describe(self) -> str:
+        return f"{self.p}*nn+{self.delta}"
+
+
+class PowerRadius(RadiusFunction):
+    """``p * nn(v) ** gamma``.
+
+    With distances in [0, 1] and ``gamma > 1``, close records get
+    relatively tighter neighborhoods and isolated records relatively
+    wider ones, damping NG for dense families.
+    """
+
+    def __init__(self, p: float = 2.0, gamma: float = 1.0):
+        if p <= 0.0:
+            raise ValueError("p must be positive")
+        if gamma <= 0.0:
+            raise ValueError("gamma must be positive")
+        self.p = p
+        self.gamma = gamma
+
+    def __call__(self, nn_distance: float) -> float:
+        return self.p * (nn_distance**self.gamma)
+
+    def describe(self) -> str:
+        return f"{self.p}*nn^{self.gamma}"
+
+
+class CappedRadius(RadiusFunction):
+    """Clamp another radius function at an absolute maximum.
+
+    Bounding the neighborhood radius bounds the cost of the range query
+    behind NG for very isolated records, at the price of (slightly)
+    undercounting their growth — they are far from everything anyway.
+    """
+
+    def __init__(self, inner: RadiusFunction, cap: float):
+        if cap <= 0.0:
+            raise ValueError("cap must be positive")
+        self.inner = inner
+        self.cap = cap
+
+    def __call__(self, nn_distance: float) -> float:
+        return min(self.cap, self.inner(nn_distance))
+
+    def describe(self) -> str:
+        return f"min({self.cap}, {self.inner.describe()})"

@@ -1,0 +1,130 @@
+"""Borderline-pair review queues.
+
+The paper argues for unsupervised DE because training data is scarce —
+but practitioners still review *some* pairs by hand.  The productive
+place to spend that budget is the decision boundary: pairs where the
+criteria almost fired, or groups that almost failed.  This module ranks
+those cases from a finished DE run, with no labels required:
+
+- **near-miss pairs** — mutual nearest neighbors whose m-neighbor sets
+  coincide but whose SN aggregate missed the threshold by little, or
+  whose lists are mutual but prefix sets never align;
+- **fragile groups** — emitted groups whose SN aggregate sits close to
+  the threshold (one more nearby record would have dissolved them).
+
+The output is deliberately a plain ranked list of
+:class:`ReviewCandidate`; wiring it to a labeling UI is the caller's
+business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.criteria import aggregate
+from repro.core.cspairs import build_cs_pairs
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DEResult
+
+__all__ = ["ReviewCandidate", "near_miss_pairs", "fragile_groups"]
+
+
+@dataclass(frozen=True)
+class ReviewCandidate:
+    """One item of the review queue, smaller margin = more urgent."""
+
+    members: tuple[int, ...]
+    kind: str
+    #: Distance from the decision boundary (0 = right on it).
+    margin: float
+    reason: str
+
+    def __lt__(self, other: "ReviewCandidate") -> bool:
+        return (self.margin, self.members) < (other.margin, other.members)
+
+
+def near_miss_pairs(
+    result: DEResult,
+    params: DEParams | None = None,
+    limit: int = 20,
+    sn_window: float = 2.0,
+) -> list[ReviewCandidate]:
+    """Ungrouped mutual-NN pairs closest to qualifying.
+
+    ``sn_window`` bounds how far above ``c`` an SN aggregate may sit to
+    still be worth a look.
+    """
+    params = params if params is not None else result.params
+    candidates: list[ReviewCandidate] = []
+    for pair in build_cs_pairs(result.nn_relation, params):
+        if result.partition.same_group(pair.id1, pair.id2):
+            continue
+        if pair.supports_size(2):
+            sn_value = aggregate(
+                params.agg, [float(pair.ng1), float(pair.ng2)]
+            )
+            overshoot = sn_value - params.c
+            if 0.0 <= overshoot <= sn_window:
+                candidates.append(
+                    ReviewCandidate(
+                        members=(pair.id1, pair.id2),
+                        kind="sn-near-miss",
+                        margin=overshoot,
+                        reason=(
+                            f"mutual NN pair; {params.agg}(ng) = {sn_value:g} "
+                            f"vs c = {params.c:g}"
+                        ),
+                    )
+                )
+        else:
+            # Mutual within the cut but the 2-neighbor sets differ:
+            # each is someone else's nearest.  Rank by how deep the
+            # partner sits in the other's list.
+            entry1 = result.nn_relation.get(pair.id1)
+            entry2 = result.nn_relation.get(pair.id2)
+            rank1 = entry1.neighbor_ids.index(pair.id2)
+            rank2 = entry2.neighbor_ids.index(pair.id1)
+            margin = float(rank1 + rank2)
+            if margin <= 2.0:
+                candidates.append(
+                    ReviewCandidate(
+                        members=(pair.id1, pair.id2),
+                        kind="cs-near-miss",
+                        margin=margin,
+                        reason=(
+                            "mutually listed but not mutual *nearest* "
+                            f"neighbors (ranks {rank1} and {rank2})"
+                        ),
+                    )
+                )
+    candidates.sort()
+    return candidates[:limit]
+
+
+def fragile_groups(
+    result: DEResult,
+    params: DEParams | None = None,
+    limit: int = 20,
+    sn_window: float = 1.0,
+) -> list[ReviewCandidate]:
+    """Emitted groups whose SN aggregate nearly failed."""
+    params = params if params is not None else result.params
+    candidates: list[ReviewCandidate] = []
+    for group in result.partition.non_trivial_groups():
+        growths = [float(result.nn_relation.get(rid).ng) for rid in group]
+        sn_value = aggregate(params.agg, growths)
+        headroom = params.c - sn_value
+        if 0.0 < headroom <= sn_window:
+            candidates.append(
+                ReviewCandidate(
+                    members=group,
+                    kind="fragile-group",
+                    margin=headroom,
+                    reason=(
+                        f"grouped with {params.agg}(ng) = {sn_value:g}, only "
+                        f"{headroom:g} below c = {params.c:g}"
+                    ),
+                )
+            )
+    candidates.sort()
+    return candidates[:limit]

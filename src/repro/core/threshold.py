@@ -1,0 +1,117 @@
+"""SN threshold estimation — paper section 4.4.
+
+Setting the sparse-neighborhood threshold ``c`` directly requires an
+understanding of the data's NG distribution; the paper instead asks the
+user for an easier quantity — the estimated *fraction f of duplicate
+tuples* — and derives ``c`` from the cumulative NG distribution ``D``:
+
+- duplicates overwhelmingly have small NG values, so ideally the
+  f-percentile of ``D`` is the threshold;
+- to be robust to estimation error, the heuristic looks for a *spike*
+  in ``D`` (a point where the growth rate ``D'(x)`` exceeds 0.1) within
+  a ±0.05 window around the f-percentile, and takes the least such
+  value;
+- if no spike exists, it falls back to ``D^{-1}(f + 0.05)``.
+
+NG values are small integers, so ``D`` is a step function: ``D'(x)`` at
+an attained value is the probability mass at that value.  The returned
+threshold is ``x + 1`` for the chosen NG value ``x``, because the SN
+criterion is the strict comparison ``AGG({ng}) < c`` and tuples *at*
+the chosen value must pass.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ThresholdEstimate", "estimate_sn_threshold"]
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """Outcome of the SN threshold heuristic."""
+
+    #: The suggested SN threshold ``c`` (use as ``AGG < c``).
+    c: float
+    #: The NG value the heuristic anchored on (``c = ng_value + 1``).
+    ng_value: int
+    #: Whether a spike was found inside the window (else: fallback).
+    spike_found: bool
+    #: The cumulative fraction ``D(ng_value)``.
+    cumulative: float
+
+
+def estimate_sn_threshold(
+    ng_values: Sequence[int],
+    duplicate_fraction: float,
+    window: float = 0.05,
+    spike: float = 0.1,
+) -> ThresholdEstimate:
+    """Estimate the SN threshold ``c`` from NG values and an estimate
+    of the duplicate fraction.
+
+    Parameters
+    ----------
+    ng_values:
+        Neighborhood growths of all tuples (Phase 1 output; the paper
+        notes these can be reused since ``c`` is only needed in Phase 2).
+    duplicate_fraction:
+        The user's estimate ``f`` of the fraction of tuples that have
+        duplicates, in (0, 1).
+    window:
+        Half-width of the percentile interval around ``f`` searched for
+        a spike (paper: 0.05).
+    spike:
+        Probability-mass threshold defining a spike (paper: ``D' > 0.1``).
+    """
+    if not ng_values:
+        raise ValueError("ng_values must be non-empty")
+    if not 0.0 < duplicate_fraction < 1.0:
+        raise ValueError("duplicate_fraction must be in (0, 1)")
+
+    total = len(ng_values)
+    counts = Counter(ng_values)
+    attained = sorted(counts)
+
+    cumulative = 0.0
+    cumulative_at: dict[int, float] = {}
+    mass_at: dict[int, float] = {}
+    for value in attained:
+        mass = counts[value] / total
+        cumulative += mass
+        cumulative_at[value] = cumulative
+        mass_at[value] = mass
+
+    lo = duplicate_fraction - window
+    hi = duplicate_fraction + window
+
+    # Least attained NG value whose cumulative lands in the window and
+    # whose probability mass is a spike.
+    for value in attained:
+        if lo <= cumulative_at[value] <= hi and mass_at[value] > spike:
+            return ThresholdEstimate(
+                c=float(value + 1),
+                ng_value=value,
+                spike_found=True,
+                cumulative=cumulative_at[value],
+            )
+
+    # Fallback: D^{-1}(f + window) — the least value covering f + window.
+    for value in attained:
+        if cumulative_at[value] >= hi:
+            return ThresholdEstimate(
+                c=float(value + 1),
+                ng_value=value,
+                spike_found=False,
+                cumulative=cumulative_at[value],
+            )
+
+    last = attained[-1]
+    return ThresholdEstimate(
+        c=float(last + 1),
+        ng_value=last,
+        spike_found=False,
+        cumulative=cumulative_at[last],
+    )

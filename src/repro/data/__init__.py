@@ -1,0 +1,41 @@
+"""Data model, synthetic dataset generators, and embedded samples."""
+
+from repro.data.duplicates import DirtyDataset, GoldStandard, inject_duplicates
+from repro.data.embedded import (
+    integer_distance,
+    integers_example,
+    table1_duplicate_groups,
+    table1_expected_partition,
+    table1_gold,
+    table1_relation,
+)
+from repro.data.errors import ErrorModel
+from repro.data.generators import GENERATORS, DomainGenerator
+from repro.data.loaders import (
+    dataset_names,
+    load_dataset,
+    relation_from_csv,
+    relation_to_csv,
+)
+from repro.data.schema import Record, Relation
+
+__all__ = [
+    "Record",
+    "Relation",
+    "ErrorModel",
+    "DomainGenerator",
+    "GENERATORS",
+    "GoldStandard",
+    "DirtyDataset",
+    "inject_duplicates",
+    "dataset_names",
+    "load_dataset",
+    "relation_from_csv",
+    "relation_to_csv",
+    "table1_relation",
+    "table1_gold",
+    "table1_duplicate_groups",
+    "table1_expected_partition",
+    "integers_example",
+    "integer_distance",
+]

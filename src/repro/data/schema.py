@@ -1,0 +1,177 @@
+"""Relational data model used throughout the library.
+
+The paper operates on a relation ``R`` of tuples; distances are defined
+between tuples and the duplicate-elimination algorithm partitions ``R``
+into groups.  This module provides the two value types everything else
+builds on:
+
+- :class:`Record` — an immutable tuple of string attribute values with an
+  integer identifier (the paper's tuple ``ID``).
+- :class:`Relation` — an ordered collection of records sharing a schema,
+  with O(1) lookup by identifier.
+
+Records are deliberately plain: all attributes are strings, which matches
+the string-similarity setting of the paper (names, addresses, track
+titles).  Numeric or structured attributes can be rendered to strings by
+the caller before constructing a relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Record", "Relation"]
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """A single tuple of a relation.
+
+    Parameters
+    ----------
+    rid:
+        The unique integer identifier of the record within its relation.
+        Identifiers double as deterministic tie-breakers for distance
+        ties, which keeps DE solutions unique (paper Lemma 1 assumes
+        distinct distances; real string data has ties).
+    fields:
+        The attribute values, in schema order.
+    """
+
+    rid: int
+    fields: tuple[str, ...]
+
+    def text(self, separator: str = " ") -> str:
+        """Return the record rendered as a single string.
+
+        Single-attribute distance functions (edit distance over the whole
+        tuple, as in the paper's evaluation) operate on this rendering.
+        """
+        return separator.join(self.fields)
+
+    def __getitem__(self, index: int) -> str:
+        return self.fields[index]
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+
+@dataclass
+class Relation:
+    """An ordered collection of :class:`Record` objects with a schema.
+
+    The relation is the unit of work for the DE problem: Phase 1 computes
+    a nearest-neighbor list per record, and Phase 2 partitions the
+    relation into compact SN groups.
+
+    Parameters
+    ----------
+    name:
+        A human-readable relation name (used in reports and by the
+        storage engine's catalog).
+    schema:
+        Attribute names, in field order.
+    records:
+        The records.  Identifiers must be unique but need not be dense.
+    """
+
+    name: str
+    schema: tuple[str, ...]
+    records: list[Record] = field(default_factory=list)
+    _by_id: dict[int, Record] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            self._check_arity(record)
+            if record.rid in self._by_id:
+                raise ValueError(f"duplicate record id {record.rid}")
+            self._by_id[record.rid] = record
+
+    def _check_arity(self, record: Record) -> None:
+        if len(record.fields) != len(self.schema):
+            raise ValueError(
+                f"record {record.rid} has {len(record.fields)} fields, "
+                f"schema {self.name!r} expects {len(self.schema)}"
+            )
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        schema: Sequence[str],
+        rows: Iterable[Sequence[str]],
+    ) -> "Relation":
+        """Build a relation from raw rows, assigning sequential ids."""
+        records = [
+            Record(rid, tuple(str(value) for value in row))
+            for rid, row in enumerate(rows)
+        ]
+        return cls(name=name, schema=tuple(schema), records=records)
+
+    @classmethod
+    def from_strings(cls, name: str, values: Iterable[str]) -> "Relation":
+        """Build a single-attribute relation from plain strings."""
+        return cls.from_rows(name, ("value",), [[v] for v in values])
+
+    def add(self, record: Record) -> None:
+        """Append a record, enforcing schema arity and id uniqueness."""
+        self._check_arity(record)
+        if record.rid in self._by_id:
+            raise ValueError(f"duplicate record id {record.rid}")
+        self.records.append(record)
+        self._by_id[record.rid] = record
+
+    def get(self, rid: int) -> Record:
+        """Return the record with identifier ``rid``."""
+        return self._by_id[rid]
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._by_id
+
+    def ids(self) -> list[int]:
+        """Return all record identifiers in insertion order."""
+        return [record.rid for record in self.records]
+
+    def texts(self) -> list[str]:
+        """Return the single-string rendering of every record."""
+        return [record.text() for record in self.records]
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        """Return a new relation keeping only the named attributes."""
+        indexes = [self.schema.index(attr) for attr in attributes]
+        records = [
+            Record(r.rid, tuple(r.fields[i] for i in indexes)) for r in self.records
+        ]
+        return Relation(
+            name=name or f"{self.name}_proj",
+            schema=tuple(attributes),
+            records=records,
+        )
+
+    def subset(self, rids: Iterable[int], name: str | None = None) -> "Relation":
+        """Return a new relation containing only the given record ids."""
+        wanted = set(rids)
+        records = [r for r in self.records if r.rid in wanted]
+        return Relation(
+            name=name or f"{self.name}_subset",
+            schema=self.schema,
+            records=records,
+        )
+
+    def rename(self, name: str) -> "Relation":
+        """Return a shallow copy of the relation under a new name."""
+        return Relation(name=name, schema=self.schema, records=list(self.records))
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self.records[index]
+
+    def to_mapping(self) -> Mapping[int, Record]:
+        """Return a read-only view keyed by record id."""
+        return dict(self._by_id)

@@ -1,0 +1,68 @@
+"""IDF-weighted cosine distance.
+
+One of the standard token-based tuple similarities in the deduplication
+literature and a building block the paper contrasts with ``fms``: cosine
+with IDF weights places "microsft corporation" close to "boeing
+corporation" because the shared token "corporation" carries (some)
+weight while the typo token "microsft" matches nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.data.schema import Record, Relation
+from repro.distances.base import DistanceFunction, clamp01
+from repro.distances.idf import IdfTable
+
+__all__ = ["CosineDistance", "cosine_similarity"]
+
+
+def cosine_similarity(u: dict[str, float], v: dict[str, float]) -> float:
+    """Return the cosine of two sparse non-negative vectors."""
+    if not u or not v:
+        return 0.0
+    if len(u) > len(v):
+        u, v = v, u
+    dot = sum(weight * v.get(token, 0.0) for token, weight in u.items())
+    if dot == 0.0:
+        return 0.0
+    nu = math.sqrt(sum(w * w for w in u.values()))
+    nv = math.sqrt(sum(w * w for w in v.values()))
+    return dot / (nu * nv)
+
+
+class CosineDistance(DistanceFunction):
+    """``1 - cosine`` over tf-idf token vectors of whole records.
+
+    ``prepare`` must be called with the relation before computing
+    distances; it builds the IDF table.  Distances for records with no
+    tokens in common are 1.
+    """
+
+    name = "cosine"
+
+    def __init__(self, idf: IdfTable | None = None):
+        self._idf = idf
+        self._vectors: dict[int, dict[str, float]] = {}
+
+    @property
+    def idf(self) -> IdfTable:
+        if self._idf is None:
+            raise RuntimeError("CosineDistance.prepare(relation) has not been called")
+        return self._idf
+
+    def prepare(self, relation: Relation) -> None:
+        self._idf = IdfTable.from_relation(relation)
+        self._vectors = {
+            record.rid: self._idf.vector(record.text()) for record in relation
+        }
+
+    def _vector(self, record: Record) -> dict[str, float]:
+        vector = self._vectors.get(record.rid)
+        if vector is None:
+            vector = self.idf.vector(record.text())
+        return vector
+
+    def distance(self, a: Record, b: Record) -> float:
+        return clamp01(1.0 - cosine_similarity(self._vector(a), self._vector(b)))

@@ -1,0 +1,141 @@
+"""Edit distance (Levenshtein) and variants.
+
+The paper's evaluation uses edit distance (its reference [27]) as one of
+the two tuple distance functions.  We provide:
+
+- :func:`levenshtein` — classic dynamic-programming edit distance with
+  an optional early-exit bound (banded computation).
+- :func:`damerau_levenshtein` — adds adjacent transpositions, which are
+  a common class of typos ("Twian" for "Twain" in the paper's Table 1).
+- :class:`EditDistance` — the normalized, symmetric
+  :class:`~repro.distances.base.DistanceFunction` over whole records
+  (fields joined with a space), as used in section 5.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Record
+from repro.distances.base import DistanceFunction
+from repro.distances.tokens import normalize
+
+__all__ = ["levenshtein", "damerau_levenshtein", "EditDistance"]
+
+
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Return the Levenshtein distance between ``a`` and ``b``.
+
+    Parameters
+    ----------
+    a, b:
+        The strings to compare.
+    max_distance:
+        If given, computation stops early once the distance provably
+        exceeds the bound, and ``max_distance + 1`` is returned.  This
+        banded variant is what makes index candidate verification cheap.
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+    if la > lb:
+        a, b, la, lb = b, a, lb, la
+    if max_distance is not None and lb - la > max_distance:
+        return max_distance + 1
+
+    previous = list(range(la + 1))
+    current = [0] * (la + 1)
+    for j in range(1, lb + 1):
+        bj = b[j - 1]
+        diagonal = previous[0]
+        left = current[0] = j
+        row_minimum = j
+        for i in range(1, la + 1):
+            up = previous[i]
+            # min(up + 1, left + 1, diagonal + cost) without min() calls.
+            value = diagonal if a[i - 1] == bj else diagonal + 1
+            step = up if up < left else left
+            if step + 1 < value:
+                value = step + 1
+            current[i] = left = value
+            diagonal = up
+            if value < row_minimum:
+                row_minimum = value
+        if max_distance is not None and row_minimum > max_distance:
+            return max_distance + 1
+        previous, current = current, previous
+    return previous[la]
+
+
+def damerau_levenshtein(a: str, b: str) -> int:
+    """Return the restricted Damerau-Levenshtein distance.
+
+    Adjacent transpositions count as a single edit.  The restricted
+    ("optimal string alignment") variant suffices for typo modelling.
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if la == 0:
+        return lb
+    if lb == 0:
+        return la
+
+    d = [[0] * (lb + 1) for _ in range(la + 1)]
+    for i in range(la + 1):
+        d[i][0] = i
+    for j in range(lb + 1):
+        d[0][j] = j
+    for i in range(1, la + 1):
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            d[i][j] = min(
+                d[i - 1][j] + 1,
+                d[i][j - 1] + 1,
+                d[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                d[i][j] = min(d[i][j], d[i - 2][j - 2] + 1)
+    return d[la][lb]
+
+
+class EditDistance(DistanceFunction):
+    """Normalized edit distance over whole records.
+
+    The raw distance is divided by the length of the longer string so
+    that values land in [0, 1] as the paper's formalization requires.
+    Normalization preserves the ordering the CS criterion depends on for
+    comparisons anchored at the same record, because the anchor string is
+    fixed.
+
+    Parameters
+    ----------
+    damerau:
+        Use the Damerau variant (transpositions cost 1).
+    normalize_text:
+        Lowercase / strip punctuation before comparing.  The paper's
+        examples ("Im Holdin" vs "I'm Holding") motivate this default.
+    """
+
+    def __init__(self, damerau: bool = False, normalize_text: bool = True):
+        self.damerau = damerau
+        self.normalize_text = normalize_text
+        self.name = "damerau" if damerau else "edit"
+
+    def _render(self, record: Record) -> str:
+        text = record.text()
+        return normalize(text) if self.normalize_text else text
+
+    def distance(self, a: Record, b: Record) -> float:
+        sa, sb = self._render(a), self._render(b)
+        if not sa and not sb:
+            return 0.0
+        raw = damerau_levenshtein(sa, sb) if self.damerau else levenshtein(sa, sb)
+        return raw / max(len(sa), len(sb))

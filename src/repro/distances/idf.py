@@ -1,0 +1,79 @@
+"""Corpus IDF statistics.
+
+The IDF-weighted cosine metric and the fuzzy match similarity of the
+paper both weight tokens by inverse document frequency, so that rare,
+discriminative tokens ("microsoft") dominate common fillers
+("corporation").  :class:`IdfTable` collects document frequencies over a
+relation and serves smoothed IDF weights.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.data.schema import Relation
+from repro.distances.tokens import tokenize
+
+__all__ = ["IdfTable"]
+
+
+class IdfTable:
+    """Token -> IDF weight table built from a relation.
+
+    The weight of token ``t`` is ``log(1 + N / df(t))`` where ``N`` is
+    the number of records and ``df(t)`` the number of records containing
+    ``t``.  Unknown tokens get the maximum weight (``df = 1``), the
+    standard treatment for out-of-corpus tokens produced by typos.
+    """
+
+    def __init__(self) -> None:
+        self._df: Counter[str] = Counter()
+        self._n_documents = 0
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "IdfTable":
+        table = cls()
+        table.fit(relation)
+        return table
+
+    def fit(self, relation: Relation) -> None:
+        """(Re)build document frequencies from ``relation``."""
+        self._df.clear()
+        self._n_documents = len(relation)
+        for record in relation:
+            for token in set(tokenize(record.text())):
+                self._df[token] += 1
+
+    @property
+    def n_documents(self) -> int:
+        return self._n_documents
+
+    def document_frequency(self, token: str) -> int:
+        """Return ``df(token)``, at least 1 for unknown tokens."""
+        return max(1, self._df.get(token, 0))
+
+    def weight(self, token: str) -> float:
+        """Return the smoothed IDF weight of ``token``."""
+        n = max(1, self._n_documents)
+        return math.log(1.0 + n / self.document_frequency(token))
+
+    def weights(self, tokens: list[str]) -> dict[str, float]:
+        """Return a token -> weight mapping for the given tokens."""
+        return {token: self.weight(token) for token in set(tokens)}
+
+    def vector(self, text: str) -> dict[str, float]:
+        """Return the (unnormalized) tf-idf vector of ``text``.
+
+        Term frequency is raw multiplicity; most strings in the
+        data-cleaning setting are short, so no sublinear damping is
+        applied.
+        """
+        counts = Counter(tokenize(text))
+        return {token: count * self.weight(token) for token, count in counts.items()}
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._df
+
+    def __len__(self) -> int:
+        return len(self._df)

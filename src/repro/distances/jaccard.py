@@ -1,0 +1,103 @@
+"""Jaccard distances over tokens and q-grams.
+
+Used as additional baselines and by the MinHash index, whose collision
+probability estimates exactly the token-set Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Record, Relation
+from repro.distances.base import DistanceFunction, clamp01
+from repro.distances.idf import IdfTable
+from repro.distances.tokens import qgrams, tokenize
+
+__all__ = [
+    "jaccard_similarity",
+    "weighted_jaccard_similarity",
+    "TokenJaccardDistance",
+    "QgramJaccardDistance",
+    "WeightedJaccardDistance",
+]
+
+
+def jaccard_similarity(a: set[str], b: set[str]) -> float:
+    """Return ``|a ∩ b| / |a ∪ b|`` (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    intersection = len(a & b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(a) + len(b) - intersection)
+
+
+def weighted_jaccard_similarity(
+    a: set[str], b: set[str], weight: dict[str, float]
+) -> float:
+    """Return IDF-weighted Jaccard: sum of shared weights over union weights."""
+    if not a and not b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    shared = sum(weight.get(t, 0.0) for t in a & b)
+    union = sum(weight.get(t, 0.0) for t in a | b)
+    if union == 0.0:
+        return 0.0
+    return shared / union
+
+
+class TokenJaccardDistance(DistanceFunction):
+    """``1 - Jaccard`` over word-token sets of whole records."""
+
+    name = "jaccard"
+
+    def distance(self, a: Record, b: Record) -> float:
+        sa, sb = set(tokenize(a.text())), set(tokenize(b.text()))
+        return clamp01(1.0 - jaccard_similarity(sa, sb))
+
+
+class QgramJaccardDistance(DistanceFunction):
+    """``1 - Jaccard`` over q-gram sets; robust to in-token typos."""
+
+    def __init__(self, q: int = 3):
+        self.q = q
+        self.name = f"qgram{q}-jaccard"
+
+    def distance(self, a: Record, b: Record) -> float:
+        sa = set(qgrams(a.text(), q=self.q))
+        sb = set(qgrams(b.text(), q=self.q))
+        return clamp01(1.0 - jaccard_similarity(sa, sb))
+
+
+class WeightedJaccardDistance(DistanceFunction):
+    """``1 - weighted Jaccard`` with IDF token weights.
+
+    Requires ``prepare(relation)`` to build the IDF table.
+    """
+
+    name = "wjaccard"
+
+    def __init__(self) -> None:
+        self._idf: IdfTable | None = None
+        self._weights: dict[str, float] = {}
+
+    def prepare(self, relation: Relation) -> None:
+        self._idf = IdfTable.from_relation(relation)
+        self._weights = {}
+
+    def _weight(self, token: str) -> float:
+        if self._idf is None:
+            raise RuntimeError("prepare(relation) has not been called")
+        weight = self._weights.get(token)
+        if weight is None:
+            weight = self._idf.weight(token)
+            self._weights[token] = weight
+        return weight
+
+    def distance(self, a: Record, b: Record) -> float:
+        sa, sb = set(tokenize(a.text())), set(tokenize(b.text()))
+        if not sa and not sb:
+            return 0.0
+        weight = {t: self._weight(t) for t in sa | sb}
+        return clamp01(1.0 - weighted_jaccard_similarity(sa, sb, weight))

@@ -1,0 +1,89 @@
+"""Jaro and Jaro-Winkler string distances.
+
+Classic record-linkage similarities (Winkler's refinements of Jaro's
+matcher from the U.S. Census Bureau work the paper cites as the record
+linkage literature).  Provided as additional distance choices for the
+framework — the CS/SN criteria are distance-agnostic.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Record
+from repro.distances.base import DistanceFunction, clamp01
+from repro.distances.tokens import normalize
+
+__all__ = ["jaro_similarity", "jaro_winkler_similarity", "JaroWinklerDistance"]
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Return the Jaro similarity of two strings, in [0, 1]."""
+    if a == b:
+        return 1.0
+    la, lb = len(a), len(b)
+    if la == 0 or lb == 0:
+        return 0.0
+
+    window = max(la, lb) // 2 - 1
+    if window < 0:
+        window = 0
+
+    a_matched = [False] * la
+    b_matched = [False] * lb
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(lb, i + window + 1)
+        for j in range(lo, hi):
+            if not b_matched[j] and b[j] == ca:
+                a_matched[i] = True
+                b_matched[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i in range(la):
+        if a_matched[i]:
+            while not b_matched[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    m = float(matches)
+    return (m / la + m / lb + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(
+    a: str, b: str, prefix_scale: float = 0.1, max_prefix: int = 4
+) -> float:
+    """Return the Jaro-Winkler similarity (prefix-boosted Jaro)."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError("prefix_scale must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:max_prefix], b[:max_prefix]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+class JaroWinklerDistance(DistanceFunction):
+    """``1 - Jaro-Winkler`` over normalized whole-record strings."""
+
+    name = "jaro-winkler"
+
+    def __init__(self, prefix_scale: float = 0.1):
+        self.prefix_scale = prefix_scale
+
+    def distance(self, a: Record, b: Record) -> float:
+        sa, sb = normalize(a.text()), normalize(b.text())
+        if not sa and not sb:
+            return 0.0
+        return clamp01(
+            1.0 - jaro_winkler_similarity(sa, sb, prefix_scale=self.prefix_scale)
+        )

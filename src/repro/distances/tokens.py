@@ -1,0 +1,80 @@
+"""Tokenization and q-gram utilities.
+
+Token-based similarity functions (cosine with IDF weights, fuzzy match
+similarity, Jaccard) and the q-gram inverted index all share these
+helpers.  Normalization follows the usual data-cleaning conventions:
+lowercase, strip punctuation, collapse whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+__all__ = [
+    "normalize",
+    "tokenize",
+    "token_counts",
+    "qgrams",
+    "qgram_counts",
+    "positional_qgrams",
+]
+
+_PUNCT_RE = re.compile(r"[^\w\s]")
+_WS_RE = re.compile(r"\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip punctuation, and collapse whitespace."""
+    text = text.lower()
+    text = _PUNCT_RE.sub(" ", text)
+    return _WS_RE.sub(" ", text).strip()
+
+
+def tokenize(text: str) -> list[str]:
+    """Split normalized text into word tokens."""
+    cleaned = normalize(text)
+    if not cleaned:
+        return []
+    return cleaned.split(" ")
+
+
+def token_counts(text: str) -> Counter[str]:
+    """Return token multiplicities of the normalized text."""
+    return Counter(tokenize(text))
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Return the q-grams of the normalized text.
+
+    With ``pad=True`` the string is padded with ``q - 1`` sentinel
+    characters on each side, the standard construction that makes edit
+    operations near string boundaries visible to q-gram filters.
+    """
+    cleaned = normalize(text)
+    if not cleaned:
+        return []
+    if pad:
+        sentinel_left = "\x01" * (q - 1)
+        sentinel_right = "\x02" * (q - 1)
+        cleaned = f"{sentinel_left}{cleaned}{sentinel_right}"
+    if len(cleaned) < q:
+        return [cleaned]
+    return [cleaned[i : i + q] for i in range(len(cleaned) - q + 1)]
+
+
+def qgram_counts(text: str, q: int = 3, pad: bool = True) -> Counter[str]:
+    """Return q-gram multiplicities of the normalized text."""
+    return Counter(qgrams(text, q=q, pad=pad))
+
+
+def positional_qgrams(text: str, q: int = 3, pad: bool = True) -> list[tuple[str, int]]:
+    """Return ``(gram, position)`` pairs for positional q-gram filters."""
+    return [(gram, i) for i, gram in enumerate(qgrams(text, q=q, pad=pad))]
+
+
+def shared_count(a: Iterable[str], b: Iterable[str]) -> int:
+    """Return the multiset-intersection size of two token iterables."""
+    ca, cb = Counter(a), Counter(b)
+    return sum((ca & cb).values())

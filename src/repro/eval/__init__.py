@@ -1,0 +1,61 @@
+"""Evaluation: pairwise precision/recall, PR sweeps, experiment harness."""
+
+from repro.eval.cluster_metrics import (
+    BCubedScore,
+    bcubed,
+    closest_cluster_f1,
+    variation_of_information,
+)
+from repro.eval.experiment import (
+    QualityExperiment,
+    QualityResult,
+    default_ks,
+    default_thetas,
+)
+from repro.eval.metrics import GroupScore, PRScore, group_scores, pairwise_scores
+from repro.eval.pr_curve import (
+    PRPoint,
+    PRSweep,
+    QualitySweeper,
+    truncate_to_k,
+    truncate_to_radius,
+)
+from repro.eval.figures import loglog_plot, pr_plot, scatter
+from repro.eval.profile import DatasetProfile, profile_nn_relation
+from repro.eval.report import format_kv, format_pr_sweeps, format_table
+from repro.eval.significance import (
+    ConfidenceInterval,
+    bootstrap_difference,
+    bootstrap_score,
+)
+
+__all__ = [
+    "PRScore",
+    "GroupScore",
+    "pairwise_scores",
+    "group_scores",
+    "PRPoint",
+    "PRSweep",
+    "QualitySweeper",
+    "truncate_to_k",
+    "truncate_to_radius",
+    "QualityExperiment",
+    "QualityResult",
+    "default_ks",
+    "default_thetas",
+    "format_table",
+    "format_pr_sweeps",
+    "format_kv",
+    "scatter",
+    "pr_plot",
+    "loglog_plot",
+    "BCubedScore",
+    "bcubed",
+    "closest_cluster_f1",
+    "variation_of_information",
+    "ConfidenceInterval",
+    "bootstrap_score",
+    "bootstrap_difference",
+    "DatasetProfile",
+    "profile_nn_relation",
+]

@@ -1,0 +1,158 @@
+"""Cluster-level evaluation metrics for entity resolution.
+
+The paper scores on pairwise precision/recall; the wider ER literature
+also uses cluster-level measures that weigh errors differently.  These
+complement :mod:`repro.eval.metrics` for users comparing against other
+toolkits:
+
+- **B-cubed** precision/recall — per-record averages of how pure /
+  complete the record's predicted group is;
+- **closest-cluster F1** ("cluster F-measure") — greedy one-to-one
+  matching of predicted to gold clusters by F1;
+- **variation of information (VI)** — an information-theoretic distance
+  between the two clusterings (0 = identical);
+- **exact cluster precision/recall** re-exported from
+  :func:`repro.eval.metrics.group_scores`.
+
+All functions take the predicted :class:`Partition` and the
+:class:`GoldStandard` and treat singleton entities consistently (they
+count, since leaving a unique record alone is a correct decision).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.result import Partition
+from repro.data.duplicates import GoldStandard
+
+__all__ = [
+    "BCubedScore",
+    "bcubed",
+    "closest_cluster_f1",
+    "variation_of_information",
+]
+
+
+@dataclass(frozen=True)
+class BCubedScore:
+    """B-cubed precision/recall/F1."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _gold_groups(gold: GoldStandard) -> dict[int, set[int]]:
+    groups: dict[int, set[int]] = {}
+    for rid, entity in gold.entity_of.items():
+        groups.setdefault(entity, set()).add(rid)
+    return groups
+
+
+def bcubed(partition: Partition, gold: GoldStandard) -> BCubedScore:
+    """B-cubed precision and recall.
+
+    For each record r: precision contribution = |pred(r) ∩ gold(r)| /
+    |pred(r)|, recall contribution = |pred(r) ∩ gold(r)| / |gold(r)|;
+    both averaged over all records in the gold standard.
+    """
+    if not gold.entity_of:
+        return BCubedScore(precision=1.0, recall=1.0)
+    gold_groups = _gold_groups(gold)
+    precision_sum = 0.0
+    recall_sum = 0.0
+    count = 0
+    for rid, entity in gold.entity_of.items():
+        if rid not in partition:
+            continue
+        predicted = set(partition.group_of(rid))
+        actual = gold_groups[entity]
+        overlap = len(predicted & actual)
+        precision_sum += overlap / len(predicted)
+        recall_sum += overlap / len(actual)
+        count += 1
+    if count == 0:
+        return BCubedScore(precision=0.0, recall=0.0)
+    return BCubedScore(
+        precision=precision_sum / count, recall=recall_sum / count
+    )
+
+
+def closest_cluster_f1(partition: Partition, gold: GoldStandard) -> float:
+    """Greedy one-to-one cluster matching by F1, averaged over gold
+    clusters (each weighted by its size)."""
+    gold_groups = list(_gold_groups(gold).values())
+    predicted = [set(group) for group in partition.groups]
+    if not gold_groups:
+        return 1.0
+    used: set[int] = set()
+    total_weight = sum(len(g) for g in gold_groups)
+    score = 0.0
+    # Match larger gold clusters first for determinism.
+    for actual in sorted(gold_groups, key=lambda g: (-len(g), sorted(g))):
+        best_f1 = 0.0
+        best_index = -1
+        for index, pred in enumerate(predicted):
+            if index in used:
+                continue
+            overlap = len(pred & actual)
+            if overlap == 0:
+                continue
+            p = overlap / len(pred)
+            r = overlap / len(actual)
+            f1 = 2 * p * r / (p + r)
+            if f1 > best_f1:
+                best_f1 = f1
+                best_index = index
+        if best_index >= 0:
+            used.add(best_index)
+        score += best_f1 * len(actual)
+    return score / total_weight
+
+
+def variation_of_information(partition: Partition, gold: GoldStandard) -> float:
+    """Variation of information between prediction and gold, in nats.
+
+    ``VI = H(pred) + H(gold) - 2 I(pred; gold)``; 0 means identical
+    clusterings, larger means further apart.  Only records present in
+    both structures are considered.
+    """
+    ids = [rid for rid in gold.entity_of if rid in partition]
+    n = len(ids)
+    if n == 0:
+        return 0.0
+
+    pred_label = {rid: partition.group_of(rid)[0] for rid in ids}
+    gold_label = {rid: gold.entity_of[rid] for rid in ids}
+
+    pred_counts: dict[int, int] = {}
+    gold_counts: dict[int, int] = {}
+    joint_counts: dict[tuple[int, int], int] = {}
+    for rid in ids:
+        p, g = pred_label[rid], gold_label[rid]
+        pred_counts[p] = pred_counts.get(p, 0) + 1
+        gold_counts[g] = gold_counts.get(g, 0) + 1
+        joint_counts[(p, g)] = joint_counts.get((p, g), 0) + 1
+
+    def entropy(counts: dict) -> float:
+        return -sum(
+            (c / n) * math.log(c / n) for c in counts.values() if c > 0
+        )
+
+    h_pred = entropy(pred_counts)
+    h_gold = entropy(gold_counts)
+    mutual = 0.0
+    for (p, g), c in joint_counts.items():
+        pxy = c / n
+        px = pred_counts[p] / n
+        py = gold_counts[g] / n
+        mutual += pxy * math.log(pxy / (px * py))
+    vi = h_pred + h_gold - 2.0 * mutual
+    return max(0.0, vi)

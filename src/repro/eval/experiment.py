@@ -1,0 +1,102 @@
+"""Experiment harness: one call per paper figure.
+
+Bundles the sweep configurations the quality figures use — ``thr`` vs
+``DE_S(K)`` at c ∈ {4, 6} vs ``DE_D(θ)`` at c ∈ {4, 6} — and the
+comparison logic the benchmarks assert on (who wins, at what recall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.duplicates import DirtyDataset
+from repro.distances.base import DistanceFunction
+from repro.eval.pr_curve import PRSweep, QualitySweeper
+
+__all__ = ["QualityExperiment", "QualityResult", "default_thetas", "default_ks"]
+
+
+def default_thetas(theta_max: float = 0.6, n: int = 12) -> list[float]:
+    """An even grid of thresholds in (0, theta_max]."""
+    step = theta_max / n
+    return [round(step * (i + 1), 6) for i in range(n)]
+
+
+def default_ks(k_max: int = 8) -> list[int]:
+    """K values 2 .. k_max."""
+    return list(range(2, k_max + 1))
+
+
+@dataclass
+class QualityResult:
+    """All sweeps of one quality figure on one dataset."""
+
+    dataset: str
+    distance: str
+    sweeps: dict[str, PRSweep] = field(default_factory=dict)
+
+    def add(self, sweep: PRSweep) -> None:
+        self.sweeps[sweep.method] = sweep
+
+    @property
+    def thr(self) -> PRSweep:
+        return self.sweeps["thr"]
+
+    def de_sweeps(self) -> list[PRSweep]:
+        return [sweep for name, sweep in self.sweeps.items() if name != "thr"]
+
+    def best_de_precision_at(self, recall_floor: float) -> float:
+        """Best DE precision among points at or above the recall floor."""
+        return max(
+            (s.precision_at_recall(recall_floor) for s in self.de_sweeps()),
+            default=0.0,
+        )
+
+    def de_wins_at(self, recall_floor: float) -> bool:
+        """Whether some DE configuration beats ``thr`` at the floor.
+
+        "Beats" is >=: the paper's claim is that DE dominates,
+        especially at high recall, with one dataset (Parks) showing
+        parity.
+        """
+        return self.best_de_precision_at(recall_floor) >= self.thr.precision_at_recall(
+            recall_floor
+        )
+
+
+class QualityExperiment:
+    """The paper's section 5.1 quality comparison on one dataset."""
+
+    def __init__(
+        self,
+        dataset: DirtyDataset,
+        distance: DistanceFunction,
+        k_max: int = 8,
+        theta_max: float = 0.6,
+        c_values: tuple[float, ...] = (4.0, 6.0),
+        agg: str = "max",
+    ):
+        self.dataset = dataset
+        self.distance = distance
+        self.k_max = k_max
+        self.theta_max = theta_max
+        self.c_values = c_values
+        self.agg = agg
+
+    def run(self) -> QualityResult:
+        sweeper = QualitySweeper(
+            self.dataset,
+            self.distance,
+            k_max=self.k_max,
+            theta_max=self.theta_max,
+        )
+        result = QualityResult(
+            dataset=self.dataset.name, distance=self.distance.name
+        )
+        thetas = default_thetas(self.theta_max)
+        ks = default_ks(self.k_max)
+        result.add(sweeper.sweep_thr(thetas))
+        for c in self.c_values:
+            result.add(sweeper.sweep_de_size(ks, c=c, agg=self.agg))
+            result.add(sweeper.sweep_de_diameter(thetas, c=c, agg=self.agg))
+        return result

@@ -1,0 +1,136 @@
+"""Terminal rendering of the paper's figures (ASCII scatter plots).
+
+The benchmarks print the numeric series behind each figure; this module
+renders them as dependency-free ASCII plots so the *shape* — DE curves
+sitting above the thr curve, the log-log linearity of the scalability
+runs — is visible at a glance in a terminal or a results file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.eval.pr_curve import PRSweep
+
+__all__ = ["scatter", "pr_plot", "loglog_plot"]
+
+#: Plot glyphs assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def scatter(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    x_range: tuple[float, float] | None = None,
+    y_range: tuple[float, float] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render labelled point series on one ASCII canvas.
+
+    Later series overwrite earlier ones on collisions; the legend maps
+    markers back to series names.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return (title or "") + "\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = x_range if x_range else (min(xs), max(xs))
+    y_lo, y_hi = y_range if y_range else (min(ys), max(ys))
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        column = min(max(column, 0), width - 1)
+        row = min(max(row, 0), height - 1)
+        grid[height - 1 - row][column] = marker
+
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} ^  [{y_lo:g} .. {y_hi:g}]")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + f"> {x_label}  [{x_lo:g} .. {x_hi:g}]")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def pr_plot(
+    sweeps: Mapping[str, PRSweep] | Sequence[PRSweep],
+    title: str | None = None,
+    width: int = 64,
+    height: int = 20,
+) -> str:
+    """Render PR sweeps as a recall-vs-precision ASCII plot.
+
+    This is the visual form of the paper's quality figures: the DE
+    series should sit above the thr series at comparable recall.
+    """
+    if isinstance(sweeps, Mapping):
+        items = list(sweeps.values())
+    else:
+        items = list(sweeps)
+    series = {
+        sweep.method: [(p.recall, p.precision) for p in sweep.points]
+        for sweep in items
+    }
+    return scatter(
+        series,
+        width=width,
+        height=height,
+        x_label="recall",
+        y_label="precision",
+        x_range=(0.0, 1.0),
+        y_range=(0.0, 1.0),
+        title=title,
+    )
+
+
+def loglog_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str | None = None,
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "log n",
+    y_label: str = "log t",
+) -> str:
+    """Render series on log-log axes (the paper's Figure 9 style).
+
+    Zero or negative values are dropped (they have no logarithm);
+    linear series appear as straight diagonal point runs.
+    """
+    transformed = {
+        name: [
+            (math.log10(x), math.log10(y))
+            for x, y in pts
+            if x > 0.0 and y > 0.0
+        ]
+        for name, pts in series.items()
+    }
+    return scatter(
+        transformed,
+        width=width,
+        height=height,
+        x_label=x_label,
+        y_label=y_label,
+        title=title,
+    )

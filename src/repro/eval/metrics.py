@@ -1,0 +1,104 @@
+"""Precision / recall evaluation (paper section 5, Evaluation Metrics).
+
+The paper scores algorithms on *pairs*: recall is the fraction of true
+duplicate pairs an algorithm identifies; precision is the fraction of
+returned pairs that are truly duplicates.  Group-level diagnostics
+(exact-group matches) are provided as a stricter secondary view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import Partition
+from repro.data.duplicates import GoldStandard
+
+__all__ = ["PRScore", "pairwise_scores", "group_scores"]
+
+
+@dataclass(frozen=True)
+class PRScore:
+    """Pairwise precision/recall against a gold standard."""
+
+    true_positives: int
+    returned: int
+    actual: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of returned pairs that are true duplicates.
+
+        Defined as 1.0 when nothing is returned (no false claims).
+        """
+        if self.returned == 0:
+            return 1.0
+        return self.true_positives / self.returned
+
+    @property
+    def recall(self) -> float:
+        """Fraction of true duplicate pairs returned.
+
+        Defined as 1.0 when the gold standard has no duplicate pairs.
+        """
+        if self.actual == 0:
+            return 1.0
+        return self.true_positives / self.actual
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, returned={self.returned}, "
+            f"actual={self.actual})"
+        )
+
+
+def pairwise_scores(partition: Partition, gold: GoldStandard) -> PRScore:
+    """Score a partition's duplicate pairs against the gold standard."""
+    predicted = partition.duplicate_pairs()
+    actual = gold.true_pairs()
+    return PRScore(
+        true_positives=len(predicted & actual),
+        returned=len(predicted),
+        actual=len(actual),
+    )
+
+
+@dataclass(frozen=True)
+class GroupScore:
+    """Exact-group agreement: how many gold groups were found verbatim."""
+
+    exact_matches: int
+    predicted_groups: int
+    actual_groups: int
+
+    @property
+    def group_precision(self) -> float:
+        if self.predicted_groups == 0:
+            return 1.0
+        return self.exact_matches / self.predicted_groups
+
+    @property
+    def group_recall(self) -> float:
+        if self.actual_groups == 0:
+            return 1.0
+        return self.exact_matches / self.actual_groups
+
+
+def group_scores(partition: Partition, gold: GoldStandard) -> GroupScore:
+    """Exact-match comparison of non-trivial groups."""
+    predicted = {tuple(group) for group in partition.non_trivial_groups()}
+    actual = {
+        tuple(group) for group in gold.groups() if len(group) >= 2
+    }
+    return GroupScore(
+        exact_matches=len(predicted & actual),
+        predicted_groups=len(predicted),
+        actual_groups=len(actual),
+    )

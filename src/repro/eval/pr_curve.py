@@ -1,0 +1,202 @@
+"""Precision-recall sweeps (the paper's quality figures).
+
+The quality evaluation plots (recall, precision) points across
+parameter settings: the ``thr`` baseline sweeps its global threshold θ,
+``DE_S`` sweeps K, and ``DE_D`` sweeps its diameter θ.  All methods
+share one Phase-1 NN computation per dataset, exactly as in the paper's
+setup, where the threshold graph for ``thr`` is induced from the same
+``NN_Reln``.
+
+Phase 1 is run once at the most permissive setting (largest K / θ) and
+then *truncated* per sweep point — the NN list for a smaller K is a
+prefix of the list for a larger K, and the within-θ list for a smaller
+θ is a distance-filtered prefix — so sweeps cost one index pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.single_linkage import single_linkage_from_nn
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.duplicates import DirtyDataset
+from repro.distances.base import CachedDistance, DistanceFunction
+from repro.eval.metrics import PRScore, pairwise_scores
+from repro.index.base import NNIndex
+from repro.index.bruteforce import BruteForceIndex
+
+__all__ = [
+    "PRPoint",
+    "PRSweep",
+    "QualitySweeper",
+    "truncate_to_k",
+    "truncate_to_radius",
+]
+
+
+@dataclass(frozen=True)
+class PRPoint:
+    """One (parameter, precision, recall) point of a PR plot."""
+
+    method: str
+    parameter: float
+    precision: float
+    recall: float
+    f1: float
+
+    @classmethod
+    def from_score(cls, method: str, parameter: float, score: PRScore) -> "PRPoint":
+        return cls(
+            method=method,
+            parameter=parameter,
+            precision=score.precision,
+            recall=score.recall,
+            f1=score.f1,
+        )
+
+
+@dataclass
+class PRSweep:
+    """A labelled series of PR points (one curve of a figure)."""
+
+    method: str
+    points: list[PRPoint]
+
+    def best_f1(self) -> PRPoint:
+        return max(self.points, key=lambda point: point.f1)
+
+    def precision_at_recall(self, recall_floor: float) -> float:
+        """Best precision among points with recall >= the floor (0 if none)."""
+        eligible = [p.precision for p in self.points if p.recall >= recall_floor]
+        return max(eligible, default=0.0)
+
+
+def truncate_to_k(nn_relation: NNRelation, k: int) -> NNRelation:
+    """Restrict every NN list to its first ``k`` neighbors."""
+    truncated = NNRelation()
+    for entry in nn_relation:
+        truncated.add(
+            NNEntry(rid=entry.rid, neighbors=entry.neighbors[:k], ng=entry.ng)
+        )
+    return truncated
+
+
+def truncate_to_radius(nn_relation: NNRelation, theta: float) -> NNRelation:
+    """Restrict every NN list to neighbors with distance < θ."""
+    truncated = NNRelation()
+    for entry in nn_relation:
+        kept = tuple(n for n in entry.neighbors if n.distance < theta)
+        truncated.add(NNEntry(rid=entry.rid, neighbors=kept, ng=entry.ng))
+    return truncated
+
+
+class QualitySweeper:
+    """Shared-Phase-1 PR sweeps over one dataset and distance function.
+
+    Parameters
+    ----------
+    dataset:
+        The dirty relation plus its gold standard.
+    distance:
+        The tuple distance (cached internally; ``prepare`` is invoked by
+        the index build).
+    index:
+        NN index (default brute force, i.e. exact Phase 1).
+    k_max, theta_max:
+        The most permissive settings Phase 1 is materialized at; sweep
+        points must stay within them.
+    """
+
+    def __init__(
+        self,
+        dataset: DirtyDataset,
+        distance: DistanceFunction,
+        index: NNIndex | None = None,
+        k_max: int = 10,
+        theta_max: float = 0.6,
+    ):
+        self.dataset = dataset
+        self.distance = CachedDistance(distance)
+        self.index = index if index is not None else BruteForceIndex()
+        self.k_max = k_max
+        self.theta_max = theta_max
+        self._size_nn: NNRelation | None = None
+        self._radius_nn: NNRelation | None = None
+
+    # ------------------------------------------------------------------
+    # Phase-1 materialization (lazy, shared across sweep points)
+    # ------------------------------------------------------------------
+
+    def size_nn(self) -> NNRelation:
+        if self._size_nn is None:
+            self.index.build(self.dataset.relation, self.distance)
+            params = DEParams.size(self.k_max)
+            self._size_nn = prepare_nn_lists(self.dataset.relation, self.index, params)
+        return self._size_nn
+
+    def radius_nn(self) -> NNRelation:
+        if self._radius_nn is None:
+            self.index.build(self.dataset.relation, self.distance)
+            params = DEParams.diameter(self.theta_max)
+            self._radius_nn = prepare_nn_lists(
+                self.dataset.relation, self.index, params
+            )
+        return self._radius_nn
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
+
+    def sweep_thr(self, thetas: list[float]) -> PRSweep:
+        """The ``thr`` baseline: single linkage at each global θ."""
+        nn_lists = self.radius_nn().nn_lists()
+        ids = self.dataset.relation.ids()
+        points = []
+        for theta in thetas:
+            if theta > self.theta_max:
+                raise ValueError(f"theta {theta} exceeds theta_max {self.theta_max}")
+            partition = single_linkage_from_nn(ids, nn_lists, theta)
+            score = pairwise_scores(partition, self.dataset.gold)
+            points.append(PRPoint.from_score("thr", theta, score))
+        return PRSweep(method="thr", points=points)
+
+    def sweep_de_size(
+        self, ks: list[int], c: float, agg: str = "max"
+    ) -> PRSweep:
+        """``DE_S(K)`` across K at a fixed SN threshold ``c``."""
+        nn_relation = self.size_nn()
+        solver = DuplicateEliminator(self.distance, index=self.index)
+        method = f"DE_S(c={c:g},{agg})"
+        points = []
+        for k in ks:
+            if k > self.k_max:
+                raise ValueError(f"K {k} exceeds k_max {self.k_max}")
+            params = DEParams.size(k, agg=agg, c=c)
+            result = solver.run_from_nn(
+                self.dataset.relation, truncate_to_k(nn_relation, k), params
+            )
+            score = pairwise_scores(result.partition, self.dataset.gold)
+            points.append(PRPoint.from_score(method, float(k), score))
+        return PRSweep(method=method, points=points)
+
+    def sweep_de_diameter(
+        self, thetas: list[float], c: float, agg: str = "max"
+    ) -> PRSweep:
+        """``DE_D(θ)`` across θ at a fixed SN threshold ``c``."""
+        nn_relation = self.radius_nn()
+        solver = DuplicateEliminator(self.distance, index=self.index)
+        method = f"DE_D(c={c:g},{agg})"
+        points = []
+        for theta in thetas:
+            if theta > self.theta_max:
+                raise ValueError(f"theta {theta} exceeds theta_max {self.theta_max}")
+            params = DEParams.diameter(theta, agg=agg, c=c)
+            result = solver.run_from_nn(
+                self.dataset.relation, truncate_to_radius(nn_relation, theta), params
+            )
+            score = pairwise_scores(result.partition, self.dataset.gold)
+            points.append(PRPoint.from_score(method, theta, score))
+        return PRSweep(method=method, points=points)

@@ -1,0 +1,117 @@
+"""Dataset profiling for parameter tuning.
+
+Before running DE on unfamiliar data, practitioners want three things
+the Phase-1 state already contains: how isolated records are (the
+nn-distance distribution), how family-ridden the data is (the NG
+distribution), and what SN thresholds different duplicate-fraction
+guesses would imply.  :func:`profile_nn_relation` distills them into a
+:class:`DatasetProfile`; ``render()`` prints the terminal report the
+``threshold_tuning`` example is built around.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.neighborhood import NNRelation
+from repro.core.threshold import estimate_sn_threshold
+
+__all__ = ["DatasetProfile", "profile_nn_relation"]
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, max(0, int(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Summary of a relation's local structure (from Phase-1 state)."""
+
+    n_records: int
+    #: Quartiles of the nearest-neighbor distance (isolation).
+    nn_quartiles: tuple[float, float, float]
+    #: Fraction of records with an exact (distance-0) twin.
+    exact_duplicate_fraction: float
+    #: NG value -> record count.
+    ng_histogram: dict[int, int]
+    #: Fraction of records with ng <= 2 (the classic duplicate signature).
+    sparse_fraction: float
+    #: Fraction of records with ng >= 4 (family members).
+    family_fraction: float
+    #: duplicate-fraction guess -> SN threshold the heuristic suggests.
+    suggested_c: dict[float, float]
+
+    def render(self) -> str:
+        """Multi-line terminal report."""
+        q1, median, q3 = self.nn_quartiles
+        lines = [
+            f"records                 : {self.n_records}",
+            f"nn distance (Q1/med/Q3) : {q1:.3f} / {median:.3f} / {q3:.3f}",
+            f"exact-duplicate share   : {self.exact_duplicate_fraction:.1%}",
+            f"sparse records (ng<=2)  : {self.sparse_fraction:.1%}",
+            f"family records (ng>=4)  : {self.family_fraction:.1%}",
+            "ng histogram:",
+        ]
+        total = max(1, self.n_records)
+        for value in sorted(self.ng_histogram):
+            count = self.ng_histogram[value]
+            bar = "#" * max(1, 40 * count // total)
+            lines.append(f"  ng={value:<3d} {count:5d} {bar}")
+        lines.append("suggested SN thresholds:")
+        for fraction in sorted(self.suggested_c):
+            lines.append(
+                f"  if ~{fraction:.0%} of records are duplicated -> "
+                f"c = {self.suggested_c[fraction]:g}"
+            )
+        return "\n".join(lines)
+
+
+def profile_nn_relation(
+    nn_relation: NNRelation,
+    fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.5),
+) -> DatasetProfile:
+    """Profile a relation from its materialized Phase-1 state.
+
+    Parameters
+    ----------
+    nn_relation:
+        Output of :func:`repro.core.prepare_nn_lists` (or
+        ``DEResult.nn_relation``).
+    fractions:
+        Duplicate-fraction guesses to translate into suggested ``c``
+        values via the section-4.4 heuristic.
+    """
+    entries = list(nn_relation)
+    n = len(entries)
+    nn_distances = sorted(
+        entry.nn_distance for entry in entries if entry.neighbors
+    )
+    ng_values = [entry.ng for entry in entries]
+    histogram = dict(Counter(ng_values))
+
+    exact = sum(1 for entry in entries if entry.neighbors and entry.nn_distance == 0.0)
+    sparse = sum(1 for value in ng_values if value <= 2)
+    family = sum(1 for value in ng_values if value >= 4)
+
+    suggested: dict[float, float] = {}
+    if ng_values:
+        for fraction in fractions:
+            suggested[fraction] = estimate_sn_threshold(ng_values, fraction).c
+
+    return DatasetProfile(
+        n_records=n,
+        nn_quartiles=(
+            _quantile(nn_distances, 0.25),
+            _quantile(nn_distances, 0.5),
+            _quantile(nn_distances, 0.75),
+        ),
+        exact_duplicate_fraction=exact / n if n else 0.0,
+        ng_histogram=histogram,
+        sparse_fraction=sparse / n if n else 0.0,
+        family_fraction=family / n if n else 0.0,
+        suggested_c=suggested,
+    )

@@ -1,0 +1,66 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same row/series structure the paper's tables and
+figures report; these helpers keep that output consistent and readable
+in a terminal (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.pr_curve import PRSweep
+
+__all__ = ["format_table", "format_pr_sweeps", "format_kv"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned text table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_pr_sweeps(
+    sweeps: Mapping[str, PRSweep] | Sequence[PRSweep], title: str | None = None
+) -> str:
+    """Render PR sweeps as a (method, parameter, recall, precision) table."""
+    if isinstance(sweeps, Mapping):
+        series = list(sweeps.values())
+    else:
+        series = list(sweeps)
+    rows = []
+    for sweep in series:
+        for point in sweep.points:
+            rows.append(
+                (
+                    sweep.method,
+                    f"{point.parameter:g}",
+                    f"{point.recall:.3f}",
+                    f"{point.precision:.3f}",
+                    f"{point.f1:.3f}",
+                )
+            )
+    return format_table(
+        ("method", "param", "recall", "precision", "f1"), rows, title=title
+    )
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render a key/value block."""
+    width = max((len(key) for key in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(f"{key.ljust(width)} : {value}" for key, value in pairs.items())
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Nearest-neighbor index protocol.
+
+Phase 1 of the DE algorithm assumes "the availability of an index for
+efficiently answering: for any given tuple v in R, fetch its nearest
+neighbors" (paper section 4.1).  The paper uses probabilistic indexes
+for edit distance / fms and *treats them as exact*; we follow suit and
+validate approximation quality against :class:`BruteForceIndex`
+(benchmark A4).
+
+The protocol supports the two query shapes Phase 1 needs:
+
+- ``knn(record, k)`` — the k nearest other records (DE_S);
+- ``within(record, radius)`` — all other records with distance below
+  ``radius`` (DE_D);
+
+plus :meth:`NNIndex.neighborhood_growth`, the paper's ``ng(v)``: the
+number of tuples (including ``v`` itself) within a sphere of radius
+``p * nn(v)``, with ``p = 2`` fixed in the paper.
+
+Ordering and ties
+-----------------
+Neighbors are always ordered by ``(distance, rid)``.  The deterministic
+rid tie-break keeps DE solutions unique even though real string data
+violates the paper's distinct-distances assumption.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.data.schema import Record, Relation
+from repro.distances.base import DistanceFunction
+
+__all__ = ["Neighbor", "NNIndex"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Neighbor:
+    """A neighbor hit: distance first so tuples sort by proximity."""
+
+    distance: float
+    rid: int
+
+
+class NNIndex(abc.ABC):
+    """Index answering k-NN and range queries under a distance function."""
+
+    #: Human-readable name used in reports.
+    name: str = "index"
+
+    def __init__(self) -> None:
+        self.relation: Relation | None = None
+        self.distance: DistanceFunction | None = None
+        #: Number of candidate distance evaluations performed (for cost
+        #: accounting in benchmarks).
+        self.evaluations = 0
+
+    def build(self, relation: Relation, distance: DistanceFunction) -> None:
+        """Index ``relation`` under ``distance`` (calls ``prepare``)."""
+        distance.prepare(relation)
+        self.relation = relation
+        self.distance = distance
+        self._build()
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Construct index structures; relation/distance are set."""
+
+    @abc.abstractmethod
+    def knn(self, record: Record, k: int) -> list[Neighbor]:
+        """Return up to ``k`` nearest *other* records, sorted."""
+
+    @abc.abstractmethod
+    def within(
+        self, record: Record, radius: float, inclusive: bool = False
+    ) -> list[Neighbor]:
+        """Return all other records with ``d < radius`` (or ``<=``), sorted."""
+
+    # ------------------------------------------------------------------
+    # Derived queries
+    # ------------------------------------------------------------------
+
+    def nn_distance(self, record: Record) -> float:
+        """Return ``nn(v)``: the distance to the nearest other record.
+
+        Returns ``inf`` for a singleton relation.
+        """
+        hits = self.knn(record, 1)
+        if not hits:
+            return float("inf")
+        return hits[0].distance
+
+    def neighborhood_growth(
+        self,
+        record: Record,
+        p: float = 2.0,
+        nn_distance: float | None = None,
+        radius_fn: "Callable[[float], float] | None" = None,
+    ) -> int:
+        """Return ``ng(v) = |{u : d(u, v) < p * nn(v)}|`` (self included).
+
+        ``nn_distance`` may be supplied by callers that already hold the
+        record's NN list (Phase 1 does), saving a redundant 1-NN query.
+        ``radius_fn`` generalizes the linear ``p * nn(v)`` neighborhood
+        (paper section 2 allows non-linear functions); when given it
+        overrides ``p``.  With exact duplicates present (``nn(v) == 0``,
+        outside the paper's distinct-distances assumption) the
+        zero-distance records are counted as the neighborhood, which
+        preserves the intent that immediate-vicinity tuples contribute
+        to growth.
+        """
+        nn_d = self.nn_distance(record) if nn_distance is None else nn_distance
+        if nn_d == float("inf"):
+            return 1
+        if nn_d == 0.0:
+            return 1 + len(self.within(record, 0.0, inclusive=True))
+        radius = radius_fn(nn_d) if radius_fn is not None else p * nn_d
+        return 1 + len(self.within(record, radius))
+
+    # ------------------------------------------------------------------
+    # Helpers for implementations
+    # ------------------------------------------------------------------
+
+    def _checked(self) -> tuple[Relation, DistanceFunction]:
+        if self.relation is None or self.distance is None:
+            raise RuntimeError(f"{type(self).__name__}.build() has not been called")
+        return self.relation, self.distance
+
+    def _evaluate(self, a: Record, b: Record) -> float:
+        self.evaluations += 1
+        assert self.distance is not None
+        return self.distance.distance(a, b)

@@ -1,0 +1,66 @@
+"""Brute-force (nested loop) nearest-neighbor index.
+
+The paper's fallback when no index is available ("otherwise, we apply
+nested loop join methods in this phase") and our exactness reference:
+every other index is validated against this one.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.data.schema import Record
+from repro.index.base import Neighbor, NNIndex
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(NNIndex):
+    """Exact k-NN / range queries by scanning the whole relation."""
+
+    name = "bruteforce"
+
+    def _build(self) -> None:
+        pass  # nothing to construct
+
+    def knn(self, record: Record, k: int) -> list[Neighbor]:
+        relation, _ = self._checked()
+        if k <= 0:
+            return []
+        heap: list[Neighbor] = []
+        for other in relation:
+            if other.rid == record.rid:
+                continue
+            hit = Neighbor(self._evaluate(record, other), other.rid)
+            if len(heap) < k:
+                # heapq is a min-heap; invert ordering to keep the k smallest.
+                heapq.heappush(heap, _Inverted(hit))
+            elif hit < heap[0].neighbor:
+                heapq.heapreplace(heap, _Inverted(hit))
+        return sorted(item.neighbor for item in heap)
+
+    def within(
+        self, record: Record, radius: float, inclusive: bool = False
+    ) -> list[Neighbor]:
+        relation, _ = self._checked()
+        hits = []
+        for other in relation:
+            if other.rid == record.rid:
+                continue
+            d = self._evaluate(record, other)
+            if d < radius or (inclusive and d == radius):
+                hits.append(Neighbor(d, other.rid))
+        hits.sort()
+        return hits
+
+
+class _Inverted:
+    """Wrap a Neighbor so heapq keeps the *largest* at the root."""
+
+    __slots__ = ("neighbor",)
+
+    def __init__(self, neighbor: Neighbor):
+        self.neighbor = neighbor
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        return self.neighbor > other.neighbor

@@ -1,0 +1,160 @@
+"""Pivot-based metric index (LAESA).
+
+A distance-agnostic exact index for *metric* distance functions: pick
+``n_pivots`` reference records, precompute every record's distance to
+each pivot, and prune candidates with the triangle inequality —
+``|d(q, p) - d(x, p)| <= d(q, x)`` for any pivot ``p``, so a candidate
+whose pivot-distance vector differs too much from the query's cannot be
+within the bound.
+
+Complements the structure-specific indexes: the BK-tree needs raw
+Levenshtein, the q-gram index needs strings; LAESA only needs the
+triangle inequality, which holds for token-set Jaccard and for raw edit
+distance, making it the generic member of the paper's "index over
+distance functions" family.
+
+For non-metric distances (normalized edit, fms) the pruning bound is
+unsound; construct with ``assume_metric=False`` to disable pruning and
+degrade gracefully to a filtered scan, or (default) keep pruning and
+accept approximation.  Exactness under metric distances is covered by
+property tests against brute force.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Record
+from repro.index.base import Neighbor, NNIndex
+
+__all__ = ["PivotIndex"]
+
+#: Slack applied to pruning comparisons: the triangle-inequality bound
+#: is computed by float subtraction and can exceed the true distance by
+#: an ulp at exact ties, which would wrongly prune a tied candidate.
+_EPSILON = 1e-9
+
+
+class PivotIndex(NNIndex):
+    """LAESA: pivot-table pruning over any (metric) distance.
+
+    Parameters
+    ----------
+    n_pivots:
+        Number of pivot records.  Pivots are chosen by max-min farthest
+        point traversal, which spreads them across the space.
+    assume_metric:
+        Apply triangle-inequality pruning.  Leave True for metrics
+        (raw Levenshtein, token Jaccard); set False to disable pruning
+        for non-metric distances (the index then verifies every record,
+        still exact but with no speedup).
+    """
+
+    name = "pivot"
+
+    def __init__(self, n_pivots: int = 8, assume_metric: bool = True):
+        super().__init__()
+        if n_pivots < 1:
+            raise ValueError("n_pivots must be at least 1")
+        self.n_pivots = n_pivots
+        self.assume_metric = assume_metric
+        self._pivots: list[Record] = []
+        #: rid -> tuple of distances to each pivot.
+        self._table: dict[int, tuple[float, ...]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        relation, distance = self._checked()
+        records = list(relation)
+        self._pivots = []
+        self._table = {}
+        if not records:
+            return
+
+        # Max-min farthest-point pivot selection.
+        first = records[0]
+        self._pivots.append(first)
+        min_dist = {
+            record.rid: distance.distance(first, record) for record in records
+        }
+        while len(self._pivots) < min(self.n_pivots, len(records)):
+            next_rid = max(min_dist, key=lambda rid: (min_dist[rid], rid))
+            if min_dist[next_rid] == 0.0:
+                break  # all remaining records coincide with a pivot
+            pivot = relation.get(next_rid)
+            self._pivots.append(pivot)
+            for record in records:
+                d = distance.distance(pivot, record)
+                if d < min_dist[record.rid]:
+                    min_dist[record.rid] = d
+
+        for record in records:
+            self._table[record.rid] = tuple(
+                distance.distance(pivot, record) for pivot in self._pivots
+            )
+
+    def _query_vector(self, record: Record) -> tuple[float, ...]:
+        vector = self._table.get(record.rid)
+        if vector is not None:
+            return vector
+        assert self.distance is not None
+        return tuple(
+            self.distance.distance(pivot, record) for pivot in self._pivots
+        )
+
+    def _lower_bound(
+        self, query_vector: tuple[float, ...], rid: int
+    ) -> float:
+        """Triangle-inequality lower bound on d(query, rid)."""
+        if not self.assume_metric:
+            return 0.0
+        candidate_vector = self._table[rid]
+        bound = 0.0
+        for dq, dx in zip(query_vector, candidate_vector):
+            gap = dq - dx if dq >= dx else dx - dq
+            if gap > bound:
+                bound = gap
+        return bound
+
+    # ------------------------------------------------------------------
+
+    def knn(self, record: Record, k: int) -> list[Neighbor]:
+        relation, _ = self._checked()
+        if k <= 0 or len(relation) <= 1:
+            return []
+        query_vector = self._query_vector(record)
+        # Order candidates by lower bound so good ones verify early and
+        # the cutoff prunes aggressively.
+        ordered = sorted(
+            (rid for rid in self._table if rid != record.rid),
+            key=lambda rid: (self._lower_bound(query_vector, rid), rid),
+        )
+        from bisect import insort
+
+        hits: list[Neighbor] = []
+        cutoff = float("inf")
+        for rid in ordered:
+            bound = self._lower_bound(query_vector, rid)
+            if bound > cutoff + _EPSILON:
+                break  # ordered by bound: nothing later can qualify
+            d = self._evaluate(record, relation.get(rid))
+            insort(hits, Neighbor(d, rid))
+            if len(hits) >= k:
+                cutoff = hits[k - 1].distance
+        return hits[:k]
+
+    def within(
+        self, record: Record, radius: float, inclusive: bool = False
+    ) -> list[Neighbor]:
+        relation, _ = self._checked()
+        query_vector = self._query_vector(record)
+        hits: list[Neighbor] = []
+        for rid in self._table:
+            if rid == record.rid:
+                continue
+            if self._lower_bound(query_vector, rid) > radius + _EPSILON:
+                continue
+            d = self._evaluate(record, relation.get(rid))
+            if d < radius or (inclusive and d == radius):
+                hits.append(Neighbor(d, rid))
+        hits.sort()
+        return hits

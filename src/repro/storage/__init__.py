@@ -1,0 +1,25 @@
+"""Paged storage substrate: the stand-in for the paper's SQL Server.
+
+Provides pages with a simulated disk manager, an LRU buffer pool with
+hit-ratio accounting (the quantity Figure 8 measures), heap tables, a
+catalog, and a mini relational engine with the operators Phase 2 of the
+DE algorithm issues as SQL.
+"""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.catalog import Catalog
+from repro.storage.engine import Engine
+from repro.storage.pages import DEFAULT_PAGE_CAPACITY, DiskManager, Page
+from repro.storage.table import HeapTable, Row
+
+__all__ = [
+    "Page",
+    "DiskManager",
+    "DEFAULT_PAGE_CAPACITY",
+    "BufferPool",
+    "BufferStats",
+    "HeapTable",
+    "Row",
+    "Catalog",
+    "Engine",
+]

@@ -1,0 +1,48 @@
+"""Table catalog: name -> :class:`~repro.storage.table.HeapTable`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.storage.buffer import BufferPool
+from repro.storage.table import HeapTable
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """A named collection of heap tables sharing one buffer pool."""
+
+    def __init__(self, buffer_pool: BufferPool):
+        self.buffer = buffer_pool
+        self._tables: dict[str, HeapTable] = {}
+
+    def create_table(
+        self, name: str, schema: Sequence[str], replace: bool = False
+    ) -> HeapTable:
+        """Create (or with ``replace=True``, recreate) a table."""
+        if name in self._tables and not replace:
+            raise ValueError(f"table {name!r} already exists")
+        table = HeapTable(name, schema, self.buffer)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise KeyError(f"table {name!r} does not exist")
+        del self._tables[name]
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"table {name!r} does not exist") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[HeapTable]:
+        return iter(self._tables.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._tables)

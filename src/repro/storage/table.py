@@ -1,0 +1,101 @@
+"""Heap tables over the paged storage layer.
+
+A :class:`HeapTable` is an unordered collection of rows (Python tuples)
+spread across pages, scanned through the buffer pool.  Phase 2 of the
+DE algorithm materializes its intermediate relations (``NN_Reln``,
+``CSPairs``) as heap tables, mirroring the paper's SQL-Server-backed
+architecture (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.storage.buffer import BufferPool
+
+__all__ = ["HeapTable", "Row"]
+
+Row = tuple[Any, ...]
+
+
+class HeapTable:
+    """An append-only heap file of rows with a named schema.
+
+    Parameters
+    ----------
+    name:
+        Table name (catalog key).
+    schema:
+        Column names; rows must match this arity.
+    buffer_pool:
+        All page access is routed through this pool so that scans and
+        joins contribute to buffer statistics like any other workload.
+    """
+
+    def __init__(self, name: str, schema: Sequence[str], buffer_pool: BufferPool):
+        self.name = name
+        self.schema = tuple(schema)
+        self.buffer = buffer_pool
+        self._page_ids: list[int] = []
+        self._n_rows = 0
+
+    def column_index(self, column: str) -> int:
+        """Return the position of ``column`` in the schema."""
+        try:
+            return self.schema.index(column)
+        except ValueError:
+            raise KeyError(f"table {self.name!r} has no column {column!r}") from None
+
+    def insert(self, row: Row) -> None:
+        """Append one row."""
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row arity {len(row)} does not match schema arity {len(self.schema)}"
+            )
+        page = None
+        if self._page_ids:
+            page = self.buffer.get(self._page_ids[-1])
+            if page.full:
+                page = None
+        if page is None:
+            page = self.buffer.disk.allocate()
+            self._page_ids.append(page.page_id)
+            self.buffer.get(page.page_id)  # warm the new page
+        page.append(tuple(row))
+        self._n_rows += 1
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Append rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def scan(self) -> Iterator[Row]:
+        """Yield all rows, reading pages through the buffer pool."""
+        for page_id in self._page_ids:
+            page = self.buffer.get(page_id)
+            yield from page.items
+
+    def scan_where(self, predicate: Callable[[Row], bool]) -> Iterator[Row]:
+        """Yield rows satisfying ``predicate``."""
+        return (row for row in self.scan() if predicate(row))
+
+    def rows(self) -> list[Row]:
+        """Materialize all rows into a list."""
+        return list(self.scan())
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._page_ids)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.scan()

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.embedded import table1_relation
+from repro.data.loaders import load_dataset
+from repro.distances.edit import EditDistance
+
+
+@pytest.fixture
+def table1():
+    return table1_relation()
+
+
+@pytest.fixture
+def edit():
+    return EditDistance()
+
+
+@pytest.fixture(scope="session")
+def restaurants_dataset():
+    """A small dirty restaurants dataset shared across tests."""
+    return load_dataset("restaurants", n_entities=60, duplicate_fraction=0.3, seed=7)
+
+
+@pytest.fixture(scope="session")
+def media_dataset():
+    return load_dataset("media", n_entities=60, duplicate_fraction=0.3, seed=7)

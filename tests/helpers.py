@@ -1,0 +1,24 @@
+"""Shared test helpers (importable, unlike conftest fixtures)."""
+
+from __future__ import annotations
+
+from repro.data.schema import Relation
+from repro.distances.base import FunctionDistance
+
+
+def numbers_relation(values, name: str = "numbers") -> Relation:
+    """A single-attribute relation of numeric strings.
+
+    The workhorse of the algorithmic tests: 1-D points under absolute
+    difference make distances easy to reason about by hand.
+    """
+    return Relation.from_rows(name, ("value",), [[str(v)] for v in values])
+
+
+def absdiff_distance(scale: float = 1000.0) -> FunctionDistance:
+    """Absolute difference of numeric records, normalized by ``scale``."""
+
+    def diff(a, b) -> float:
+        return abs(float(a.fields[0]) - float(b.fields[0])) / scale
+
+    return FunctionDistance(diff, name="absdiff")

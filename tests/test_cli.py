@@ -1,0 +1,158 @@
+"""Tests for the command-line interface."""
+
+import csv
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.loaders import load_dataset, relation_to_csv
+
+
+@pytest.fixture
+def org_csv(tmp_path):
+    dataset = load_dataset("org", n_entities=25, duplicate_fraction=0.4, seed=3)
+    path = tmp_path / "org.csv"
+    relation_to_csv(dataset.relation, path)
+    return path, dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dedup_defaults(self):
+        args = build_parser().parse_args(["dedup", "file.csv"])
+        assert args.distance == "fms"
+        assert args.k == 5
+        assert args.theta is None
+
+    def test_unknown_distance_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dedup", "f.csv", "--distance", "nope"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "media"])
+
+
+class TestDedup:
+    def test_prints_groups(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(["dedup", str(path), "--distance", "edit", "--k", "3"], out=out)
+        assert code == 0
+        assert "duplicate group(s) found" in out.getvalue()
+
+    def test_writes_assignment_csv(self, org_csv, tmp_path):
+        path, _ = org_csv
+        output = tmp_path / "groups.csv"
+        out = io.StringIO()
+        code = main(
+            [
+                "dedup",
+                str(path),
+                "--distance",
+                "edit",
+                "--output",
+                str(output),
+            ],
+            out=out,
+        )
+        assert code == 0
+        rows = list(csv.reader(output.open()))
+        assert rows[0] == ["rid", "group_id"]
+        assert len(rows) > 1  # at least one duplicate group
+
+    def test_singletons_flag_includes_everything(self, org_csv, tmp_path):
+        path, dataset = org_csv
+        output = tmp_path / "groups.csv"
+        main(
+            [
+                "dedup",
+                str(path),
+                "--distance",
+                "edit",
+                "--output",
+                str(output),
+                "--singletons",
+            ],
+            out=io.StringIO(),
+        )
+        rows = list(csv.reader(output.open()))[1:]
+        assert len(rows) == len(dataset.relation)
+
+    def test_diameter_mode(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["dedup", str(path), "--distance", "edit", "--theta", "0.2"], out=out
+        )
+        assert code == 0
+
+    def test_qgram_index(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["dedup", str(path), "--distance", "edit", "--index", "qgram"], out=out
+        )
+        assert code == 0
+
+
+class TestGenerate:
+    def test_generates_csv_and_gold(self, tmp_path):
+        output = tmp_path / "data.csv"
+        gold = tmp_path / "gold.csv"
+        out = io.StringIO()
+        code = main(
+            [
+                "generate",
+                "birds",
+                "--entities",
+                "20",
+                "--output",
+                str(output),
+                "--gold",
+                str(gold),
+            ],
+            out=out,
+        )
+        assert code == 0
+        data_rows = list(csv.reader(output.open()))
+        gold_rows = list(csv.reader(gold.open()))
+        assert data_rows[0] == ["name"]
+        assert gold_rows[0] == ["rid", "entity"]
+        assert len(data_rows) == len(gold_rows)  # header + n rows each
+
+
+class TestEstimate:
+    def test_reports_threshold(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["estimate-c", str(path), "--fraction", "0.4", "--distance", "edit"],
+            out=out,
+        )
+        assert code == 0
+        assert "suggested SN threshold: c =" in out.getvalue()
+
+
+class TestMoreIndexes:
+    def test_pivot_index_available(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["dedup", str(path), "--distance", "jaccard", "--index", "pivot"],
+            out=out,
+        )
+        assert code == 0
+
+    def test_minhash_index_available(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["dedup", str(path), "--distance", "jaccard", "--index", "minhash"],
+            out=out,
+        )
+        assert code == 0

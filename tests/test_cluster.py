@@ -1,0 +1,198 @@
+"""Tests for the clustering baselines (union-find, thr, star, clique, MST)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.clique import clique_partition
+from repro.cluster.hierarchy import SingleLinkageHierarchy
+from repro.cluster.single_linkage import (
+    single_linkage_brute,
+    single_linkage_from_nn,
+    single_linkage_partition,
+    threshold_edges,
+)
+from repro.cluster.star import star_partition
+from repro.cluster.unionfind import DisjointSets
+from repro.core.result import Partition
+from repro.index.base import Neighbor
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+class TestDisjointSets:
+    def test_initial_singletons(self):
+        sets = DisjointSets([1, 2, 3])
+        assert sets.n_sets() == 3
+
+    def test_union_merges(self):
+        sets = DisjointSets([1, 2, 3])
+        assert sets.union(1, 2)
+        assert sets.connected(1, 2)
+        assert not sets.connected(1, 3)
+
+    def test_union_idempotent(self):
+        sets = DisjointSets([1, 2])
+        sets.union(1, 2)
+        assert not sets.union(1, 2)
+
+    def test_union_registers_new_elements(self):
+        sets = DisjointSets()
+        sets.union("a", "b")
+        assert sets.connected("a", "b")
+
+    def test_groups_sorted(self):
+        sets = DisjointSets([3, 1, 2, 4])
+        sets.union(3, 1)
+        assert sets.groups() == [[1, 3], [2], [4]]
+
+    def test_set_size(self):
+        sets = DisjointSets([1, 2, 3])
+        sets.union(1, 2)
+        assert sets.set_size(1) == 2
+        assert sets.set_size(3) == 1
+
+    def test_connected_unknown_elements(self):
+        sets = DisjointSets([1])
+        assert not sets.connected(1, 99)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=30
+        )
+    )
+    def test_matches_networkx_components(self, edges):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(16))
+        sets = DisjointSets(range(16))
+        for a, b in edges:
+            graph.add_edge(a, b)
+            sets.union(a, b)
+        expected = sorted(
+            sorted(component) for component in nx.connected_components(graph)
+        )
+        assert sorted(sets.groups()) == expected
+
+
+class TestThresholdEdges:
+    def test_edges_below_threshold_only(self):
+        nn = {
+            0: (Neighbor(0.1, 1), Neighbor(0.5, 2)),
+            1: (Neighbor(0.1, 0),),
+            2: (Neighbor(0.5, 0),),
+        }
+        edges = threshold_edges(nn, 0.3)
+        assert edges == [(0, 1, 0.1)]
+
+    def test_each_edge_once(self):
+        nn = {0: (Neighbor(0.1, 1),), 1: (Neighbor(0.1, 0),)}
+        assert len(threshold_edges(nn, 0.5)) == 1
+
+    def test_strict_threshold(self):
+        nn = {0: (Neighbor(0.3, 1),), 1: (Neighbor(0.3, 0),)}
+        assert threshold_edges(nn, 0.3) == []
+
+
+class TestSingleLinkage:
+    def test_components(self):
+        partition = single_linkage_partition(
+            [0, 1, 2, 3], [(0, 1, 0.1), (1, 2, 0.1)]
+        )
+        assert partition.groups == ((0, 1, 2), (3,))
+
+    def test_from_nn(self):
+        nn = {
+            0: (Neighbor(0.05, 1),),
+            1: (Neighbor(0.05, 0),),
+            2: (Neighbor(0.4, 0),),
+        }
+        partition = single_linkage_from_nn([0, 1, 2], nn, 0.1)
+        assert partition.groups == ((0, 1), (2,))
+
+    def test_brute_on_numbers(self):
+        relation = numbers_relation([0, 1, 2, 50, 51, 100])
+        partition = single_linkage_brute(relation, absdiff_distance(), 0.002)
+        assert partition.groups == ((0, 1, 2), (3, 4), (5,))
+
+    def test_chaining_effect(self):
+        # The known single-linkage failure mode: a chain merges everything.
+        relation = numbers_relation([0, 10, 20, 30])
+        partition = single_linkage_brute(relation, absdiff_distance(), 0.011)
+        assert len(partition.non_trivial_groups()) == 1
+        assert len(partition.non_trivial_groups()[0]) == 4
+
+
+class TestHierarchy:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.integers(0, 500), min_size=2, max_size=20, unique=True
+        ),
+        st.floats(0.001, 0.6),
+    )
+    def test_matches_brute_single_linkage(self, values, theta):
+        relation = numbers_relation(values)
+        hierarchy = SingleLinkageHierarchy(relation, absdiff_distance())
+        fast = hierarchy.clusters_at(theta)
+        brute = single_linkage_brute(relation, absdiff_distance(), theta)
+        assert fast == brute
+
+    def test_extremes(self):
+        relation = numbers_relation([0, 1, 2])
+        hierarchy = SingleLinkageHierarchy(relation, absdiff_distance())
+        assert hierarchy.clusters_at(1e-9) == Partition.singletons([0, 1, 2])
+        assert len(hierarchy.clusters_at(0.999999).groups) == 1
+
+    def test_merge_distances_sorted(self):
+        relation = numbers_relation([0, 5, 20])
+        hierarchy = SingleLinkageHierarchy(relation, absdiff_distance())
+        merges = hierarchy.merge_distances()
+        assert merges == sorted(merges)
+        assert len(merges) == 2
+
+    def test_singleton_relation(self):
+        relation = numbers_relation([1])
+        hierarchy = SingleLinkageHierarchy(relation, absdiff_distance())
+        assert hierarchy.mst_edges == []
+        assert hierarchy.clusters_at(0.5).groups == ((0,),)
+
+
+class TestStarAndClique:
+    def test_star_groups_center_with_neighbors(self):
+        edges = [(0, 1, 0.1), (0, 2, 0.1), (3, 4, 0.1)]
+        partition = star_partition([0, 1, 2, 3, 4], edges)
+        assert (0, 1, 2) in partition.groups
+        assert (3, 4) in partition.groups
+
+    def test_star_highest_degree_first(self):
+        # 2 has degree 3; it should become the first star center.
+        edges = [(0, 2, 0.1), (1, 2, 0.1), (2, 3, 0.1), (0, 1, 0.1)]
+        partition = star_partition([0, 1, 2, 3], edges)
+        assert partition.groups == ((0, 1, 2, 3),)
+
+    def test_clique_requires_pairwise_edges(self):
+        # Path 0-1-2: single linkage one group, clique cover splits.
+        edges = [(0, 1, 0.1), (1, 2, 0.1)]
+        single = single_linkage_partition([0, 1, 2], edges)
+        cliques = clique_partition([0, 1, 2], edges)
+        assert len(single.groups) == 1
+        assert len(cliques.groups) == 2
+
+    def test_clique_on_triangle(self):
+        edges = [(0, 1, 0.1), (1, 2, 0.1), (0, 2, 0.1)]
+        assert clique_partition([0, 1, 2], edges).groups == ((0, 1, 2),)
+
+    def test_all_strategies_identical_on_pairs(self):
+        # Most real duplicate components are pairs (paper section 5):
+        # all three componentizations agree there.
+        edges = [(0, 1, 0.1), (2, 3, 0.1)]
+        ids = [0, 1, 2, 3, 4]
+        single = single_linkage_partition(ids, edges)
+        assert star_partition(ids, edges) == single
+        assert clique_partition(ids, edges) == single
+
+    def test_empty_graph(self):
+        assert star_partition([0, 1], []).groups == ((0,), (1,))
+        assert clique_partition([0, 1], []).groups == ((0,), (1,))

@@ -1,0 +1,87 @@
+"""Tests for the blocking strategies (related-work baseline)."""
+
+import pytest
+
+from repro.cluster.blocking import (
+    blocking_recall,
+    candidate_pairs_from_blocks,
+    first_token_key,
+    key_blocking,
+    prefix_key,
+    sorted_neighborhood,
+)
+from repro.data.schema import Record, Relation
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_strings(
+        "r",
+        [
+            "golden dragon",          # 0
+            "golden dragon express",  # 1
+            "jade palace",            # 2
+            "jade place",             # 3
+            "gulden dragon",          # 4 — typo in the first token!
+        ],
+    )
+
+
+class TestKeys:
+    def test_first_token_key(self):
+        assert first_token_key(Record(0, ("Golden Dragon",))) == "golden"
+
+    def test_first_token_key_empty(self):
+        assert first_token_key(Record(0, ("",))) == ""
+
+    def test_prefix_key(self):
+        key = prefix_key(4)
+        assert key(Record(0, ("Golden Dragon",))) == "gold"
+
+
+class TestKeyBlocking:
+    def test_blocks_by_first_token(self, relation):
+        blocks = key_blocking(relation)
+        assert sorted(blocks["golden"]) == [0, 1]
+        assert sorted(blocks["jade"]) == [2, 3]
+        assert blocks["gulden"] == [4]
+
+    def test_candidate_pairs(self, relation):
+        pairs = candidate_pairs_from_blocks(key_blocking(relation))
+        assert pairs == {(0, 1), (2, 3)}
+
+    def test_typo_in_key_escapes_block(self, relation):
+        """The paper's objection: record 4 is a near-duplicate of 0 but
+        a first-token typo puts it in a different block."""
+        pairs = candidate_pairs_from_blocks(key_blocking(relation))
+        assert (0, 4) not in pairs
+
+
+class TestSortedNeighborhood:
+    def test_window_covers_adjacent_keys(self, relation):
+        pairs = sorted_neighborhood(relation, window=3)
+        # Sort order: golden(0), golden(1), gulden(4), jade(2), jade(3)
+        assert (0, 1) in pairs
+        assert (1, 4) in pairs  # adjacent in sort order
+        assert (2, 3) in pairs
+
+    def test_window_size_bounds_pairs(self, relation):
+        window2 = sorted_neighborhood(relation, window=2)
+        window4 = sorted_neighborhood(relation, window=4)
+        assert window2 <= window4
+        assert len(window2) == len(relation) - 1
+
+    def test_invalid_window(self, relation):
+        with pytest.raises(ValueError):
+            sorted_neighborhood(relation, window=1)
+
+
+class TestBlockingRecall:
+    def test_full_coverage(self):
+        assert blocking_recall({(0, 1)}, {(0, 1)}) == 1.0
+
+    def test_partial_coverage(self):
+        assert blocking_recall({(0, 1)}, {(0, 1), (2, 3)}) == 0.5
+
+    def test_no_required_pairs(self):
+        assert blocking_recall(set(), set()) == 1.0

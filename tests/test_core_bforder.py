@@ -1,0 +1,89 @@
+"""Tests for the breadth-first lookup ordering (paper section 4.1.1)."""
+
+from repro.core.bforder import breadth_first_order, random_order, sequential_order
+from repro.index.base import Neighbor
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+def drive(relation, index, k=2, max_queue=100_000):
+    order = []
+
+    def lookup(rid):
+        return index.knn(relation.get(rid), k)
+
+    for rid in breadth_first_order(relation, lookup, max_queue=max_queue):
+        order.append(rid)
+    return order
+
+
+class TestBreadthFirstOrder:
+    def test_visits_every_record_once(self):
+        relation = numbers_relation([0, 1, 2, 50, 51, 100])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        order = drive(relation, index)
+        assert sorted(order) == relation.ids()
+
+    def test_neighbors_follow_their_parent(self):
+        # Two tight clusters: after the first record of a cluster, the
+        # rest of that cluster is visited before jumping away.
+        relation = numbers_relation([0, 1, 2, 500, 501, 502])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        order = drive(relation, index, k=2)
+        first_cluster = {0, 1, 2}
+        # Positions of the first cluster's members are the first three.
+        assert set(order[:3]) == first_cluster
+
+    def test_queue_refills_after_draining(self):
+        # Isolated far-apart points: queue drains instantly each time,
+        # the scan of R must restart it.
+        relation = numbers_relation([0, 500, 1000])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        order = drive(relation, index, k=0)  # lookups return nothing
+        assert sorted(order) == [0, 1, 2]
+
+    def test_bounded_queue_still_completes(self):
+        relation = numbers_relation(list(range(0, 100, 3)))
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        order = drive(relation, index, k=5, max_queue=2)
+        assert sorted(order) == relation.ids()
+
+    def test_lookup_called_exactly_once_per_record(self):
+        relation = numbers_relation([0, 1, 2, 3])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        calls = []
+
+        def lookup(rid):
+            calls.append(rid)
+            return index.knn(relation.get(rid), 2)
+
+        list(breadth_first_order(relation, lookup))
+        assert sorted(calls) == [0, 1, 2, 3]
+        assert len(calls) == 4
+
+    def test_empty_relation(self):
+        relation = numbers_relation([])
+        assert (
+            list(breadth_first_order(relation, lambda rid: [Neighbor(0.1, 0)])) == []
+        )
+
+
+class TestOtherOrders:
+    def test_sequential(self):
+        relation = numbers_relation([5, 3, 8])
+        assert sequential_order(relation) == [0, 1, 2]
+
+    def test_random_is_seeded_permutation(self):
+        relation = numbers_relation(list(range(20)))
+        a = random_order(relation, seed=3)
+        b = random_order(relation, seed=3)
+        c = random_order(relation, seed=4)
+        assert a == b
+        assert sorted(a) == relation.ids()
+        assert a != c

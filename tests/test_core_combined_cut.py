@@ -1,0 +1,105 @@
+"""Tests for the joint size+diameter cut specification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import group_diameter, is_compact_set, is_sn_group
+from repro.core.formulation import CombinedCut, DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.serialize import params_from_dict, params_to_dict
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=2, max_size=16, unique=True
+)
+
+
+class TestCombinedCutType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CombinedCut(0, 0.5)
+        with pytest.raises(ValueError):
+            CombinedCut(3, 1.0)
+
+    def test_params_accessors(self):
+        params = DEParams.combined(4, 0.2, c=5.0)
+        assert params.k == 4
+        assert params.theta == 0.2
+        assert not params.is_size_spec
+
+    def test_str(self):
+        assert str(CombinedCut(3, 0.25)) == "size<=3&diam<=0.25"
+
+    def test_serialization_roundtrip(self):
+        params = DEParams.combined(4, 0.2, agg="avg", c=5.0)
+        assert params_from_dict(params_to_dict(params)) == params
+
+
+class TestCombinedSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(values_strategy, st.integers(2, 5), st.floats(0.01, 0.2))
+    def test_both_bounds_hold(self, values, k, theta):
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        params = DEParams.combined(k, theta, c=4.0)
+        result = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, params
+        )
+        for group in result.partition.non_trivial_groups():
+            assert len(group) <= k
+            assert group_diameter(relation, distance, group) < theta
+            assert is_compact_set(relation, distance, group)
+            assert is_sn_group(relation, distance, group, "max", 4.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy, st.integers(2, 5))
+    def test_reduces_to_size_spec_with_loose_theta(self, values, k):
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        size_only = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(k, c=4.0)
+        )
+        combined = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.combined(k, 0.999999, c=4.0)
+        )
+        assert combined.partition == size_only.partition
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy, st.floats(0.01, 0.2))
+    def test_reduces_to_diameter_spec_with_loose_k(self, values, theta):
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        diameter_only = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.diameter(theta, c=4.0)
+        )
+        combined = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.combined(len(values) + 1, theta, c=4.0)
+        )
+        assert combined.partition == diameter_only.partition
+
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy)
+    def test_engine_parity(self, values):
+        relation = numbers_relation(values)
+        params = DEParams.combined(3, 0.05, c=4.0)
+        direct = DuplicateEliminator(absdiff_distance(), cache_distance=False).run(
+            relation, params
+        )
+        engined = DuplicateEliminator(
+            absdiff_distance(), use_engine=True, cache_distance=False
+        ).run(relation, params)
+        assert direct.partition == engined.partition
+
+    def test_combined_can_differ_from_both(self):
+        # A triple within theta but bounded to pairs by K, plus a far
+        # pair: K=2 truncation + theta jointly shape the result.
+        relation = numbers_relation([0, 1, 2, 800, 801])
+        distance = absdiff_distance()
+        combined = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.combined(2, 0.01, c=4.0)
+        )
+        for group in combined.partition.non_trivial_groups():
+            assert len(group) <= 2
+            assert group_diameter(relation, distance, group) < 0.01

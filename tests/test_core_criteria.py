@@ -1,0 +1,155 @@
+"""Tests for the CS and SN criteria (specification-level definitions)."""
+
+import pytest
+
+from repro.core.criteria import (
+    AGGREGATIONS,
+    aggregate,
+    agg_avg,
+    agg_max,
+    agg_max2,
+    group_diameter,
+    is_compact_set,
+    is_sn_group,
+    neighborhood_growth_brute,
+    nn_distance_brute,
+)
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+class TestAggregations:
+    def test_max(self):
+        assert agg_max([1.0, 3.0, 2.0]) == 3.0
+
+    def test_avg(self):
+        assert agg_avg([1.0, 3.0]) == 2.0
+
+    def test_max2(self):
+        assert agg_max2([5.0, 1.0, 3.0]) == 3.0
+
+    def test_max2_single_value(self):
+        assert agg_max2([4.0]) == 4.0
+
+    def test_registry(self):
+        assert set(AGGREGATIONS) == {"max", "avg", "max2"}
+
+    def test_aggregate_by_name(self):
+        assert aggregate("max", [1.0, 2.0]) == 2.0
+
+    def test_aggregate_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            aggregate("median", [1.0])
+
+    def test_aggregate_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            aggregate("max", [])
+
+
+class TestNnDistance:
+    def test_basic(self):
+        relation = numbers_relation([0, 3, 10])
+        assert nn_distance_brute(relation, absdiff_distance(), 0) == pytest.approx(
+            0.003
+        )
+
+    def test_singleton(self):
+        relation = numbers_relation([42])
+        assert nn_distance_brute(relation, absdiff_distance(), 0) == float("inf")
+
+
+class TestNeighborhoodGrowth:
+    def test_pair_in_isolation(self):
+        relation = numbers_relation([0, 1, 100, 200])
+        # 0's nn is 1 (d=1); radius 2 holds only 1 -> ng = 2.
+        assert neighborhood_growth_brute(relation, absdiff_distance(), 0) == 2
+
+    def test_dense_region(self):
+        relation = numbers_relation([0, 1, 2, 3, 100])
+        # 1's nn at d=1; radius 2 strictly holds 0 and 2 -> ng = 3.
+        assert neighborhood_growth_brute(relation, absdiff_distance(), 1) == 3
+
+    def test_table1_series_has_higher_growth(self, table1, edit):
+        # The "Ears/Eyes" base tuple (rid 6) sits amid its series.
+        ng_series = neighborhood_growth_brute(table1, edit, 6)
+        ng_duplicate = neighborhood_growth_brute(table1, edit, 0)
+        assert ng_series > ng_duplicate
+
+    def test_table1_are_you_ready_family(self, table1, edit):
+        # Tuples 10-13 share the track title: growth 4 each (paper text).
+        for rid in (10, 11, 12, 13):
+            assert neighborhood_growth_brute(table1, edit, rid) == 4
+
+
+class TestCompactSet:
+    def test_singleton_trivially_compact(self):
+        relation = numbers_relation([0, 10])
+        assert is_compact_set(relation, absdiff_distance(), [0])
+
+    def test_mutual_nn_pair_compact(self):
+        relation = numbers_relation([0, 1, 10, 20])
+        assert is_compact_set(relation, absdiff_distance(), [0, 1])
+
+    def test_non_mutual_pair_not_compact(self):
+        # 1 is closer to 2 than to 0? values: 0, 3, 4.  {0,3}: 3's nearest
+        # is 4, so {0,3} is not compact.
+        relation = numbers_relation([0, 3, 4])
+        assert not is_compact_set(relation, absdiff_distance(), [0, 1])
+
+    def test_larger_compact_group(self):
+        relation = numbers_relation([0, 1, 2, 50, 100])
+        assert is_compact_set(relation, absdiff_distance(), [0, 1, 2])
+
+    def test_whole_relation_compact(self):
+        # Degenerate case the paper notes: all of R is compact.
+        relation = numbers_relation([0, 5, 9])
+        assert is_compact_set(relation, absdiff_distance(), [0, 1, 2])
+
+    def test_group_split_by_outsider(self):
+        # 0 and 2 with 1 in between: {0, 2} is not compact.
+        relation = numbers_relation([0, 1, 2])
+        assert not is_compact_set(relation, absdiff_distance(), [0, 2])
+
+    def test_table1_duplicates_are_compact(self, table1, edit):
+        for group in ([0, 1], [2, 3], [4, 5]):
+            assert is_compact_set(table1, edit, group)
+
+
+class TestSnGroup:
+    def test_singleton_trivially_sn(self):
+        relation = numbers_relation([0, 1])
+        assert is_sn_group(relation, absdiff_distance(), [0], "max", c=1.5)
+
+    def test_sparse_pair_passes(self):
+        relation = numbers_relation([0, 1, 100, 200])
+        assert is_sn_group(relation, absdiff_distance(), [0, 1], "max", c=3.0)
+
+    def test_dense_group_fails_max(self):
+        relation = numbers_relation([0, 1, 2, 3, 4])
+        assert not is_sn_group(relation, absdiff_distance(), [1, 2], "max", c=3.0)
+
+    def test_avg_more_permissive_than_max(self):
+        relation = numbers_relation([0, 1, 2, 100])
+        # ng: 0 -> 2 (0's nn=1, radius 2 covers 1 only... values 0,1 ->
+        # covers 1; 2 at distance 2 not strict) ; 1 -> 3; so max=3, avg=2.5.
+        assert not is_sn_group(relation, absdiff_distance(), [0, 1], "max", c=3.0)
+        assert is_sn_group(relation, absdiff_distance(), [0, 1], "avg", c=3.0)
+
+    def test_custom_p(self):
+        relation = numbers_relation([0, 1, 3, 100])
+        assert is_sn_group(relation, absdiff_distance(), [0, 1], "max", c=3.0, p=2.0)
+        assert not is_sn_group(
+            relation, absdiff_distance(), [0, 1], "max", c=3.0, p=5.0
+        )
+
+
+class TestDiameter:
+    def test_diameter(self):
+        relation = numbers_relation([0, 5, 9])
+        assert group_diameter(relation, absdiff_distance(), [0, 1, 2]) == pytest.approx(
+            0.009
+        )
+
+    def test_singleton_diameter_zero(self):
+        relation = numbers_relation([7])
+        assert group_diameter(relation, absdiff_distance(), [0]) == 0.0

@@ -1,0 +1,169 @@
+"""Tests for CSPairs construction (both the direct and engine paths)."""
+
+import pytest
+
+from repro.core.cspairs import (
+    CSPair,
+    build_cs_pairs,
+    build_cs_pairs_engine,
+    cs_pairs_from_table,
+    materialize_nn_reln,
+    max_pair_size,
+    prefix_equal_flags,
+)
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.core.nn_phase import prepare_nn_lists
+from repro.index.base import Neighbor
+from repro.index.bruteforce import BruteForceIndex
+from repro.storage.engine import Engine
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+def make_nn(entries):
+    nn = NNRelation()
+    for rid, neighbor_ids, ng in entries:
+        nn.add(
+            NNEntry(
+                rid=rid,
+                neighbors=tuple(
+                    Neighbor(0.01 * (i + 1), nid)
+                    for i, nid in enumerate(neighbor_ids)
+                ),
+                ng=ng,
+            )
+        )
+    return nn
+
+
+class TestPrefixFlags:
+    def test_mutual_pair_cs2(self):
+        flags = prefix_equal_flags(0, (1, 9), 1, (0, 8), max_m=2)
+        assert flags == (True,)
+
+    def test_non_mutual_cs2(self):
+        flags = prefix_equal_flags(0, (2, 9), 1, (0, 8), max_m=2)
+        assert flags == (False,)
+
+    def test_group_of_four_pattern(self):
+        # The paper's Figure 6: {10, 15, 100, 150} with equal 4-sets.
+        flags = prefix_equal_flags(
+            10, (15, 100, 150), 15, (10, 100, 150), max_m=4
+        )
+        assert flags == (True, True, True)
+
+    def test_flags_not_monotone(self):
+        # cs2 true but cs3 false: third neighbors differ.
+        flags = prefix_equal_flags(0, (1, 5), 1, (0, 7), max_m=3)
+        assert flags == (True, False)
+
+    def test_cs_can_become_true_later(self):
+        # cs2 false (different nearest) but cs3 true (same 3-set).
+        flags = prefix_equal_flags(0, (2, 1), 1, (0, 2), max_m=3)
+        assert flags == (False, True)
+
+
+class TestMaxPairSize:
+    def test_size_spec_bounds_by_k(self):
+        assert max_pair_size(10, 10, DEParams.size(4)) == 4
+
+    def test_short_lists_bound(self):
+        assert max_pair_size(2, 5, DEParams.size(10)) == 3
+
+    def test_diameter_spec_uses_list_lengths(self):
+        assert max_pair_size(3, 4, DEParams.diameter(0.3)) == 4
+
+
+class TestBuildCsPairs:
+    def test_only_mutual_pairs(self):
+        nn = make_nn(
+            [
+                (0, [1, 2], 2),
+                (1, [0, 2], 2),
+                (2, [1, 0], 3),
+            ]
+        )
+        pairs = build_cs_pairs(nn, DEParams.size(2))
+        keys = {(p.id1, p.id2) for p in pairs}
+        # With K=2 all three mutual-in-2-list pairs qualify except where
+        # one side's truncated list omits the other.
+        assert (0, 1) in keys
+
+    def test_non_mutual_excluded(self):
+        nn = make_nn(
+            [
+                (0, [1], 2),
+                (1, [2], 2),
+                (2, [1], 2),
+            ]
+        )
+        pairs = build_cs_pairs(nn, DEParams.size(2))
+        keys = {(p.id1, p.id2) for p in pairs}
+        assert (0, 1) not in keys
+        assert (1, 2) in keys
+
+    def test_sorted_output(self):
+        nn = make_nn(
+            [
+                (0, [1, 2], 2),
+                (1, [0, 2], 2),
+                (2, [0, 1], 2),
+            ]
+        )
+        pairs = build_cs_pairs(nn, DEParams.size(3))
+        keys = [(p.id1, p.id2) for p in pairs]
+        assert keys == sorted(keys)
+
+    def test_ng_values_carried(self):
+        nn = make_nn([(0, [1], 5), (1, [0], 7)])
+        pairs = build_cs_pairs(nn, DEParams.size(2))
+        assert pairs[0].ng1 == 5
+        assert pairs[0].ng2 == 7
+
+    def test_supports_size(self):
+        pair = CSPair(0, 1, 2, 2, (True, False))
+        assert pair.supports_size(2)
+        assert not pair.supports_size(3)
+        assert not pair.supports_size(4)
+        assert not pair.supports_size(1)
+
+
+class TestEnginePath:
+    def test_engine_matches_direct(self):
+        relation = numbers_relation([0, 1, 10, 11, 12, 50])
+        distance = absdiff_distance()
+        index = BruteForceIndex()
+        index.build(relation, distance)
+        params = DEParams.size(4)
+        nn = prepare_nn_lists(relation, index, params)
+
+        direct = build_cs_pairs(nn, params)
+
+        engine = Engine()
+        materialize_nn_reln(engine, nn)
+        table = build_cs_pairs_engine(engine, params)
+        via_engine = cs_pairs_from_table(table)
+
+        assert via_engine == direct
+
+    def test_engine_matches_direct_diameter_spec(self):
+        relation = numbers_relation([0, 1, 10, 11, 12, 50])
+        distance = absdiff_distance()
+        index = BruteForceIndex()
+        index.build(relation, distance)
+        params = DEParams.diameter(0.02)
+        nn = prepare_nn_lists(relation, index, params)
+
+        direct = build_cs_pairs(nn, params)
+        engine = Engine()
+        materialize_nn_reln(engine, nn)
+        via_engine = cs_pairs_from_table(build_cs_pairs_engine(engine, params))
+        assert via_engine == direct
+
+    def test_nn_reln_table_schema(self):
+        engine = Engine()
+        nn = make_nn([(0, [1], 2), (1, [0], 2)])
+        table = materialize_nn_reln(engine, nn)
+        assert table.schema == ("id", "nn_list", "ng")
+        assert table.n_rows == 2

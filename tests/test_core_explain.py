@@ -1,0 +1,81 @@
+"""Tests for the explanation utility."""
+
+import pytest
+
+from repro.core.explain import explain_group, explain_pair
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.embedded import table1_relation
+from repro.distances.edit import EditDistance
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    relation = table1_relation()
+    solver = DuplicateEliminator(EditDistance())
+    return solver.run(relation, DEParams.size(5, c=4.0))
+
+
+class TestExplainPair:
+    def test_grouped_pair(self, table1_result):
+        explanation = explain_pair(table1_result, 0, 1)
+        assert explanation.grouped
+        assert explanation.mutual
+        assert 2 in explanation.equal_set_sizes
+        assert explanation.sn_passes
+        assert "grouped" in explanation.verdict
+
+    def test_sn_blocked_pair(self, table1_result):
+        # Tuples 10 and 11 ("Are You Ready") are mutual NNs but their
+        # neighborhood growth is 4: SN blocks them at c=4.
+        explanation = explain_pair(table1_result, 10, 11)
+        assert not explanation.grouped
+        assert explanation.ng_a == 4
+        assert explanation.ng_b == 4
+        if explanation.equal_set_sizes:
+            assert explanation.sn_passes is False
+            assert "SN fails" in explanation.verdict
+
+    def test_unrelated_pair(self, table1_result):
+        explanation = explain_pair(table1_result, 0, 13)
+        assert not explanation.grouped
+        assert "NN lists" in explanation.verdict or "CS fails" in explanation.verdict
+
+    def test_order_insensitive(self, table1_result):
+        a = explain_pair(table1_result, 1, 0)
+        assert a.rid_a == 0
+        assert a.rid_b == 1
+
+    def test_same_record_rejected(self, table1_result):
+        with pytest.raises(ValueError):
+            explain_pair(table1_result, 3, 3)
+
+    def test_render_contains_key_facts(self, table1_result):
+        text = explain_pair(table1_result, 0, 1).render()
+        assert "records 0 and 1" in text
+        assert "grouped together: YES" in text
+        assert "verdict" in text
+
+    def test_non_mutual_verdict(self):
+        # 0-1 close; 2 closer to 3. Pair (1, 2): 2's nearest is 3.
+        relation = numbers_relation([0, 1, 10, 11, 500])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=4.0)
+        )
+        explanation = explain_pair(result, 1, 2)
+        assert not explanation.grouped
+        assert not explanation.mutual or not explanation.equal_set_sizes
+
+
+class TestExplainGroup:
+    def test_group_rendering(self, table1_result):
+        text = explain_group(table1_result, 0)
+        assert "group of record 0" in text
+        assert "[0]" in text and "[1]" in text
+        assert "ng=" in text
+
+    def test_singleton_rendering(self, table1_result):
+        text = explain_group(table1_result, 10)
+        assert "singleton" in text

@@ -1,0 +1,68 @@
+"""Tests for DEParams and cut specifications."""
+
+import pytest
+
+from repro.core.formulation import DEParams, DiameterCut, SizeCut
+
+
+class TestCuts:
+    def test_size_cut_validates(self):
+        with pytest.raises(ValueError):
+            SizeCut(0)
+
+    def test_diameter_cut_validates(self):
+        with pytest.raises(ValueError):
+            DiameterCut(0.0)
+        with pytest.raises(ValueError):
+            DiameterCut(1.0)
+
+    def test_str(self):
+        assert str(SizeCut(5)) == "size<=5"
+        assert str(DiameterCut(0.25)) == "diam<=0.25"
+
+
+class TestDEParams:
+    def test_size_constructor(self):
+        params = DEParams.size(5, c=4.0)
+        assert params.is_size_spec
+        assert params.k == 5
+
+    def test_diameter_constructor(self):
+        params = DEParams.diameter(0.3, c=6.0, agg="avg")
+        assert not params.is_size_spec
+        assert params.theta == 0.3
+        assert params.agg == "avg"
+
+    def test_k_on_diameter_spec_raises(self):
+        params = DEParams.diameter(0.3)
+        with pytest.raises(AttributeError):
+            _ = params.k
+
+    def test_theta_on_size_spec_raises(self):
+        params = DEParams.size(3)
+        with pytest.raises(AttributeError):
+            _ = params.theta
+
+    def test_rejects_unknown_aggregation(self):
+        with pytest.raises(ValueError, match="aggregation"):
+            DEParams.size(3, agg="median")
+
+    def test_rejects_small_c(self):
+        # A duplicate pair already has ng = 2; c <= 1 admits nothing.
+        with pytest.raises(ValueError, match="c must"):
+            DEParams.size(3, c=1.0)
+
+    def test_rejects_small_p(self):
+        with pytest.raises(ValueError, match="p must"):
+            DEParams.size(3, p=1.0)
+
+    def test_paper_default_p_is_two(self):
+        assert DEParams.size(3).p == 2.0
+
+    def test_describe(self):
+        assert "size<=3" in DEParams.size(3).describe()
+
+    def test_frozen(self):
+        params = DEParams.size(3)
+        with pytest.raises(AttributeError):
+            params.c = 9.0

@@ -1,0 +1,128 @@
+"""Property tests: incremental DE equals batch DE at every prefix."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import DEParams
+from repro.core.incremental import IncrementalDeduplicator
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.schema import Relation
+from repro.distances.edit import EditDistance
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=1, max_size=14, unique=True
+)
+
+
+def batch_partition(values, params):
+    relation = numbers_relation(values)
+    solver = DuplicateEliminator(absdiff_distance(), cache_distance=False)
+    return solver.run(relation, params).partition
+
+
+class TestMatchesBatch:
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy, st.integers(2, 5), st.sampled_from([2.0, 3.0, 4.0]))
+    def test_size_spec_final_state(self, values, k, c):
+        params = DEParams.size(k, c=c)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        for value in values:
+            inc.add((str(value),))
+        assert inc.partition() == batch_partition(values, params)
+
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy, st.floats(0.01, 0.2))
+    def test_diameter_spec_final_state(self, values, theta):
+        params = DEParams.diameter(theta, c=4.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        for value in values:
+            inc.add((str(value),))
+        assert inc.partition() == batch_partition(values, params)
+
+    @settings(max_examples=12, deadline=None)
+    @given(values_strategy)
+    def test_every_prefix_matches_batch(self, values):
+        """The maintained solution is correct after *each* insert."""
+        params = DEParams.size(3, c=4.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        for i, value in enumerate(values):
+            inc.add((str(value),))
+            assert inc.partition() == batch_partition(values[: i + 1], params)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values_strategy)
+    def test_nn_state_matches_batch_phase1(self, values):
+        from repro.core.nn_phase import prepare_nn_lists
+        from repro.index.bruteforce import BruteForceIndex
+
+        params = DEParams.size(4, c=4.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        for value in values:
+            inc.add((str(value),))
+        relation = numbers_relation(values)
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        batch_nn = prepare_nn_lists(relation, index, params)
+        inc_nn = inc.nn_relation()
+        for entry in batch_nn:
+            other = inc_nn.get(entry.rid)
+            assert other.neighbor_ids == entry.neighbor_ids, entry.rid
+            assert other.ng == entry.ng, entry.rid
+
+
+class TestBehaviour:
+    def test_duplicate_detected_after_insert(self):
+        # c = 3 keeps the far record (ng = 3: everything is within twice
+        # its huge nn distance) out of any group.
+        params = DEParams.size(3, c=3.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        inc.add(("0",))
+        inc.add(("500",))
+        # In a 2-record relation, the pair is vacuously a compact SN set.
+        assert inc.partition().non_trivial_groups() == [(0, 1)]
+        inc.add(("1",))  # duplicate of record 0
+        # The true duplicate displaces the spurious pair; the far
+        # record's ng rises to 3 and SN (c=3) expels it.
+        assert inc.partition().non_trivial_groups() == [(0, 2)]
+
+    def test_seed_relation_bulk_load(self):
+        seed = numbers_relation([0, 1, 100, 101])
+        params = DEParams.size(3, c=4.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params, seed=seed)
+        assert len(inc) == 4
+        assert inc.partition().non_trivial_groups() == [(0, 1), (2, 3)]
+
+    def test_ids_are_sequential(self):
+        inc = IncrementalDeduplicator(
+            absdiff_distance(), DEParams.size(2, c=4.0)
+        )
+        assert inc.add(("5",)) == 0
+        assert inc.add(("6",)) == 1
+
+    def test_string_records_with_edit_distance(self):
+        seed = Relation.from_strings(
+            "r", ["cascade systems", "granite manufacturing"]
+        )
+        params = DEParams.size(3, c=4.0)
+        inc = IncrementalDeduplicator(EditDistance(), params, seed=seed)
+        inc.add(("cascade sistems",))
+        # The typo'd copy must land in record 0's group (the whole
+        # 3-record relation is trivially compact, so the group may
+        # legitimately also contain the third record at K = 3).
+        assert inc.partition().same_group(0, 2)
+
+    def test_dense_insertions_update_ng(self):
+        # Insert a whole family around record 0: its NG must grow and
+        # the SN criterion must eventually reject its pairings.
+        params = DEParams.size(3, c=3.0)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        inc.add(("0",))
+        inc.add(("1",))
+        assert inc.partition().non_trivial_groups() == [(0, 1)]
+        inc.add(("2",))
+        inc.add(("3",))
+        # Interior records now have ng >= 3; c=3 dissolves the clump.
+        assert inc.partition().non_trivial_groups() == []

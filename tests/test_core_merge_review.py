@@ -1,0 +1,158 @@
+"""Tests for golden-record merging and review queues."""
+
+import pytest
+
+from repro.core.formulation import DEParams
+from repro.core.merge import (
+    MergePlan,
+    first_by_id,
+    least_abbreviated_value,
+    longest_value,
+    merge_partition,
+    most_frequent_value,
+)
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.result import Partition
+from repro.core.review import fragile_groups, near_miss_pairs
+from repro.data.schema import Relation
+from repro.distances.edit import EditDistance
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+class TestResolvers:
+    def test_longest(self):
+        assert longest_value(["ab", "abcd", "abc"]) == "abcd"
+
+    def test_longest_tie_keeps_first(self):
+        assert longest_value(["ab", "cd"]) == "ab"
+
+    def test_most_frequent(self):
+        assert most_frequent_value(["x", "y", "y"]) == "y"
+
+    def test_most_frequent_tie_keeps_first(self):
+        assert most_frequent_value(["x", "y"]) == "x"
+
+    def test_least_abbreviated(self):
+        values = ["M S Corp", "Microsoft Corp", "Microsoft Corporation"]
+        assert least_abbreviated_value(values) == "Microsoft Corporation"
+
+    def test_first_by_id(self):
+        assert first_by_id(["b", "a"]) == "b"
+
+
+class TestMergePartition:
+    @pytest.fixture
+    def relation(self):
+        return Relation.from_rows(
+            "orgs",
+            ("name", "city"),
+            [
+                ["Microsoft Corp", "Seattle"],
+                ["Microsoft Corporation", "Seattle"],
+                ["Boeing", "Chicago"],
+            ],
+        )
+
+    def test_groups_collapse(self, relation):
+        partition = Partition.from_groups([[0, 1], [2]])
+        result = merge_partition(relation, partition)
+        assert len(result.golden) == 2
+        assert result.golden.get(0).fields == ("Microsoft Corporation", "Seattle")
+        assert result.golden.get(1).fields == ("Boeing", "Chicago")
+
+    def test_lineage(self, relation):
+        partition = Partition.from_groups([[0, 1], [2]])
+        result = merge_partition(relation, partition)
+        assert result.sources_of(0) == (0, 1)
+        assert result.sources_of(1) == (2,)
+        assert result.n_merged_away == 1
+
+    def test_per_field_resolvers(self, relation):
+        partition = Partition.from_groups([[0, 1], [2]])
+        plan = MergePlan(per_field={"name": first_by_id})
+        result = merge_partition(relation, partition, plan=plan)
+        assert result.golden.get(0).fields[0] == "Microsoft Corp"
+
+    def test_golden_name(self, relation):
+        partition = Partition.singletons(relation.ids())
+        result = merge_partition(relation, partition, name="clean")
+        assert result.golden.name == "clean"
+        assert len(result.golden) == 3
+        assert result.n_merged_away == 0
+
+    def test_end_to_end_with_pipeline(self):
+        relation = Relation.from_strings(
+            "r",
+            [
+                "cascade systems corporation",
+                "cascade systems corp",
+                "granite manufacturing",
+                "sterling partners",
+            ],
+        )
+        de = DuplicateEliminator(EditDistance()).run(
+            relation, DEParams.size(3, c=4.0)
+        )
+        merged = merge_partition(relation, de.partition)
+        assert len(merged.golden) == 3
+        texts = merged.golden.texts()
+        assert "cascade systems corporation" in texts
+
+
+class TestReviewQueues:
+    def test_near_miss_sn_pair_detected(self):
+        # Clump [0..4]: pairs are compact but SN(c=3) blocks them (the
+        # interior ng is 3) -> near-miss with overshoot 0.
+        relation = numbers_relation([0, 1, 2, 3, 4, 1000, 1001])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=3.0)
+        )
+        queue = near_miss_pairs(result)
+        assert queue, "expected at least one near-miss"
+        top = queue[0]
+        assert top.kind in ("sn-near-miss", "cs-near-miss")
+        assert top.margin <= 2.0
+        assert not result.partition.same_group(*top.members)
+
+    def test_grouped_pairs_not_in_queue(self):
+        relation = numbers_relation([0, 1, 1000, 1001])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(2, c=4.0)
+        )
+        queue = near_miss_pairs(result)
+        grouped = result.partition.duplicate_pairs()
+        assert all(tuple(c.members) not in grouped for c in queue)
+
+    def test_limit_respected(self):
+        relation = numbers_relation(list(range(0, 60, 2)))
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=2.0)
+        )
+        queue = near_miss_pairs(result, limit=5)
+        assert len(queue) <= 5
+
+    def test_queue_sorted_by_margin(self):
+        relation = numbers_relation([0, 1, 2, 3, 4, 50, 51, 1000, 1001])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=3.0)
+        )
+        queue = near_miss_pairs(result)
+        margins = [c.margin for c in queue]
+        assert margins == sorted(margins)
+
+    def test_fragile_groups(self):
+        # The pair (5,6) is grouped with max(ng)=2 under c=3: headroom 1.
+        relation = numbers_relation([0, 1, 2, 3, 4, 1000, 1001])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=3.0)
+        )
+        fragile = fragile_groups(result, sn_window=1.5)
+        assert any(c.members == (5, 6) for c in fragile)
+
+    def test_fragile_groups_empty_when_comfortable(self):
+        relation = numbers_relation([0, 1, 1000, 1001])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(2, c=40.0)
+        )
+        assert fragile_groups(result, sn_window=1.0) == []

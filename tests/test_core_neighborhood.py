@@ -1,0 +1,98 @@
+"""Tests for the NN relation (Phase-1 output model)."""
+
+import pytest
+
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.index.base import Neighbor
+
+
+def entry(rid, neighbor_ids, ng=2, base=0.1):
+    return NNEntry(
+        rid=rid,
+        neighbors=tuple(
+            Neighbor(base * (i + 1), nid) for i, nid in enumerate(neighbor_ids)
+        ),
+        ng=ng,
+    )
+
+
+class TestNNEntry:
+    def test_neighbor_ids(self):
+        assert entry(0, [5, 3]).neighbor_ids == (5, 3)
+
+    def test_nn_distance(self):
+        assert entry(0, [5, 3]).nn_distance == pytest.approx(0.1)
+
+    def test_nn_distance_empty(self):
+        assert entry(0, []).nn_distance == float("inf")
+
+    def test_prefix_set_includes_self(self):
+        e = entry(0, [5, 3, 8])
+        assert e.prefix_set(1) == {0}
+        assert e.prefix_set(2) == {0, 5}
+        assert e.prefix_set(4) == {0, 5, 3, 8}
+
+    def test_prefix_set_too_large_raises(self):
+        with pytest.raises(ValueError, match="cannot form"):
+            entry(0, [5]).prefix_set(3)
+
+    def test_prefix_set_size_zero_raises(self):
+        with pytest.raises(ValueError):
+            entry(0, [5]).prefix_set(0)
+
+    def test_max_group_size(self):
+        assert entry(0, [1, 2, 3]).max_group_size == 4
+
+    def test_contains_within_list(self):
+        e = entry(0, [5, 3])
+        assert e.contains_within_list(3)
+        assert not e.contains_within_list(99)
+
+
+class TestNNRelation:
+    def test_add_and_get(self):
+        nn = NNRelation()
+        nn.add(entry(0, [1]))
+        assert nn.get(0).rid == 0
+
+    def test_duplicate_add_rejected(self):
+        nn = NNRelation()
+        nn.add(entry(0, [1]))
+        with pytest.raises(ValueError):
+            nn.add(entry(0, [2]))
+
+    def test_iteration_sorted_by_id(self):
+        nn = NNRelation()
+        nn.add(entry(5, [1]))
+        nn.add(entry(2, [1]))
+        assert [e.rid for e in nn] == [2, 5]
+
+    def test_ids(self):
+        nn = NNRelation()
+        nn.add(entry(3, []))
+        nn.add(entry(1, []))
+        assert nn.ids() == [1, 3]
+
+    def test_ng_values(self):
+        nn = NNRelation()
+        nn.add(entry(0, [], ng=4))
+        nn.add(entry(1, [], ng=2))
+        assert nn.ng_values() == [4, 2]
+
+    def test_nn_lists(self):
+        nn = NNRelation()
+        nn.add(entry(0, [1, 2]))
+        lists = nn.nn_lists()
+        assert [n.rid for n in lists[0]] == [1, 2]
+
+    def test_as_rows(self):
+        nn = NNRelation()
+        nn.add(entry(0, [2, 1], ng=3))
+        assert nn.as_rows() == [(0, (2, 1), 3)]
+
+    def test_contains_and_len(self):
+        nn = NNRelation()
+        nn.add(entry(7, []))
+        assert 7 in nn
+        assert 8 not in nn
+        assert len(nn) == 1

@@ -1,0 +1,103 @@
+"""Tests for the partitioning step (Phase 2, second step)."""
+
+from repro.core.cspairs import CSPair
+from repro.core.formulation import DEParams
+from repro.core.partitioner import extract_group, partition_records
+from repro.core.result import Partition
+
+
+def pair(id1, id2, flags, ng1=2, ng2=2):
+    return CSPair(id1=id1, id2=id2, ng1=ng1, ng2=ng2, flags=tuple(flags))
+
+
+class TestExtractGroup:
+    def test_pair_group(self):
+        rows = [pair(0, 1, [True])]
+        group = extract_group(0, 2, rows, DEParams.size(2, c=4.0), set())
+        assert group == [0, 1]
+
+    def test_largest_group_preferred(self):
+        rows = [
+            pair(0, 1, [True, True, True]),
+            pair(0, 2, [False, True, True]),
+            pair(0, 3, [False, True, True]),
+        ]
+        group = extract_group(0, 2, rows, DEParams.size(4, c=4.0), set())
+        assert group == [0, 1, 2, 3]
+
+    def test_incomplete_partner_count_falls_back(self):
+        # m=3 requires exactly 2 partners; only one supports it.
+        rows = [pair(0, 1, [True, True]), pair(0, 2, [False, False])]
+        group = extract_group(0, 2, rows, DEParams.size(3, c=4.0), set())
+        assert group == [0, 1]
+
+    def test_sn_rejection_falls_back_to_smaller(self):
+        # The 3-group has a dense member (ng 9); the pair passes.
+        rows = [
+            pair(0, 1, [True, True], ng2=2),
+            pair(0, 2, [False, True], ng2=9),
+        ]
+        group = extract_group(0, 2, rows, DEParams.size(3, c=4.0), set())
+        assert group == [0, 1]
+
+    def test_sn_rejection_total(self):
+        rows = [pair(0, 1, [True], ng1=9, ng2=9)]
+        assert extract_group(0, 9, rows, DEParams.size(2, c=4.0), set()) is None
+
+    def test_avg_aggregation(self):
+        rows = [pair(0, 1, [True], ng1=2, ng2=9)]
+        params_max = DEParams.size(2, agg="max", c=6.0)
+        params_avg = DEParams.size(2, agg="avg", c=6.0)
+        assert extract_group(0, 2, rows, params_max, set()) is None
+        assert extract_group(0, 2, rows, params_avg, set()) == [0, 1]
+
+    def test_assigned_partner_blocks_group(self):
+        rows = [pair(0, 1, [True])]
+        assert extract_group(0, 2, rows, DEParams.size(2, c=4.0), {1}) is None
+
+    def test_no_rows(self):
+        assert extract_group(0, 2, [], DEParams.size(2, c=4.0), set()) is None
+
+
+class TestPartitionRecords:
+    def test_unmatched_become_singletons(self):
+        rows = [pair(0, 1, [True])]
+        partition = partition_records([0, 1, 2, 3], rows, DEParams.size(2, c=4.0))
+        assert partition == Partition.from_groups([[0, 1], [2], [3]])
+
+    def test_disjoint_groups(self):
+        rows = [pair(0, 1, [True]), pair(2, 3, [True])]
+        partition = partition_records([0, 1, 2, 3], rows, DEParams.size(2, c=4.0))
+        assert partition.non_trivial_groups() == [(0, 1), (2, 3)]
+
+    def test_anchor_already_assigned_is_skipped(self):
+        # Group {0,1,2} claims 1; the later rows under 1 must be ignored.
+        rows = [
+            pair(0, 1, [False, True]),
+            pair(0, 2, [False, True]),
+            pair(1, 2, [True, False]),
+        ]
+        partition = partition_records([0, 1, 2], rows, DEParams.size(3, c=4.0))
+        assert partition.non_trivial_groups() == [(0, 1, 2)]
+
+    def test_group_under_minimum_id_only(self):
+        # Rows under anchor 1 see only one partner (2) even though the
+        # real compact set is {0,1,2}; the group is found under 0.
+        rows = [
+            pair(0, 1, [False, True]),
+            pair(0, 2, [False, True]),
+            pair(1, 2, [False, True]),
+        ]
+        partition = partition_records([0, 1, 2], rows, DEParams.size(3, c=4.0))
+        assert partition.non_trivial_groups() == [(0, 1, 2)]
+
+    def test_empty_pairs(self):
+        partition = partition_records([0, 1], [], DEParams.size(2, c=4.0))
+        assert partition == Partition.singletons([0, 1])
+
+    def test_minimum_number_of_groups_on_chain(self):
+        # cs2(0,1) and cs2(2,3): two pairs, not one chain (contrast with
+        # single-linkage, which would merge on transitivity).
+        rows = [pair(0, 1, [True]), pair(1, 2, [False]), pair(2, 3, [True])]
+        partition = partition_records([0, 1, 2, 3], rows, DEParams.size(2, c=4.0))
+        assert partition.non_trivial_groups() == [(0, 1), (2, 3)]

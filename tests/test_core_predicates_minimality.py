@@ -1,0 +1,150 @@
+"""Tests for constraining predicates and minimal compact sets."""
+
+import pytest
+
+from repro.core.minimality import compact_subsets, enforce_minimality, split_to_minimal
+from repro.core.neighborhood import NNEntry, NNRelation
+from repro.core.predicates import apply_constraining_predicate, split_group
+from repro.core.result import Partition
+from repro.index.base import Neighbor
+
+from tests.helpers import numbers_relation
+
+
+class TestConstrainingPredicates:
+    def different_last_char(self, a, b):
+        return a.fields[0][-1] != b.fields[0][-1]
+
+    def test_clean_group_untouched(self):
+        relation = numbers_relation([11, 21, 31])
+        partition = Partition.from_groups([[0, 1, 2]])
+        out = apply_constraining_predicate(partition, relation, lambda a, b: False)
+        assert out == partition
+
+    def test_forbidden_pair_split(self):
+        relation = numbers_relation([11, 12])
+        partition = Partition.from_groups([[0, 1]])
+        out = apply_constraining_predicate(
+            partition, relation, self.different_last_char
+        )
+        assert out == Partition.singletons([0, 1])
+
+    def test_partial_split_keeps_allowed_subgroup(self):
+        # Records ending in 1 may group; the one ending in 2 is peeled.
+        relation = numbers_relation([11, 21, 32])
+        partition = Partition.from_groups([[0, 1, 2]])
+        out = apply_constraining_predicate(
+            partition, relation, self.different_last_char
+        )
+        assert (0, 1) in out.groups
+        assert (2,) in out.groups
+
+    def test_no_output_group_violates(self):
+        relation = numbers_relation([11, 21, 32, 42, 53])
+        partition = Partition.from_groups([[0, 1, 2, 3, 4]])
+        out = apply_constraining_predicate(
+            partition, relation, self.different_last_char
+        )
+        for group in out:
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    assert not self.different_last_char(
+                        relation.get(a), relation.get(b)
+                    )
+
+    def test_split_group_singleton(self):
+        relation = numbers_relation([5])
+        assert split_group([0], relation, lambda a, b: True) == [[0]]
+
+    def test_deterministic(self):
+        relation = numbers_relation([11, 21, 32, 42])
+        partition = Partition.from_groups([[0, 1, 2, 3]])
+        a = apply_constraining_predicate(partition, relation, self.different_last_char)
+        b = apply_constraining_predicate(partition, relation, self.different_last_char)
+        assert a == b
+
+
+def nn_from_lists(lists, ng=2):
+    nn = NNRelation()
+    for rid, neighbor_ids in lists.items():
+        nn.add(
+            NNEntry(
+                rid=rid,
+                neighbors=tuple(
+                    Neighbor(0.01 * (i + 1), nid)
+                    for i, nid in enumerate(neighbor_ids)
+                ),
+                ng=ng,
+            )
+        )
+    return nn
+
+
+class TestMinimality:
+    def three_pairs_nn(self):
+        """The paper's example: three duplicate pairs mutually close.
+
+        Each v_i / v_i' pair is at tiny distance; across pairs the
+        distance is larger but below what would separate them.  NN lists
+        reflect that: each record's nearest is its twin.
+        Ids: (0,1), (2,3), (4,5).
+        """
+        return nn_from_lists(
+            {
+                0: [1, 2, 3, 4, 5],
+                1: [0, 2, 3, 4, 5],
+                2: [3, 0, 1, 4, 5],
+                3: [2, 0, 1, 4, 5],
+                4: [5, 0, 1, 2, 3],
+                5: [4, 0, 1, 2, 3],
+            }
+        )
+
+    def test_compact_subsets_finds_pairs(self):
+        nn = self.three_pairs_nn()
+        subsets = compact_subsets(nn, (0, 1, 2, 3, 4, 5))
+        assert frozenset({0, 1}) in subsets
+        assert frozenset({2, 3}) in subsets
+        assert frozenset({4, 5}) in subsets
+
+    def test_split_to_minimal_splits_union_of_pairs(self):
+        nn = self.three_pairs_nn()
+        parts = split_to_minimal(nn, (0, 1, 2, 3, 4, 5))
+        assert sorted(parts) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_small_groups_untouched(self):
+        nn = nn_from_lists({0: [1], 1: [0]})
+        assert split_to_minimal(nn, (0, 1)) == [(0, 1)]
+
+    def test_genuine_large_group_kept(self):
+        # A true 4-group of mutual NNs with no compact proper subsets:
+        # each record's 2-set differs (no mutual-NN pair inside).
+        nn = nn_from_lists(
+            {
+                0: [1, 2, 3],
+                1: [2, 3, 0],
+                2: [3, 0, 1],
+                3: [0, 1, 2],
+            }
+        )
+        assert split_to_minimal(nn, (0, 1, 2, 3)) == [(0, 1, 2, 3)]
+
+    def test_enforce_minimality_partition(self):
+        nn = self.three_pairs_nn()
+        partition = Partition.from_groups([[0, 1, 2, 3, 4, 5], [6]])
+        out = enforce_minimality(partition, nn)
+        assert out == Partition.from_groups([[0, 1], [2, 3], [4, 5], [6]])
+
+    def test_leftover_members_become_singletons(self):
+        # Two disjoint pairs plus one record not in any compact subset.
+        nn = nn_from_lists(
+            {
+                0: [1, 4, 2, 3],
+                1: [0, 4, 2, 3],
+                2: [3, 4, 0, 1],
+                3: [2, 4, 0, 1],
+                4: [0, 2, 1, 3],
+            }
+        )
+        parts = split_to_minimal(nn, (0, 1, 2, 3, 4))
+        assert sorted(parts) == [(0, 1), (2, 3), (4,)]

@@ -1,0 +1,152 @@
+"""Property-based tests for the framework lemmas (paper section 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.properties import (
+    check_scale_invariance,
+    check_split_merge_consistency,
+    check_uniqueness,
+    is_p_conscious,
+    p_conscious_transform,
+    realize_partition,
+)
+from repro.core.result import Partition
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+# Distinct small integers; differences stay under the 1000 scale.
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=2, max_size=16, unique=True
+)
+
+
+class TestLemma1Uniqueness:
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_uniqueness_size_spec(self, values):
+        relation = numbers_relation(values)
+        assert check_uniqueness(relation, absdiff_distance(), DEParams.size(4, c=4.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_uniqueness_diameter_spec(self, values):
+        relation = numbers_relation(values)
+        assert check_uniqueness(
+            relation, absdiff_distance(), DEParams.diameter(0.05, c=4.0)
+        )
+
+
+class TestLemma2ScaleInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy, st.floats(0.1, 1.0))
+    def test_scale_invariance_size_spec(self, values, alpha):
+        relation = numbers_relation(values)
+        assert check_scale_invariance(
+            relation, absdiff_distance(), DEParams.size(4, c=4.0), alpha=alpha
+        )
+
+    def test_diameter_spec_not_scale_invariant(self):
+        """DE_D(θ) is *not* scale-invariant (the paper only claims
+        Lemma 2 for DE_S): scaling distances below θ changes the radius
+        query results."""
+        relation = numbers_relation([0, 30, 1000])
+        params = DEParams.diameter(0.025, c=4.0)
+        base = DuplicateEliminator(absdiff_distance(), cache_distance=False).run(
+            relation, params
+        )
+        from repro.distances.base import ScaledDistance
+
+        scaled = DuplicateEliminator(
+            ScaledDistance(absdiff_distance(), 0.5), cache_distance=False
+        ).run(relation, params)
+        assert base.partition != scaled.partition
+
+
+class TestLemma3SplitMergeConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy)
+    def test_consistency_size_spec(self, values):
+        relation = numbers_relation(values)
+        assert check_split_merge_consistency(
+            relation, absdiff_distance(), DEParams.size(4, c=4.0)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy)
+    def test_consistency_diameter_spec(self, values):
+        relation = numbers_relation(values)
+        assert check_split_merge_consistency(
+            relation, absdiff_distance(), DEParams.diameter(0.05, c=4.0), grow=1.0
+        )
+
+    def test_p_conscious_transform_definition(self):
+        relation = numbers_relation([0, 1, 50, 51, 200])
+        distance = absdiff_distance()
+        partition = Partition.from_groups([[0, 1], [2, 3], [4]])
+        transformed = p_conscious_transform(distance, partition, shrink=0.5, grow=1.5)
+        assert is_p_conscious(relation, distance, transformed, partition)
+
+    def test_p_conscious_validation(self):
+        partition = Partition.from_groups([[0]])
+        with pytest.raises(ValueError):
+            p_conscious_transform(absdiff_distance(), partition, shrink=1.5)
+        with pytest.raises(ValueError):
+            p_conscious_transform(absdiff_distance(), partition, grow=0.5)
+
+    def test_homogenizing_duplicates_keeps_groups(self):
+        """The paper's canonical application: making duplicates nearly
+        identical (a P-conscious transformation) must not break groups
+        apart into unions of fragments."""
+        relation = numbers_relation([0, 3, 100, 103, 500])
+        params = DEParams.size(3, c=4.0)
+        distance = absdiff_distance()
+        original = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, params
+        )
+        squeezed = p_conscious_transform(
+            distance, original.partition, shrink=0.01, grow=1.0
+        )
+        after = DuplicateEliminator(squeezed, cache_distance=False).run(
+            relation, params
+        )
+        for group in after.partition:
+            inside_old = set(original.partition.group_of(group[0]))
+            assert set(group).issubset(inside_old) or after.partition.is_union_of_groups(
+                group, original.partition
+            )
+
+
+class TestLemma4Richness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.integers(1, 4), min_size=2, max_size=8
+        )
+    )
+    def test_realize_arbitrary_small_group_partitions(self, group_sizes):
+        """Any partition into small groups is in the range of DE_S(K)."""
+        groups = []
+        next_id = 0
+        for size in group_sizes:
+            groups.append(list(range(next_id, next_id + size)))
+            next_id += size
+        target = Partition.from_groups(groups)
+        relation, distance = realize_partition(target)
+        k = max(group_sizes)
+        c = float(k + 1)
+        result = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(k, c=c)
+        )
+        assert result.partition == target
+
+    def test_all_singletons_realizable(self):
+        target = Partition.singletons(range(6))
+        relation, distance = realize_partition(target)
+        result = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(2, c=2.5)
+        )
+        assert result.partition == target

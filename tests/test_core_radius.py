@@ -1,0 +1,150 @@
+"""Tests for generalized neighborhood radius functions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.criteria import neighborhood_growth_brute
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.radius import (
+    AffineRadius,
+    CappedRadius,
+    LinearRadius,
+    PowerRadius,
+)
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+unit_floats = st.floats(0.0, 1.0)
+
+
+class TestRadiusFunctions:
+    def test_linear_matches_paper(self):
+        assert LinearRadius(2.0)(0.1) == pytest.approx(0.2)
+
+    def test_linear_validation(self):
+        with pytest.raises(ValueError):
+            LinearRadius(1.0)
+
+    def test_affine_minimum_vicinity(self):
+        fn = AffineRadius(p=2.0, delta=0.05)
+        assert fn(0.0) == pytest.approx(0.05)
+
+    def test_affine_validation(self):
+        with pytest.raises(ValueError):
+            AffineRadius(p=0.5)
+        with pytest.raises(ValueError):
+            AffineRadius(p=2.0, delta=-0.1)
+        with pytest.raises(ValueError):
+            AffineRadius(p=1.0, delta=0.0)
+
+    def test_power_sublinear_for_gamma_above_one(self):
+        fn = PowerRadius(p=2.0, gamma=2.0)
+        assert fn(0.1) == pytest.approx(0.02)
+
+    def test_power_validation(self):
+        with pytest.raises(ValueError):
+            PowerRadius(p=0.0)
+        with pytest.raises(ValueError):
+            PowerRadius(gamma=0.0)
+
+    def test_capped(self):
+        fn = CappedRadius(LinearRadius(2.0), cap=0.3)
+        assert fn(0.1) == pytest.approx(0.2)
+        assert fn(0.5) == pytest.approx(0.3)
+
+    def test_capped_validation(self):
+        with pytest.raises(ValueError):
+            CappedRadius(LinearRadius(2.0), cap=0.0)
+
+    @given(unit_floats)
+    def test_linear_equals_default_p(self, nn_d):
+        assert LinearRadius(2.0)(nn_d) == pytest.approx(2.0 * nn_d)
+
+    @given(unit_floats, unit_floats)
+    def test_monotonicity(self, a, b):
+        lo, hi = sorted((a, b))
+        for fn in (
+            LinearRadius(2.0),
+            AffineRadius(2.0, 0.1),
+            PowerRadius(2.0, 1.5),
+            CappedRadius(LinearRadius(3.0), 0.4),
+        ):
+            assert fn(lo) <= fn(hi) + 1e-12
+
+    def test_describe(self):
+        assert LinearRadius(2.0).describe() == "2.0*nn"
+        assert "min(" in CappedRadius(LinearRadius(2.0), 0.3).describe()
+
+
+class TestWiring:
+    def test_brute_growth_with_radius_fn(self):
+        relation = numbers_relation([0, 10, 15, 100])
+        # Linear p=2 for record 0: radius 20 covers 10, 15 -> ng 3.
+        assert neighborhood_growth_brute(relation, absdiff_distance(), 0) == 3
+        # Capped at 0.012 (12 units): covers only 10 -> ng 2.
+        capped = CappedRadius(LinearRadius(2.0), cap=0.012)
+        assert (
+            neighborhood_growth_brute(
+                relation, absdiff_distance(), 0, radius_fn=capped
+            )
+            == 2
+        )
+
+    def test_index_growth_with_radius_fn(self):
+        relation = numbers_relation([0, 10, 15, 100])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        record = relation.get(0)
+        assert index.neighborhood_growth(record) == 3
+        capped = CappedRadius(LinearRadius(2.0), cap=0.012)
+        assert index.neighborhood_growth(record, radius_fn=capped) == 2
+
+    def test_index_matches_brute_for_radius_fn(self):
+        relation = numbers_relation([0, 3, 9, 27, 81, 243])
+        distance = absdiff_distance()
+        index = BruteForceIndex()
+        index.build(relation, distance)
+        fn = AffineRadius(p=2.0, delta=0.01)
+        for record in relation:
+            assert index.neighborhood_growth(
+                record, radius_fn=fn
+            ) == neighborhood_growth_brute(
+                relation, distance, record.rid, radius_fn=fn
+            )
+
+    def test_prepare_nn_lists_with_radius_fn(self):
+        relation = numbers_relation([0, 10, 15, 100])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        params = DEParams.size(3)
+        default = prepare_nn_lists(relation, index, params)
+        capped = prepare_nn_lists(
+            relation,
+            index,
+            params,
+            radius_fn=CappedRadius(LinearRadius(2.0), cap=0.012),
+        )
+        assert default.get(0).ng == 3
+        assert capped.get(0).ng == 2
+        # NN lists themselves are unaffected by the radius function.
+        assert default.get(0).neighbor_ids == capped.get(0).neighbor_ids
+
+
+class TestPipelineWiring:
+    def test_eliminator_accepts_radius_fn(self):
+        from repro.core.formulation import DEParams
+        from repro.core.pipeline import DuplicateEliminator
+
+        relation = numbers_relation([0, 10, 15, 100])
+        default = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(3, c=3.0)
+        )
+        capped = DuplicateEliminator(
+            absdiff_distance(),
+            radius_fn=CappedRadius(LinearRadius(2.0), cap=0.012),
+        ).run(relation, DEParams.size(3, c=3.0))
+        assert default.nn_relation.get(0).ng == 3
+        assert capped.nn_relation.get(0).ng == 2

@@ -1,0 +1,89 @@
+"""Tests for the Partition type."""
+
+import pytest
+
+from repro.core.result import Partition
+
+
+class TestConstruction:
+    def test_canonical_form(self):
+        partition = Partition.from_groups([[3, 1], [2], [5, 4]])
+        assert partition.groups == ((1, 3), (2,), (4, 5))
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(ValueError, match="two groups"):
+            Partition(groups=((1, 2), (2, 3)))
+
+    def test_empty_groups_dropped(self):
+        partition = Partition.from_groups([[1], [], [2]])
+        assert partition.groups == ((1,), (2,))
+
+    def test_singletons(self):
+        partition = Partition.singletons([3, 1, 2])
+        assert partition.groups == ((1,), (2,), (3,))
+
+    def test_duplicate_ids_within_group_deduped(self):
+        partition = Partition.from_groups([[1, 1, 2]])
+        assert partition.groups == ((1, 2),)
+
+
+class TestQueries:
+    def test_group_of(self):
+        partition = Partition.from_groups([[1, 2], [3]])
+        assert partition.group_of(2) == (1, 2)
+
+    def test_group_of_unknown_raises(self):
+        partition = Partition.from_groups([[1]])
+        with pytest.raises(KeyError):
+            partition.group_of(99)
+
+    def test_ids(self):
+        partition = Partition.from_groups([[2, 4], [1]])
+        assert partition.ids() == [1, 2, 4]
+
+    def test_non_trivial_groups(self):
+        partition = Partition.from_groups([[1, 2], [3], [4, 5, 6]])
+        assert partition.non_trivial_groups() == [(1, 2), (4, 5, 6)]
+
+    def test_duplicate_pairs(self):
+        partition = Partition.from_groups([[1, 2, 3], [4]])
+        assert partition.duplicate_pairs() == {(1, 2), (1, 3), (2, 3)}
+
+    def test_same_group(self):
+        partition = Partition.from_groups([[1, 2], [3]])
+        assert partition.same_group(1, 2)
+        assert not partition.same_group(1, 3)
+        assert not partition.same_group(1, 99)
+
+    def test_contains_and_len_and_iter(self):
+        partition = Partition.from_groups([[1], [2, 3]])
+        assert 3 in partition
+        assert 9 not in partition
+        assert len(partition) == 2
+        assert list(partition) == [(1,), (2, 3)]
+
+
+class TestRelations:
+    def test_refines(self):
+        fine = Partition.from_groups([[1], [2], [3, 4]])
+        coarse = Partition.from_groups([[1, 2], [3, 4]])
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+
+    def test_refines_self(self):
+        partition = Partition.from_groups([[1, 2], [3]])
+        assert partition.refines(partition)
+
+    def test_refines_different_universe(self):
+        a = Partition.from_groups([[1]])
+        b = Partition.from_groups([[2]])
+        assert not a.refines(b)
+
+    def test_is_union_of_groups(self):
+        base = Partition.from_groups([[1, 2], [3, 4], [5]])
+        merged = Partition.from_groups([[1, 2, 3, 4], [5]])
+        assert merged.is_union_of_groups((1, 2, 3, 4), base)
+        assert not merged.is_union_of_groups((1, 2, 3), base)
+
+    def test_equality_is_structural(self):
+        assert Partition.from_groups([[2, 1]]) == Partition.from_groups([[1, 2]])

@@ -1,0 +1,84 @@
+"""Tests for the SN threshold heuristic (paper section 4.4)."""
+
+import pytest
+
+from repro.core.threshold import estimate_sn_threshold
+
+
+class TestValidation:
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sn_threshold([], 0.3)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            estimate_sn_threshold([2, 3], 0.0)
+        with pytest.raises(ValueError):
+            estimate_sn_threshold([2, 3], 1.0)
+
+
+class TestSpikeDetection:
+    def test_ideal_bimodal_distribution(self):
+        # 30% duplicates at ng=2, 70% uniques at ng=5.
+        ng = [2] * 30 + [5] * 70
+        estimate = estimate_sn_threshold(ng, 0.3)
+        assert estimate.spike_found
+        assert estimate.ng_value == 2
+        assert estimate.c == 3.0
+
+    def test_threshold_admits_duplicates_strictly(self):
+        # The returned c used as "ng < c" must accept the duplicate mass.
+        ng = [2] * 30 + [5] * 70
+        estimate = estimate_sn_threshold(ng, 0.3)
+        assert all(value < estimate.c for value in ng if value == 2)
+        assert all(not (value < estimate.c) for value in ng if value == 5)
+
+    def test_spike_slightly_off_estimate(self):
+        # True duplicate fraction 0.34, user says 0.30: window catches it.
+        ng = [2] * 34 + [6] * 66
+        estimate = estimate_sn_threshold(ng, 0.30)
+        assert estimate.spike_found
+        assert estimate.ng_value == 2
+
+    def test_least_spike_in_window_wins(self):
+        # Two spikes inside the window: the smaller NG value is chosen.
+        ng = [2] * 28 + [3] * 30 + [9] * 42
+        estimate = estimate_sn_threshold(ng, 0.3, window=0.3)
+        assert estimate.ng_value == 2
+
+    def test_fallback_without_spike(self):
+        # Uniform-ish NG values: no mass exceeds the spike threshold in
+        # the window, so fall back to D^{-1}(f + window).
+        ng = list(range(1, 101))  # each value has mass 0.01
+        estimate = estimate_sn_threshold(ng, 0.3)
+        assert not estimate.spike_found
+        assert estimate.cumulative >= 0.35
+
+    def test_fallback_all_mass_below_window(self):
+        # Every tuple has the same NG and cumulative jumps straight to 1.
+        estimate = estimate_sn_threshold([4] * 50, 0.3)
+        assert estimate.ng_value == 4
+        assert estimate.c == 5.0
+
+    def test_cumulative_reported(self):
+        ng = [2] * 50 + [8] * 50
+        estimate = estimate_sn_threshold(ng, 0.5, window=0.05)
+        assert estimate.cumulative == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_heuristic_on_dataset_ng_values(self, restaurants_dataset):
+        """The estimated c separates duplicates from dense uniques."""
+        from repro.core.formulation import DEParams
+        from repro.core.nn_phase import prepare_nn_lists
+        from repro.distances.base import CachedDistance
+        from repro.distances.edit import EditDistance
+        from repro.index.bruteforce import BruteForceIndex
+
+        relation = restaurants_dataset.relation
+        index = BruteForceIndex()
+        index.build(relation, CachedDistance(EditDistance()))
+        nn = prepare_nn_lists(relation, index, DEParams.size(5))
+        f = restaurants_dataset.gold.duplicate_fraction()
+        estimate = estimate_sn_threshold(nn.ng_values(), f)
+        assert 2.0 <= estimate.c <= 10.0

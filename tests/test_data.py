@@ -1,0 +1,337 @@
+"""Tests for error injection, generators, duplicate injection, loaders."""
+
+import pytest
+
+from repro.data.duplicates import GoldStandard, inject_duplicates
+from repro.data.embedded import (
+    integer_distance,
+    integers_example,
+    table1_expected_partition,
+    table1_gold,
+    table1_relation,
+)
+from repro.data.errors import ErrorModel
+from repro.data.generators import GENERATORS, MediaGenerator, ParkGenerator
+from repro.data.loaders import (
+    dataset_names,
+    load_dataset,
+    relation_from_csv,
+    relation_to_csv,
+)
+
+
+class TestErrorModel:
+    def test_deterministic_under_seed(self):
+        a = ErrorModel(seed=5).corrupt("golden dragon express", 2)
+        b = ErrorModel(seed=5).corrupt("golden dragon express", 2)
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        outcomes = {
+            ErrorModel(seed=s).corrupt("golden dragon express", 2) for s in range(8)
+        }
+        assert len(outcomes) > 1
+
+    def test_typo_transpose(self):
+        model = ErrorModel(seed=0)
+        assert model.typo_transpose("ab") == "ba"
+
+    def test_typo_delete_never_empties(self):
+        model = ErrorModel(seed=0)
+        assert model.typo_delete("a") == "a"
+
+    def test_typo_insert_lengthens(self):
+        model = ErrorModel(seed=0)
+        assert len(model.typo_insert("abc")) == 4
+
+    def test_swap_tokens(self):
+        model = ErrorModel(seed=0)
+        assert model.swap_tokens("lisa simpson") == "simpson lisa"
+
+    def test_drop_token_single_word_noop(self):
+        model = ErrorModel(seed=0)
+        assert model.drop_token("single") == "single"
+
+    def test_abbreviate(self):
+        model = ErrorModel(seed=0)
+        assert model.abbreviate("acme corporation") == "acme corp"
+
+    def test_expand(self):
+        model = ErrorModel(seed=0)
+        assert model.expand("acme corp") == "acme corporation"
+
+    def test_move_leading_article(self):
+        model = ErrorModel(seed=0)
+        assert model.move_leading_article("The Beatles") == "Beatles, The"
+        assert model.move_leading_article("Beatles") == "Beatles"
+
+    def test_strip_punctuation(self):
+        model = ErrorModel(seed=0)
+        assert model.strip_punctuation("I'm Dr. Who,") == "Im Dr Who"
+
+    def test_merge_tokens(self):
+        model = ErrorModel(seed=0)
+        assert model.merge_tokens("data base") == "database"
+
+    def test_initial_token(self):
+        model = ErrorModel(seed=1)
+        result = model.initial_token("rajeev motwani")
+        assert result in ("R motwani", "rajeev M")
+
+    def test_corrupt_changes_text(self):
+        model = ErrorModel(seed=3)
+        assert model.corrupt("cascade systems corporation", 2) != (
+            "cascade systems corporation"
+        )
+
+    def test_corrupt_fields_touches_only_nonempty(self):
+        model = ErrorModel(seed=0)
+        fields = model.corrupt_fields(("", "hello world"), n_errors=2)
+        assert fields[0] == ""
+        assert fields[1] != "hello world"
+
+    def test_corrupt_fields_all_empty(self):
+        model = ErrorModel(seed=0)
+        assert model.corrupt_fields(("", ""), n_errors=2) == ("", "")
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_generates_requested_count(self, name):
+        rows = GENERATORS[name].generate(50, seed=1)
+        assert len(rows) == 50
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_rows_unique(self, name):
+        rows = GENERATORS[name].generate(50, seed=1)
+        assert len(set(rows)) == 50
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_deterministic(self, name):
+        assert GENERATORS[name].generate(30, seed=2) == GENERATORS[name].generate(
+            30, seed=2
+        )
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_arity_matches_schema(self, name):
+        generator = GENERATORS[name]
+        rows = generator.generate(20, seed=0)
+        assert all(len(row) == len(generator.schema) for row in rows)
+
+    def test_media_contains_series_families(self):
+        rows = MediaGenerator().generate(200, seed=0)
+        assert any("Part II" in track for _, track in rows)
+
+    def test_parks_has_no_families(self):
+        # Parks rows are single emissions; no "Part"/"Outlet" markers.
+        rows = ParkGenerator().generate(100, seed=0)
+        assert not any("Outlet" in row[0] or "Part" in row[0] for row in rows)
+
+    def test_vocabulary_exhaustion_raises(self):
+        with pytest.raises(RuntimeError, match="exhausted"):
+            ParkGenerator().generate(10_000, seed=0)
+
+
+class TestInjectDuplicates:
+    def test_gold_covers_all_records(self):
+        dataset = inject_duplicates(
+            "t", ("v",), [("a b c",), ("d e f",), ("g h i",)], seed=0
+        )
+        assert set(dataset.gold.entity_of) == set(dataset.relation.ids())
+
+    def test_zero_fraction_gives_no_duplicates(self):
+        dataset = inject_duplicates(
+            "t", ("v",), [("a",), ("b",)], duplicate_fraction=0.0, seed=0
+        )
+        assert dataset.gold.true_pairs() == set()
+        assert len(dataset.relation) == 2
+
+    def test_full_fraction_duplicates_everything(self):
+        dataset = inject_duplicates(
+            "t",
+            ("v",),
+            [("alpha beta",), ("gamma delta",)],
+            duplicate_fraction=1.0,
+            seed=0,
+        )
+        assert dataset.gold.duplicate_fraction() == 1.0
+
+    def test_duplicate_fraction_accounting(self):
+        gold = GoldStandard()
+        gold.add(0, 0)
+        gold.add(1, 0)
+        gold.add(2, 1)
+        assert gold.duplicate_fraction() == pytest.approx(2 / 3)
+
+    def test_true_pairs(self):
+        gold = GoldStandard()
+        for rid, entity in [(0, 0), (1, 0), (2, 0), (3, 1)]:
+            gold.add(rid, entity)
+        assert gold.true_pairs() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_groups(self):
+        gold = GoldStandard()
+        for rid, entity in [(0, 0), (1, 1), (2, 0)]:
+            gold.add(rid, entity)
+        assert gold.groups() == [[0, 2], [1]]
+
+    def test_are_duplicates(self):
+        gold = GoldStandard()
+        gold.add(0, 0)
+        gold.add(1, 0)
+        gold.add(2, 1)
+        assert gold.are_duplicates(0, 1)
+        assert not gold.are_duplicates(0, 2)
+        assert not gold.are_duplicates(0, 99)
+
+    def test_deterministic(self):
+        a = inject_duplicates("t", ("v",), [("hello world",)] , seed=4)
+        b = inject_duplicates("t", ("v",), [("hello world",)] , seed=4)
+        assert a.relation.texts() == b.relation.texts()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            inject_duplicates("t", ("v",), [("a",)], duplicate_fraction=1.5)
+
+
+class TestLoaders:
+    def test_dataset_names(self):
+        assert dataset_names() == sorted(
+            ["media", "org", "restaurants", "birds", "parks", "census"]
+        )
+
+    def test_load_dataset(self):
+        dataset = load_dataset("birds", n_entities=40, seed=0)
+        assert dataset.name == "birds"
+        assert len(dataset.relation) >= 40
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("nope")
+
+    def test_parks_cap_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            load_dataset("parks", n_entities=100_000)
+
+    def test_csv_roundtrip(self, tmp_path):
+        dataset = load_dataset("restaurants", n_entities=10, seed=0)
+        path = tmp_path / "r.csv"
+        relation_to_csv(dataset.relation, path)
+        loaded = relation_from_csv(path)
+        assert loaded.schema == dataset.relation.schema
+        assert loaded.texts() == dataset.relation.texts()
+
+    def test_csv_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            relation_from_csv(path)
+
+
+class TestEmbedded:
+    def test_table1_shape(self):
+        relation = table1_relation()
+        assert len(relation) == 14
+        assert relation.schema == ("artist", "track")
+
+    def test_table1_gold_matches_expected_partition(self):
+        gold = table1_gold()
+        expected = table1_expected_partition()
+        assert {
+            tuple(group) for group in gold.groups() if len(group) > 1
+        } == set(expected.non_trivial_groups())
+
+    def test_integers_example(self):
+        relation = integers_example()
+        assert [int(r.fields[0]) for r in relation] == [1, 2, 4, 21, 22, 31, 32]
+
+    def test_integer_distance(self):
+        relation = integers_example()
+        d = integer_distance()
+        assert d.distance(relation.get(0), relation.get(1)) == pytest.approx(0.01)
+
+
+class TestGoldCsv:
+    def test_gold_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.data.loaders import gold_from_csv
+
+        path = tmp_path / "gold.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("rid", "entity"))
+            writer.writerows([(0, 0), (1, 0), (2, 1)])
+        gold = gold_from_csv(path)
+        assert gold.true_pairs() == {(0, 1)}
+
+    def test_gold_without_header(self, tmp_path):
+        import csv
+
+        from repro.data.loaders import gold_from_csv
+
+        path = tmp_path / "gold.csv"
+        with path.open("w", newline="") as handle:
+            csv.writer(handle).writerows([(5, 2), (6, 2)])
+        gold = gold_from_csv(path)
+        assert gold.are_duplicates(5, 6)
+
+
+class TestGeneratorStructure:
+    def test_census_households_share_surname_and_street(self):
+        from repro.data.generators import CensusGenerator
+        import random
+
+        generator = CensusGenerator()
+        rng = random.Random(0)
+        households = [
+            rows for rows in (generator._emit(rng) for _ in range(300))
+            if len(rows) >= 2
+        ]
+        assert households, "no households emitted in 300 draws"
+        for rows in households:
+            last_names = {row[0] for row in rows}
+            streets = {(row[3], row[4]) for row in rows}
+            first_names = {row[1] for row in rows}
+            assert len(last_names) == 1
+            assert len(streets) == 1
+            assert len(first_names) == len(rows)  # distinct members
+
+    def test_org_chains_share_location(self):
+        from repro.data.generators import OrgGenerator
+        import random
+
+        generator = OrgGenerator()
+        rng = random.Random(1)
+        chains = [
+            rows for rows in (generator._emit(rng) for _ in range(300))
+            if len(rows) >= 2
+        ]
+        assert chains, "no chains emitted in 300 draws"
+        for rows in chains:
+            addresses = {row[1:] for row in rows}
+            assert len(addresses) == 1  # same street/city/state/zip
+            assert all("Outlet" in row[0] for row in rows)
+
+    def test_org_zipcodes_are_digits(self):
+        from repro.data.generators import OrgGenerator
+
+        rows = OrgGenerator().generate(40, seed=2)
+        assert all(row[4].isdigit() for row in rows)
+
+    def test_media_series_share_artist_and_base(self):
+        from repro.data.generators import MediaGenerator
+        import random
+
+        generator = MediaGenerator()
+        rng = random.Random(3)
+        families = [
+            rows for rows in (generator._emit(rng) for _ in range(200))
+            if len(rows) >= 2
+        ]
+        assert families
+        for rows in families:
+            artists = {artist for artist, _ in rows}
+            assert len(artists) == 1
+            base = rows[0][1]
+            assert all(track.startswith(base) for _, track in rows)

@@ -1,0 +1,69 @@
+"""Property-based tests for the error model: robustness on any input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.errors import ErrorModel
+
+texts = st.text(max_size=40)
+nice_texts = st.text(
+    alphabet="abcdefghij '.", min_size=1, max_size=40
+).filter(lambda t: t.strip())
+
+
+class TestOperationsNeverCrash:
+    @given(texts, st.integers(0, 10))
+    def test_corrupt_total_robustness(self, text, seed):
+        model = ErrorModel(seed=seed)
+        result = model.corrupt(text, n_errors=2)
+        assert isinstance(result, str)
+
+    @given(nice_texts, st.integers(0, 10))
+    def test_every_operation_individually(self, text, seed):
+        model = ErrorModel(seed=seed)
+        for operation in model._op_funcs:
+            result = operation(text)
+            assert isinstance(result, str)
+
+    @given(nice_texts)
+    def test_typo_delete_shortens_or_noop(self, text):
+        model = ErrorModel(seed=0)
+        result = model.typo_delete(text)
+        assert len(result) in (len(text), len(text) - 1)
+
+    @given(nice_texts)
+    def test_typo_insert_lengthens(self, text):
+        model = ErrorModel(seed=0)
+        assert len(model.typo_insert(text)) == len(text) + 1
+
+    @given(nice_texts)
+    def test_transpose_preserves_multiset(self, text):
+        model = ErrorModel(seed=0)
+        assert sorted(model.typo_transpose(text)) == sorted(text)
+
+    @given(nice_texts)
+    def test_swap_tokens_preserves_tokens(self, text):
+        model = ErrorModel(seed=0)
+        assert sorted(model.swap_tokens(text).split()) == sorted(text.split())
+
+    @given(nice_texts, st.integers(0, 5))
+    def test_determinism(self, text, seed):
+        a = ErrorModel(seed=seed).corrupt(text, 3)
+        b = ErrorModel(seed=seed).corrupt(text, 3)
+        assert a == b
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(nice_texts, min_size=1, max_size=4).map(tuple),
+        st.integers(0, 5),
+    )
+    def test_corrupt_fields_arity_preserved(self, fields, seed):
+        model = ErrorModel(seed=seed)
+        result = model.corrupt_fields(fields, n_errors=2)
+        assert len(result) == len(fields)
+
+    @given(nice_texts)
+    def test_abbreviation_roundtrip_known_tokens(self, text):
+        model = ErrorModel(seed=0)
+        expanded = model.expand(model.abbreviate("acme corporation"))
+        assert expanded == "acme corporation"

@@ -1,0 +1,148 @@
+"""Tests for edit distance and its variants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Record
+from repro.distances.edit import EditDistance, damerau_levenshtein, levenshtein
+
+short_text = st.text(alphabet="abcde ", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("microsoft", "microsft", 1),
+            ("twain", "twian", 2),  # plain Levenshtein: transposition = 2
+            ("abc", "abc", 0),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_max_distance_early_exit(self):
+        assert levenshtein("aaaaaaaa", "bbbbbbbb", max_distance=3) == 4
+
+    def test_max_distance_length_gap(self):
+        assert levenshtein("a", "abcdefgh", max_distance=2) == 3
+
+    def test_max_distance_does_not_change_small_results(self):
+        assert levenshtein("kitten", "sitting", max_distance=10) == 3
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+    @given(short_text, short_text)
+    def test_bounds(self, a, b):
+        d = levenshtein(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b), 0) or (a == b and d == 0)
+
+    @settings(max_examples=60)
+    @given(short_text, short_text, short_text)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    def test_agrees_with_reference_dp(self, a, b):
+        # Straightforward full-matrix reference implementation.
+        la, lb = len(a), len(b)
+        dp = [[0] * (lb + 1) for _ in range(la + 1)]
+        for i in range(la + 1):
+            dp[i][0] = i
+        for j in range(lb + 1):
+            dp[0][j] = j
+        for i in range(1, la + 1):
+            for j in range(1, lb + 1):
+                dp[i][j] = min(
+                    dp[i - 1][j] + 1,
+                    dp[i][j - 1] + 1,
+                    dp[i - 1][j - 1] + (a[i - 1] != b[j - 1]),
+                )
+        assert levenshtein(a, b) == dp[la][lb]
+
+
+class TestDamerau:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein("twain", "twian") == 1
+
+    def test_equals_levenshtein_without_transpositions(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+    @given(short_text, short_text)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @given(short_text, short_text)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    def test_empty_strings(self):
+        assert damerau_levenshtein("", "abc") == 3
+        assert damerau_levenshtein("abc", "") == 3
+
+
+class TestEditDistanceFunction:
+    def test_normalized_range(self):
+        d = EditDistance()
+        a, b = Record(0, ("kitten",)), Record(1, ("sitting",))
+        assert d.distance(a, b) == pytest.approx(3 / 7)
+
+    def test_identical_records_distance_zero(self):
+        d = EditDistance()
+        assert d.distance(Record(0, ("x y",)), Record(1, ("x y",))) == 0.0
+
+    def test_text_normalization_on_by_default(self):
+        d = EditDistance()
+        # Case differences vanish under normalization; punctuation
+        # becomes whitespace ("I'm" -> "i m").
+        assert d.distance(Record(0, ("The DOORS",)), Record(1, ("the doors",))) == 0.0
+        assert d.distance(Record(0, ("I'm Holding",)), Record(1, ("I m Holding",))) == 0.0
+
+    def test_normalization_can_be_disabled(self):
+        d = EditDistance(normalize_text=False)
+        assert d.distance(Record(0, ("AB",)), Record(1, ("ab",))) == 1.0
+
+    def test_damerau_variant_cheaper_on_transposition(self):
+        plain = EditDistance()
+        damerau = EditDistance(damerau=True)
+        a, b = Record(0, ("twain",)), Record(1, ("twian",))
+        assert damerau.distance(a, b) < plain.distance(a, b)
+
+    def test_empty_records(self):
+        d = EditDistance()
+        assert d.distance(Record(0, ("",)), Record(1, ("",))) == 0.0
+        assert d.distance(Record(0, ("",)), Record(1, ("abc",))) == 1.0
+
+    def test_multi_field_records_joined(self):
+        d = EditDistance()
+        a = Record(0, ("The Doors", "LA Woman"))
+        b = Record(1, ("Doors", "LA Woman"))
+        assert 0.0 < d.distance(a, b) < 0.5
+
+    @given(short_text, short_text)
+    def test_always_in_unit_interval(self, a, b):
+        d = EditDistance()
+        value = d.distance(Record(0, (a,)), Record(1, (b,)))
+        assert 0.0 <= value <= 1.0
+
+    def test_similarity_is_complement(self):
+        d = EditDistance()
+        a, b = Record(0, ("abc",)), Record(1, ("abd",))
+        assert d.similarity(a, b) == pytest.approx(1.0 - d.distance(a, b))
+
+    def test_callable_protocol(self):
+        d = EditDistance()
+        a, b = Record(0, ("abc",)), Record(1, ("abd",))
+        assert d(a, b) == d.distance(a, b)

@@ -1,0 +1,123 @@
+"""Tests for the hybrid similarities (Monge-Elkan, SoftTFIDF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Record, Relation
+from repro.distances.hybrid import MongeElkanDistance, SoftTfIdfDistance
+
+words = st.text(alphabet="abcdef ", max_size=20)
+
+
+def corpus():
+    return Relation.from_strings(
+        "orgs",
+        [
+            "cascade systems corporation",
+            "cascade systms corporation",
+            "summit logistics",
+            "boeing corporation",
+            "granite manufacturing",
+        ],
+    )
+
+
+class TestMongeElkan:
+    @pytest.fixture
+    def me(self):
+        d = MongeElkanDistance()
+        d.prepare(corpus())
+        return d
+
+    def test_identity(self, me):
+        relation = corpus()
+        assert me.distance(relation.get(0), relation.get(0)) == pytest.approx(0.0)
+
+    def test_typo_tolerant(self, me):
+        relation = corpus()
+        typo = me.distance(relation.get(0), relation.get(1))
+        different = me.distance(relation.get(0), relation.get(2))
+        assert typo < different
+
+    def test_symmetric(self, me):
+        relation = corpus()
+        a, b = relation.get(0), relation.get(3)
+        assert me.distance(a, b) == pytest.approx(me.distance(b, a))
+
+    def test_empty_records(self, me):
+        assert me.distance(Record(50, ("",)), Record(51, ("",))) == 0.0
+        assert me.distance(Record(50, ("",)), Record(51, ("abc",))) > 0.5
+
+    @settings(max_examples=40)
+    @given(words, words)
+    def test_unit_interval(self, a, b):
+        d = MongeElkanDistance()
+        assert 0.0 <= d.distance(Record(0, (a,)), Record(1, (b,))) <= 1.0
+
+    def test_out_of_corpus(self, me):
+        a = Record(60, ("zzzz qqqq",))
+        b = Record(61, ("zzzz qqqp",))
+        assert me.distance(a, b) < 0.2
+
+
+class TestSoftTfIdf:
+    @pytest.fixture
+    def soft(self):
+        d = SoftTfIdfDistance()
+        d.prepare(corpus())
+        return d
+
+    def test_requires_prepare(self):
+        d = SoftTfIdfDistance()
+        with pytest.raises(RuntimeError):
+            d.distance(Record(0, ("a",)), Record(1, ("b",)))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SoftTfIdfDistance(threshold=0.0)
+
+    def test_identity(self, soft):
+        relation = corpus()
+        assert soft.distance(relation.get(0), relation.get(0)) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_fuzzy_token_matching_beats_plain_cosine(self, soft):
+        from repro.distances.cosine import CosineDistance
+
+        relation = corpus()
+        plain = CosineDistance()
+        plain.prepare(relation)
+        a, b = relation.get(0), relation.get(1)  # "systems" vs "systms"
+        assert soft.distance(a, b) < plain.distance(a, b)
+
+    def test_symmetric(self, soft):
+        relation = corpus()
+        a, b = relation.get(0), relation.get(1)
+        assert soft.distance(a, b) == pytest.approx(soft.distance(b, a))
+
+    def test_disjoint_records(self, soft):
+        a = Record(70, ("xxxx",))
+        b = Record(71, ("pppp",))
+        assert soft.distance(a, b) == 1.0
+
+    def test_empty_records(self, soft):
+        assert soft.distance(Record(70, ("",)), Record(71, ("",))) == 0.0
+        assert soft.distance(Record(70, ("",)), Record(71, ("abc",))) == 1.0
+
+    def test_unit_interval_on_corpus(self, soft):
+        relation = corpus()
+        for a in relation:
+            for b in relation:
+                assert 0.0 <= soft.distance(a, b) <= 1.0
+
+    def test_high_threshold_reduces_to_exact_matching(self):
+        relation = corpus()
+        strict = SoftTfIdfDistance(threshold=1.0)
+        strict.prepare(relation)
+        loose = SoftTfIdfDistance(threshold=0.85)
+        loose.prepare(relation)
+        a, b = relation.get(0), relation.get(1)
+        # The typo token only matches under the loose threshold.
+        assert loose.distance(a, b) < strict.distance(a, b)

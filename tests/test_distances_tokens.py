@@ -1,0 +1,96 @@
+"""Tests for tokenization and q-gram utilities."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.distances.tokens import (
+    normalize,
+    positional_qgrams,
+    qgram_counts,
+    qgrams,
+    shared_count,
+    token_counts,
+    tokenize,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("The DOORS") == "the doors"
+
+    def test_strips_punctuation(self):
+        assert normalize("I'm Holding On") == "i m holding on"
+
+    def test_collapses_whitespace(self):
+        assert normalize("a   b\t c") == "a b c"
+
+    def test_empty(self):
+        assert normalize("") == ""
+        assert normalize("  ,. ") == ""
+
+    def test_keeps_digits(self):
+        assert normalize("Route 66") == "route 66"
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("The Doors, LA Woman") == ["the", "doors", "la", "woman"]
+
+    def test_empty_gives_empty_list(self):
+        assert tokenize("...") == []
+
+    def test_counts(self):
+        assert token_counts("a b a") == Counter({"a": 2, "b": 1})
+
+    @given(st.text(max_size=30))
+    def test_tokens_have_no_spaces(self, text):
+        assert all(" " not in token for token in tokenize(text))
+
+
+class TestQgrams:
+    def test_padded_count(self):
+        # Padded q-grams of a length-n string: n + q - 1 grams.
+        grams = qgrams("abcd", q=3)
+        assert len(grams) == 4 + 3 - 1
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_short_string_unpadded(self):
+        assert qgrams("ab", q=3, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3) == []
+
+    def test_padding_marks_boundaries(self):
+        grams = qgrams("ab", q=2)
+        assert grams[0].startswith("\x01")
+        assert grams[-1].endswith("\x02")
+
+    def test_normalization_applied(self):
+        assert qgrams("AB", q=2, pad=False) == qgrams("ab", q=2, pad=False)
+
+    def test_counts_multiset(self):
+        counts = qgram_counts("aaaa", q=2, pad=False)
+        assert counts["aa"] == 3
+
+    def test_positional(self):
+        positions = positional_qgrams("abc", q=3, pad=False)
+        assert positions == [("abc", 0)]
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=20))
+    def test_padded_gram_count_formula(self, text):
+        cleaned = normalize(text)
+        if cleaned:
+            assert len(qgrams(text, q=3)) == len(cleaned) + 2
+
+
+class TestSharedCount:
+    def test_multiset_semantics(self):
+        assert shared_count(["a", "a", "b"], ["a", "c"]) == 1
+        assert shared_count(["a", "a"], ["a", "a", "a"]) == 2
+
+    def test_disjoint(self):
+        assert shared_count(["x"], ["y"]) == 0

@@ -1,0 +1,82 @@
+"""Guards against documentation rot.
+
+DESIGN.md promises a bench target per experiment and EXPERIMENTS.md
+references result files; these tests keep the promises true as the
+repository evolves.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text(encoding="utf-8")
+
+
+class TestDesignDocument:
+    def test_every_named_bench_target_exists(self):
+        design = read("DESIGN.md")
+        targets = set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design))
+        assert targets, "DESIGN.md names no bench targets?"
+        for target in targets:
+            assert (ROOT / "benchmarks" / target).exists(), target
+
+    def test_every_bench_file_is_indexed_in_design(self):
+        design = read("DESIGN.md")
+        on_disk = {
+            path.name for path in (ROOT / "benchmarks").glob("test_bench_*.py")
+        }
+        for name in on_disk:
+            assert name in design, f"{name} missing from DESIGN.md's index"
+
+    def test_every_named_module_exists(self):
+        design = read("DESIGN.md")
+        modules = set(re.findall(r"`repro/([\w/]+\.py)`", design))
+        for module in modules:
+            assert (ROOT / "src" / "repro" / module).exists(), module
+
+
+class TestReadme:
+    def test_architecture_names_every_subpackage(self):
+        readme = read("README.md")
+        for subpackage in ("core", "distances", "index", "storage", "cluster",
+                           "data", "eval"):
+            assert f"  {subpackage}/" in readme, subpackage
+
+    def test_example_commands_reference_real_files(self):
+        readme = read("README.md")
+        for match in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (ROOT / match).exists(), match
+
+    def test_quickstart_code_runs(self):
+        readme = read("README.md")
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        assert blocks, "README has no python blocks"
+        # The first block is the quickstart; it must execute verbatim.
+        namespace: dict = {}
+        exec(blocks[0], namespace)  # noqa: S102 - executing our own docs
+        assert namespace["result"].duplicate_groups == [(0, 1), (2, 3)]
+
+
+class TestExperimentsDocument:
+    def test_referenced_result_files_are_produced_by_benches(self):
+        experiments = read("EXPERIMENTS.md")
+        referenced = set(re.findall(r"results/([\w{},]+\.txt)", experiments))
+        bench_sources = "".join(
+            path.read_text(encoding="utf-8")
+            for path in (ROOT / "benchmarks").glob("*.py")
+        )
+        for reference in referenced:
+            if "{" in reference:
+                # A brace-set like F10ed_{media,org}.txt: check the stem.
+                stem = reference.split("{")[0]
+                assert stem in bench_sources, reference
+            else:
+                assert reference.rsplit(".", 1)[0] in bench_sources, reference
+
+    def test_docs_directory_files_mentioned_exist(self):
+        for doc in ("algorithm", "criteria", "datasets", "benchmarks", "api",
+                    "storage"):
+            assert (ROOT / "docs" / f"{doc}.md").exists(), doc

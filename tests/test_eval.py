@@ -1,0 +1,211 @@
+"""Tests for evaluation metrics, PR sweeps, and reporting."""
+
+import pytest
+
+from repro.core.result import Partition
+from repro.data.duplicates import GoldStandard
+from repro.data.loaders import load_dataset
+from repro.distances.edit import EditDistance
+from repro.eval.experiment import (
+    QualityExperiment,
+    QualityResult,
+    default_ks,
+    default_thetas,
+)
+from repro.eval.metrics import PRScore, group_scores, pairwise_scores
+from repro.eval.pr_curve import (
+    PRPoint,
+    PRSweep,
+    QualitySweeper,
+    truncate_to_k,
+    truncate_to_radius,
+)
+from repro.eval.report import format_kv, format_pr_sweeps, format_table
+
+
+def gold_of(groups):
+    gold = GoldStandard()
+    entity = 0
+    for group in groups:
+        for rid in group:
+            gold.add(rid, entity)
+        entity += 1
+    return gold
+
+
+class TestPRScore:
+    def test_perfect(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        score = pairwise_scores(partition, gold)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_false_positive(self):
+        gold = gold_of([[0], [1], [2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        score = pairwise_scores(partition, gold)
+        assert score.precision == 0.0
+        assert score.recall == 1.0  # no true pairs exist
+
+    def test_false_negative(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.singletons([0, 1, 2])
+        score = pairwise_scores(partition, gold)
+        assert score.precision == 1.0  # nothing returned
+        assert score.recall == 0.0
+
+    def test_partial_group(self):
+        gold = gold_of([[0, 1, 2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        score = pairwise_scores(partition, gold)
+        assert score.recall == pytest.approx(1 / 3)
+        assert score.precision == 1.0
+
+    def test_f1_zero_when_nothing_right(self):
+        score = PRScore(true_positives=0, returned=5, actual=5)
+        assert score.f1 == 0.0
+
+    def test_str_rendering(self):
+        score = PRScore(1, 2, 4)
+        assert "P=0.500" in str(score)
+        assert "R=0.250" in str(score)
+
+    def test_group_scores(self):
+        gold = gold_of([[0, 1], [2, 3], [4]])
+        partition = Partition.from_groups([[0, 1], [2], [3], [4]])
+        gs = group_scores(partition, gold)
+        assert gs.exact_matches == 1
+        assert gs.predicted_groups == 1
+        assert gs.actual_groups == 2
+        assert gs.group_recall == 0.5
+
+
+class TestTruncation:
+    def make_nn(self):
+        from repro.core.neighborhood import NNEntry, NNRelation
+        from repro.index.base import Neighbor
+
+        nn = NNRelation()
+        nn.add(
+            NNEntry(
+                rid=0,
+                neighbors=(Neighbor(0.1, 1), Neighbor(0.2, 2), Neighbor(0.3, 3)),
+                ng=2,
+            )
+        )
+        return nn
+
+    def test_truncate_to_k(self):
+        nn = truncate_to_k(self.make_nn(), 2)
+        assert nn.get(0).neighbor_ids == (1, 2)
+        assert nn.get(0).ng == 2  # NG untouched
+
+    def test_truncate_to_radius(self):
+        nn = truncate_to_radius(self.make_nn(), 0.25)
+        assert nn.get(0).neighbor_ids == (1, 2)
+
+    def test_truncate_to_radius_strict(self):
+        nn = truncate_to_radius(self.make_nn(), 0.2)
+        assert nn.get(0).neighbor_ids == (1,)
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def sweeper(self):
+        dataset = load_dataset("birds", n_entities=40, duplicate_fraction=0.4, seed=2)
+        return dataset, QualitySweeper(
+            dataset, EditDistance(), k_max=5, theta_max=0.5
+        )
+
+    def test_thr_sweep_monotone_recall(self, sweeper):
+        _, sw = sweeper
+        sweep = sw.sweep_thr([0.1, 0.2, 0.3, 0.4])
+        recalls = [p.recall for p in sweep.points]
+        assert recalls == sorted(recalls)
+
+    def test_de_size_sweep(self, sweeper):
+        _, sw = sweeper
+        sweep = sw.sweep_de_size([2, 3, 4], c=4.0)
+        assert len(sweep.points) == 3
+        assert all(0.0 <= p.precision <= 1.0 for p in sweep.points)
+
+    def test_de_diameter_sweep(self, sweeper):
+        _, sw = sweeper
+        sweep = sw.sweep_de_diameter([0.1, 0.3], c=4.0)
+        assert [p.parameter for p in sweep.points] == [0.1, 0.3]
+
+    def test_sweep_bounds_enforced(self, sweeper):
+        _, sw = sweeper
+        with pytest.raises(ValueError):
+            sw.sweep_thr([0.9])
+        with pytest.raises(ValueError):
+            sw.sweep_de_size([10], c=4.0)
+        with pytest.raises(ValueError):
+            sw.sweep_de_diameter([0.9], c=4.0)
+
+    def test_best_f1_and_precision_at_recall(self):
+        sweep = PRSweep(
+            method="m",
+            points=[
+                PRPoint("m", 1, precision=0.9, recall=0.2, f1=0.33),
+                PRPoint("m", 2, precision=0.7, recall=0.5, f1=0.58),
+            ],
+        )
+        assert sweep.best_f1().parameter == 2
+        assert sweep.precision_at_recall(0.4) == 0.7
+        assert sweep.precision_at_recall(0.9) == 0.0
+
+
+class TestQualityExperiment:
+    def test_runs_all_sweeps(self):
+        dataset = load_dataset("birds", n_entities=30, duplicate_fraction=0.4, seed=2)
+        result = QualityExperiment(
+            dataset, EditDistance(), k_max=4, theta_max=0.4, c_values=(4.0,)
+        ).run()
+        assert "thr" in result.sweeps
+        assert len(result.de_sweeps()) == 2  # DE_S and DE_D at one c
+
+    def test_quality_result_helpers(self):
+        result = QualityResult(dataset="d", distance="edit")
+        result.add(
+            PRSweep("thr", [PRPoint("thr", 0.1, precision=0.5, recall=0.5, f1=0.5)])
+        )
+        result.add(
+            PRSweep("DE_S", [PRPoint("DE_S", 2, precision=0.8, recall=0.5, f1=0.6)])
+        )
+        assert result.best_de_precision_at(0.4) == 0.8
+        assert result.de_wins_at(0.4)
+
+    def test_default_grids(self):
+        assert default_ks(5) == [2, 3, 4, 5]
+        thetas = default_thetas(0.6, n=6)
+        assert len(thetas) == 6
+        assert thetas[-1] == pytest.approx(0.6)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (30, 40)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_pr_sweeps(self):
+        sweep = PRSweep(
+            "thr", [PRPoint("thr", 0.1, precision=0.5, recall=0.25, f1=0.33)]
+        )
+        text = format_pr_sweeps([sweep])
+        assert "thr" in text
+        assert "0.250" in text
+
+    def test_format_pr_sweeps_mapping(self):
+        sweep = PRSweep("m", [PRPoint("m", 1, precision=1, recall=1, f1=1)])
+        assert "m" in format_pr_sweeps({"m": sweep})
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1, "b": "two"}, title="K")
+        assert text.splitlines()[0] == "K"
+        assert "alpha : 1" in text

@@ -1,0 +1,119 @@
+"""Tests for the cluster-level ER metrics."""
+
+import pytest
+
+from repro.core.result import Partition
+from repro.data.duplicates import GoldStandard
+from repro.eval.cluster_metrics import (
+    bcubed,
+    closest_cluster_f1,
+    variation_of_information,
+)
+
+
+def gold_of(groups):
+    gold = GoldStandard()
+    for entity, group in enumerate(groups):
+        for rid in group:
+            gold.add(rid, entity)
+    return gold
+
+
+class TestBCubed:
+    def test_perfect(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        score = bcubed(partition, gold)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_all_singletons(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.singletons([0, 1, 2])
+        score = bcubed(partition, gold)
+        assert score.precision == 1.0  # every predicted cluster is pure
+        # recall: records 0,1 recover half their cluster, 2 all of it.
+        assert score.recall == pytest.approx((0.5 + 0.5 + 1.0) / 3)
+
+    def test_everything_merged(self):
+        gold = gold_of([[0, 1], [2, 3]])
+        partition = Partition.from_groups([[0, 1, 2, 3]])
+        score = bcubed(partition, gold)
+        assert score.recall == 1.0
+        assert score.precision == pytest.approx(0.5)
+
+    def test_empty_gold(self):
+        score = bcubed(Partition.singletons([]), GoldStandard())
+        assert score.precision == 1.0
+        assert score.f1 == 1.0
+
+    def test_partial_overlap(self):
+        gold = gold_of([[0, 1, 2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        score = bcubed(partition, gold)
+        assert score.precision == 1.0
+        assert score.recall == pytest.approx((2 / 3 + 2 / 3 + 1 / 3) / 3)
+
+
+class TestClosestClusterF1:
+    def test_perfect(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        assert closest_cluster_f1(partition, gold) == pytest.approx(1.0)
+
+    def test_one_to_one_matching(self):
+        # One predicted cluster cannot be credited to two gold clusters.
+        gold = gold_of([[0, 1], [2, 3]])
+        partition = Partition.from_groups([[0, 1, 2, 3]])
+        score = closest_cluster_f1(partition, gold)
+        # First gold cluster matches the big one at F1 = 2*(1/2*1)/(3/2)=2/3,
+        # the second finds nothing unused.
+        assert score == pytest.approx((2 / 3 * 2 + 0.0 * 2) / 4)
+
+    def test_empty_gold(self):
+        assert closest_cluster_f1(Partition.singletons([0]), GoldStandard()) == 1.0
+
+    def test_better_split_scores_higher(self):
+        gold = gold_of([[0, 1], [2, 3]])
+        good = Partition.from_groups([[0, 1], [2, 3]])
+        merged = Partition.from_groups([[0, 1, 2, 3]])
+        assert closest_cluster_f1(good, gold) > closest_cluster_f1(merged, gold)
+
+
+class TestVariationOfInformation:
+    def test_identical_clusterings(self):
+        gold = gold_of([[0, 1], [2]])
+        partition = Partition.from_groups([[0, 1], [2]])
+        assert variation_of_information(partition, gold) == pytest.approx(0.0)
+
+    def test_distance_grows_with_disagreement(self):
+        gold = gold_of([[0, 1], [2, 3]])
+        same = Partition.from_groups([[0, 1], [2, 3]])
+        merged = Partition.from_groups([[0, 1, 2, 3]])
+        shattered = Partition.singletons([0, 1, 2, 3])
+        assert variation_of_information(same, gold) < variation_of_information(
+            merged, gold
+        )
+        assert variation_of_information(same, gold) < variation_of_information(
+            shattered, gold
+        )
+
+    def test_symmetric_in_structure(self):
+        # VI of merged-vs-pairs equals VI of pairs-vs-merged (by
+        # symmetry of the formula); check via two constructions.
+        gold_pairs = gold_of([[0, 1], [2, 3]])
+        merged = Partition.from_groups([[0, 1, 2, 3]])
+        gold_merged = gold_of([[0, 1, 2, 3]])
+        pairs = Partition.from_groups([[0, 1], [2, 3]])
+        assert variation_of_information(merged, gold_pairs) == pytest.approx(
+            variation_of_information(pairs, gold_merged)
+        )
+
+    def test_empty(self):
+        assert variation_of_information(Partition.singletons([]), GoldStandard()) == 0.0
+
+    def test_non_negative(self):
+        gold = gold_of([[0, 1, 2], [3], [4, 5]])
+        partition = Partition.from_groups([[0, 3], [1, 2], [4], [5]])
+        assert variation_of_information(partition, gold) >= 0.0

@@ -1,0 +1,91 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.figures import loglog_plot, pr_plot, scatter
+from repro.eval.pr_curve import PRPoint, PRSweep
+
+
+class TestScatter:
+    def test_empty(self):
+        out = scatter({}, title="T")
+        assert "(no data)" in out
+
+    def test_points_placed(self):
+        out = scatter({"a": [(0.0, 0.0), (1.0, 1.0)]}, width=10, height=5)
+        lines = out.splitlines()
+        # Bottom-left corner and top-right corner are marked.
+        assert lines[1].rstrip().endswith(" ") or "o" in lines[1]
+        assert any("o" in line for line in lines)
+
+    def test_legend_lists_all_series(self):
+        out = scatter({"alpha": [(0, 0)], "beta": [(1, 1)]})
+        assert "o = alpha" in out
+        assert "x = beta" in out
+
+    def test_axis_ranges_shown(self):
+        out = scatter({"a": [(2.0, 3.0), (4.0, 9.0)]}, x_label="n", y_label="t")
+        assert "[2 .. 4]" in out
+        assert "[3 .. 9]" in out
+
+    def test_degenerate_single_point(self):
+        out = scatter({"a": [(5.0, 5.0)]})
+        assert "o" in out
+
+    def test_custom_ranges_clamp(self):
+        out = scatter({"a": [(2.0, 2.0)]}, x_range=(0, 1), y_range=(0, 1))
+        assert "o" in out  # clamped into the corner, no crash
+
+
+class TestPrPlot:
+    def test_renders_sweeps(self):
+        sweeps = [
+            PRSweep("thr", [PRPoint("thr", 0.1, precision=0.4, recall=0.6, f1=0.48)]),
+            PRSweep("DE", [PRPoint("DE", 3, precision=0.9, recall=0.6, f1=0.72)]),
+        ]
+        out = pr_plot(sweeps, title="quality")
+        assert "quality" in out
+        assert "recall" in out
+        assert "precision" in out
+        assert "o = thr" in out
+        assert "x = DE" in out
+
+    def test_mapping_input(self):
+        sweep = PRSweep("m", [PRPoint("m", 1, precision=1, recall=1, f1=1)])
+        assert "m" in pr_plot({"m": sweep})
+
+    def test_higher_precision_plots_higher(self):
+        low = PRSweep("low", [PRPoint("low", 1, precision=0.1, recall=0.5, f1=0.2)])
+        high = PRSweep("high", [PRPoint("high", 1, precision=0.9, recall=0.5, f1=0.6)])
+        out = pr_plot([low, high], height=10)
+        lines = [line for line in out.splitlines() if line.startswith("  |")]
+        row_of = {}
+        for row, line in enumerate(lines):
+            if "o" in line:
+                row_of["low"] = row
+            if "x" in line:
+                row_of["high"] = row
+        # Lower row index = higher on screen = higher precision.
+        assert row_of["high"] < row_of["low"]
+
+
+class TestLogLogPlot:
+    def test_drops_nonpositive(self):
+        out = loglog_plot({"t": [(0.0, 1.0), (10.0, 1.0)]})
+        assert "o" in out
+
+    def test_linear_series_is_diagonal(self):
+        points = [(10**i, 10**i) for i in range(1, 5)]
+        out = loglog_plot({"lin": points}, width=20, height=10)
+        lines = [line[3:] for line in out.splitlines() if line.startswith("  |")]
+        coords = [
+            (row, col)
+            for row, line in enumerate(lines)
+            for col, char in enumerate(line)
+            if char == "o"
+        ]
+        # Strictly monotone: as the column grows, the row shrinks.
+        coords.sort(key=lambda rc: rc[1])
+        rows = [row for row, _ in coords]
+        assert rows == sorted(rows, reverse=True)
+        assert len(coords) == 4

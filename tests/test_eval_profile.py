@@ -1,0 +1,81 @@
+"""Tests for the dataset profiler."""
+
+import pytest
+
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import prepare_nn_lists
+from repro.eval.profile import profile_nn_relation
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+def phase1(values, k=5):
+    relation = numbers_relation(values)
+    index = BruteForceIndex()
+    index.build(relation, absdiff_distance())
+    return prepare_nn_lists(relation, index, DEParams.size(k))
+
+
+class TestProfile:
+    def test_record_count(self):
+        profile = profile_nn_relation(phase1([0, 1, 100, 101, 500]))
+        assert profile.n_records == 5
+
+    def test_ng_histogram_totals(self):
+        profile = profile_nn_relation(phase1([0, 1, 100, 101, 500]))
+        assert sum(profile.ng_histogram.values()) == 5
+
+    def test_exact_duplicates_detected(self):
+        profile = profile_nn_relation(phase1([7, 7, 100, 200]))
+        assert profile.exact_duplicate_fraction == pytest.approx(0.5)
+
+    def test_no_exact_duplicates(self):
+        profile = profile_nn_relation(phase1([0, 50, 100]))
+        assert profile.exact_duplicate_fraction == 0.0
+
+    def test_sparse_and_family_fractions(self):
+        # Pair (ng 2 each) + dense clump (interior ng 3) + isolated:
+        profile = profile_nn_relation(phase1([0, 1, 500, 501, 502, 900]))
+        assert 0.0 <= profile.sparse_fraction <= 1.0
+        assert profile.sparse_fraction + profile.family_fraction <= 1.0
+
+    def test_nn_quartiles_ordered(self):
+        profile = profile_nn_relation(phase1(list(range(0, 100, 7))))
+        q1, median, q3 = profile.nn_quartiles
+        assert q1 <= median <= q3
+
+    def test_suggested_c_covers_requested_fractions(self):
+        profile = profile_nn_relation(
+            phase1([0, 1, 100, 101, 500]), fractions=(0.2, 0.4)
+        )
+        assert set(profile.suggested_c) == {0.2, 0.4}
+        assert all(c >= 2.0 for c in profile.suggested_c.values())
+
+    def test_render_contains_key_lines(self):
+        profile = profile_nn_relation(phase1([0, 1, 100, 101, 500]))
+        text = profile.render()
+        assert "records" in text
+        assert "ng histogram:" in text
+        assert "suggested SN thresholds:" in text
+
+    def test_empty_relation(self):
+        from repro.core.neighborhood import NNRelation
+
+        profile = profile_nn_relation(NNRelation())
+        assert profile.n_records == 0
+        assert profile.suggested_c == {}
+        assert profile.exact_duplicate_fraction == 0.0
+
+    def test_profile_feeds_de_parameters(self):
+        """The suggested c actually works as a DE parameter."""
+        from repro.core.pipeline import DuplicateEliminator
+
+        values = [0, 1, 100, 101, 500, 900]
+        profile = profile_nn_relation(phase1(values), fractions=(0.3,))
+        c = profile.suggested_c[0.3]
+        relation = numbers_relation(values)
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(4, c=c)
+        )
+        assert result.partition is not None

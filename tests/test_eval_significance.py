@@ -1,0 +1,110 @@
+"""Tests for the cluster-bootstrap significance utilities."""
+
+import pytest
+
+from repro.core.result import Partition
+from repro.data.duplicates import GoldStandard
+from repro.eval.significance import bootstrap_difference, bootstrap_score
+
+
+def gold_of(groups):
+    gold = GoldStandard()
+    for entity, group in enumerate(groups):
+        for rid in group:
+            gold.add(rid, entity)
+    return gold
+
+
+@pytest.fixture
+def setting():
+    # 30 entities: 20 duplicated pairs, 10 singletons.  Large enough
+    # that a bootstrap resample almost surely contains both recovered
+    # and missed entities.
+    pair_groups = [[i * 2, i * 2 + 1] for i in range(20)]
+    singleton_groups = [[40 + i] for i in range(10)]
+    groups = pair_groups + singleton_groups
+    gold = gold_of(groups)
+    perfect = Partition.from_groups(groups)
+    # `half` recovers the first 10 pairs only.
+    half = Partition.from_groups(
+        pair_groups[:10]
+        + [[rid] for pair in pair_groups[10:] for rid in pair]
+        + singleton_groups
+    )
+    return gold, perfect, half
+
+
+class TestBootstrapScore:
+    def test_perfect_partition_ci_is_degenerate(self, setting):
+        gold, perfect, _ = setting
+        ci = bootstrap_score(perfect, gold, metric="f1", n_resamples=100)
+        assert ci.point == 1.0
+        assert ci.low == 1.0
+        assert ci.high == 1.0
+
+    def test_point_estimate_matches_pairwise_metric(self, setting):
+        from repro.eval.metrics import pairwise_scores
+
+        gold, _, half = setting
+        ci = bootstrap_score(half, gold, metric="recall", n_resamples=50)
+        assert ci.point == pytest.approx(pairwise_scores(half, gold).recall)
+
+    def test_interval_brackets_point(self, setting):
+        gold, _, half = setting
+        ci = bootstrap_score(half, gold, metric="f1", n_resamples=200)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_deterministic_under_seed(self, setting):
+        gold, _, half = setting
+        a = bootstrap_score(half, gold, n_resamples=100, seed=5)
+        b = bootstrap_score(half, gold, n_resamples=100, seed=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_unknown_metric_rejected(self, setting):
+        gold, perfect, _ = setting
+        with pytest.raises(ValueError):
+            bootstrap_score(perfect, gold, metric="accuracy", n_resamples=10)
+
+    def test_str_rendering(self, setting):
+        gold, perfect, _ = setting
+        text = str(bootstrap_score(perfect, gold, n_resamples=10))
+        assert "@ 95%" in text
+
+
+class TestBootstrapDifference:
+    def test_clear_difference_is_significant(self, setting):
+        gold, perfect, half = setting
+        ci = bootstrap_difference(
+            perfect, half, gold, metric="recall", n_resamples=300
+        )
+        assert ci.point > 0.0
+        assert ci.excludes_zero()
+
+    def test_self_difference_is_zero(self, setting):
+        gold, perfect, _ = setting
+        ci = bootstrap_difference(perfect, perfect, gold, n_resamples=100)
+        assert ci.point == 0.0
+        assert not ci.excludes_zero()
+
+    def test_sign_flips_with_order(self, setting):
+        gold, perfect, half = setting
+        forward = bootstrap_difference(
+            perfect, half, gold, metric="recall", n_resamples=100
+        )
+        backward = bootstrap_difference(
+            half, perfect, gold, metric="recall", n_resamples=100
+        )
+        assert forward.point == pytest.approx(-backward.point)
+
+    def test_false_positive_precision_penalty(self, setting):
+        gold, perfect, _ = setting
+        # A partition that wrongly merges two singleton entities.
+        sloppy = Partition.from_groups(
+            [[i * 2, i * 2 + 1] for i in range(20)]
+            + [[40, 41]]
+            + [[42 + i] for i in range(8)]
+        )
+        ci = bootstrap_difference(
+            perfect, sloppy, gold, metric="precision", n_resamples=200
+        )
+        assert ci.point > 0.0

@@ -1,0 +1,70 @@
+"""The PR-sweep shortcut must equal full Phase-1 recomputation.
+
+QualitySweeper materializes Phase 1 once at the loosest setting and
+*truncates* per sweep point.  These property tests verify the
+assumption behind that: a truncated NN relation is identical to one
+computed from scratch at the tighter setting, for both cut shapes —
+so every sweep point's result is exactly what a fresh run would give.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.pipeline import DuplicateEliminator
+from repro.eval.pr_curve import truncate_to_k, truncate_to_radius
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=2, max_size=16, unique=True
+)
+
+
+def phase1(relation, params):
+    index = BruteForceIndex()
+    index.build(relation, absdiff_distance())
+    return prepare_nn_lists(relation, index, params)
+
+
+class TestTruncationExactness:
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy, st.integers(2, 6))
+    def test_k_truncation_equals_recomputation(self, values, k):
+        relation = numbers_relation(values)
+        loose = phase1(relation, DEParams.size(8))
+        tight = phase1(relation, DEParams.size(k))
+        truncated = truncate_to_k(loose, k)
+        for entry in tight:
+            other = truncated.get(entry.rid)
+            assert other.neighbors == entry.neighbors
+            assert other.ng == entry.ng  # NG is K-independent
+
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy, st.floats(0.01, 0.3))
+    def test_radius_truncation_equals_recomputation(self, values, theta):
+        relation = numbers_relation(values)
+        loose = phase1(relation, DEParams.diameter(0.6))
+        tight = phase1(relation, DEParams.diameter(theta))
+        truncated = truncate_to_radius(loose, theta)
+        for entry in tight:
+            other = truncated.get(entry.rid)
+            assert other.neighbors == entry.neighbors
+            assert other.ng == entry.ng  # NG is theta-independent
+
+    @settings(max_examples=20, deadline=None)
+    @given(values_strategy, st.integers(2, 5), st.sampled_from([2.0, 4.0]))
+    def test_swept_partition_equals_fresh_run(self, values, k, c):
+        relation = numbers_relation(values)
+        params = DEParams.size(k, c=c)
+        loose = phase1(relation, DEParams.size(8))
+        solver = DuplicateEliminator(absdiff_distance(), cache_distance=False)
+        via_sweep = solver.run_from_nn(
+            relation, truncate_to_k(loose, k), params
+        ).partition
+        fresh = DuplicateEliminator(absdiff_distance(), cache_distance=False).run(
+            relation, params
+        ).partition
+        assert via_sweep == fresh

@@ -1,0 +1,37 @@
+"""Smoke tests: the fast example scripts must run end-to-end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Duplicate groups found" in out
+        assert "Lisa Simpson" in out
+
+    def test_music_catalog(self, capsys):
+        out = run_example("music_catalog.py", capsys)
+        assert "paper Table 1" in out
+        assert "DE_S(K=5, c=4)" in out
+        assert "thr (single linkage" in out
+
+    def test_engine_tour(self, capsys):
+        out = run_example("engine_tour.py", capsys)
+        assert "Buffer pool after the workload" in out
+        assert "hit ratio" in out
+
+    @pytest.mark.slow
+    def test_threshold_tuning(self, capsys):
+        out = run_example("threshold_tuning.py", capsys)
+        assert "Suggested SN threshold" in out

@@ -1,0 +1,125 @@
+"""Tests for the BK-tree index: must agree exactly with brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Relation
+from repro.distances.base import CachedDistance
+from repro.distances.edit import EditDistance
+from repro.index.bktree import BKTreeIndex
+from repro.index.bruteforce import BruteForceIndex
+
+WORDS = [
+    "golden dragon",
+    "golden dragon express",
+    "jade palace",
+    "jade place",
+    "little bistro",
+    "litle bistro",
+    "royal kitchen",
+    "royal kitchn",
+    "blue table",
+    "red table",
+    "urban grill",
+    "the urban grill",
+]
+
+
+@pytest.fixture
+def built():
+    relation = Relation.from_strings("words", WORDS)
+    bk = BKTreeIndex()
+    bk.build(relation, EditDistance())
+    ref = BruteForceIndex()
+    ref.build(relation, CachedDistance(EditDistance()))
+    return relation, bk, ref
+
+
+class TestExactness:
+    def test_knn_matches_bruteforce(self, built):
+        relation, bk, ref = built
+        for record in relation:
+            for k in (1, 3, 5):
+                got = [(n.rid, pytest.approx(n.distance)) for n in bk.knn(record, k)]
+                want = [(n.rid, pytest.approx(n.distance)) for n in ref.knn(record, k)]
+                assert got == want, f"record {record.rid}, k={k}"
+
+    def test_within_matches_bruteforce(self, built):
+        relation, bk, ref = built
+        for record in relation:
+            for radius in (0.1, 0.3, 0.5):
+                got = [n.rid for n in bk.within(record, radius)]
+                want = [n.rid for n in ref.within(record, radius)]
+                assert got == want
+
+    def test_within_inclusive(self, built):
+        relation, bk, ref = built
+        record = relation.get(0)
+        radius = ref.knn(record, 1)[0].distance
+        strict = {n.rid for n in bk.within(record, radius)}
+        inclusive = {n.rid for n in bk.within(record, radius, inclusive=True)}
+        assert strict <= inclusive
+        assert inclusive == {n.rid for n in ref.within(record, radius, inclusive=True)}
+
+    def test_ng_matches_bruteforce(self, built):
+        relation, bk, ref = built
+        for record in relation:
+            assert bk.neighborhood_growth(record) == ref.neighborhood_growth(record)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.text(alphabet="abcd", min_size=1, max_size=8),
+            min_size=2,
+            max_size=12,
+            unique=True,
+        )
+    )
+    def test_knn_matches_bruteforce_random(self, words):
+        relation = Relation.from_strings("rand", words)
+        bk = BKTreeIndex()
+        bk.build(relation, EditDistance())
+        ref = BruteForceIndex()
+        ref.build(relation, EditDistance())
+        for record in relation:
+            got = [n.rid for n in bk.knn(record, 3)]
+            want = [n.rid for n in ref.knn(record, 3)]
+            assert got == want
+
+
+class TestConstraints:
+    def test_rejects_non_edit_distance(self):
+        from repro.distances.jaccard import TokenJaccardDistance
+
+        relation = Relation.from_strings("r", ["a", "b"])
+        bk = BKTreeIndex()
+        with pytest.raises(TypeError, match="EditDistance"):
+            bk.build(relation, TokenJaccardDistance())
+
+    def test_rejects_damerau(self):
+        relation = Relation.from_strings("r", ["a", "b"])
+        bk = BKTreeIndex()
+        with pytest.raises(ValueError, match="metric"):
+            bk.build(relation, EditDistance(damerau=True))
+
+    def test_duplicate_texts_share_node(self):
+        relation = Relation.from_strings("r", ["same", "same", "other"])
+        bk = BKTreeIndex()
+        bk.build(relation, EditDistance())
+        hits = bk.knn(relation.get(0), 2)
+        assert hits[0].rid == 1
+        assert hits[0].distance == 0.0
+
+    def test_k_zero(self):
+        relation = Relation.from_strings("r", ["a", "b"])
+        bk = BKTreeIndex()
+        bk.build(relation, EditDistance())
+        assert bk.knn(relation.get(0), 0) == []
+
+    def test_singleton_relation(self):
+        relation = Relation.from_strings("r", ["only"])
+        bk = BKTreeIndex()
+        bk.build(relation, EditDistance())
+        assert bk.knn(relation.get(0), 3) == []
+        assert bk.neighborhood_growth(relation.get(0)) == 1

@@ -1,0 +1,132 @@
+"""Tests for the brute-force NN index (the exactness reference)."""
+
+import pytest
+
+from repro.data.schema import Relation
+from repro.index.base import Neighbor
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+@pytest.fixture
+def index():
+    relation = numbers_relation([0, 10, 11, 30, 100])
+    idx = BruteForceIndex()
+    idx.build(relation, absdiff_distance())
+    return idx, relation
+
+
+class TestKnn:
+    def test_nearest_first(self, index):
+        idx, relation = index
+        hits = idx.knn(relation.get(1), 2)  # value 10
+        assert [h.rid for h in hits] == [2, 0]  # 11 then 0
+
+    def test_excludes_self(self, index):
+        idx, relation = index
+        hits = idx.knn(relation.get(0), 4)
+        assert all(h.rid != 0 for h in hits)
+
+    def test_k_larger_than_relation(self, index):
+        idx, relation = index
+        hits = idx.knn(relation.get(0), 100)
+        assert len(hits) == 4
+
+    def test_k_zero(self, index):
+        idx, relation = index
+        assert idx.knn(relation.get(0), 0) == []
+
+    def test_distances_sorted(self, index):
+        idx, relation = index
+        hits = idx.knn(relation.get(3), 4)
+        distances = [h.distance for h in hits]
+        assert distances == sorted(distances)
+
+    def test_tie_break_by_rid(self):
+        relation = numbers_relation([0, 5, -5])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        hits = idx.knn(relation.get(0), 2)
+        # Both at distance 5/1000; smaller rid (1) first.
+        assert [h.rid for h in hits] == [1, 2]
+
+    def test_requires_build(self):
+        idx = BruteForceIndex()
+        with pytest.raises(RuntimeError, match="build"):
+            idx.knn(numbers_relation([1]).get(0), 1)
+
+
+class TestWithin:
+    def test_strict_radius(self, index):
+        idx, relation = index
+        hits = idx.within(relation.get(1), 0.001)  # radius 1/1000
+        assert hits == []
+
+    def test_inclusive_radius(self, index):
+        idx, relation = index
+        hits = idx.within(relation.get(1), 0.001, inclusive=True)
+        assert [h.rid for h in hits] == [2]
+
+    def test_radius_covers_all(self, index):
+        idx, relation = index
+        hits = idx.within(relation.get(0), 1.0)
+        assert len(hits) == 4
+
+    def test_sorted_output(self, index):
+        idx, relation = index
+        hits = idx.within(relation.get(0), 1.0)
+        assert [h.distance for h in hits] == sorted(h.distance for h in hits)
+
+
+class TestDerived:
+    def test_nn_distance(self, index):
+        idx, relation = index
+        assert idx.nn_distance(relation.get(1)) == pytest.approx(0.001)
+
+    def test_nn_distance_singleton(self):
+        relation = numbers_relation([42])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        assert idx.nn_distance(relation.get(0)) == float("inf")
+
+    def test_ng_counts_self(self, index):
+        idx, relation = index
+        # value 10: nn = 11 at 1; radius 2 covers only 11 -> ng = 2.
+        assert idx.neighborhood_growth(relation.get(1)) == 2
+
+    def test_ng_larger_neighborhood(self):
+        relation = numbers_relation([0, 1, 2, 3, 50])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        # value 1: nn=1 unit, radius 2 covers 0 and 2 strictly -> ng = 3.
+        assert idx.neighborhood_growth(relation.get(1)) == 3
+
+    def test_ng_singleton_relation(self):
+        relation = numbers_relation([7])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        assert idx.neighborhood_growth(relation.get(0)) == 1
+
+    def test_ng_exact_duplicates(self):
+        relation = numbers_relation([5, 5, 5, 90])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        # nn distance is 0; the zero-distance records form the neighborhood.
+        assert idx.neighborhood_growth(relation.get(0)) == 3
+
+    def test_custom_p(self):
+        relation = numbers_relation([0, 1, 3, 100])
+        idx = BruteForceIndex()
+        idx.build(relation, absdiff_distance())
+        # p=2: radius 2 covers only rid 1 -> ng=2; p=4: covers rid 2 too.
+        assert idx.neighborhood_growth(relation.get(0), p=2.0) == 2
+        assert idx.neighborhood_growth(relation.get(0), p=4.0) == 3
+
+
+class TestNeighborOrdering:
+    def test_neighbor_sort_order(self):
+        a = Neighbor(0.1, 5)
+        b = Neighbor(0.1, 7)
+        c = Neighbor(0.2, 1)
+        assert sorted([c, b, a]) == [a, b, c]

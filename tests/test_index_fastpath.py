@@ -1,0 +1,94 @@
+"""Property tests for the inverted index's filter-verify fast path.
+
+The q-gram count filter and the banded DP are *filters*: they may only
+reject candidates that are provably outside the query bound.  These
+tests check soundness against a fast-path-free twin of the index on
+random string relations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Relation
+from repro.distances.base import CachedDistance
+from repro.distances.edit import EditDistance
+from repro.index.inverted import QgramInvertedIndex
+
+strings = st.lists(
+    st.text(alphabet="abcd ", min_size=1, max_size=14),
+    min_size=3,
+    max_size=14,
+    unique=True,
+)
+
+
+def build_pair(words, **kwargs):
+    """The same index with and without the edit fast path."""
+    relation = Relation.from_strings("r", words)
+    fast = QgramInvertedIndex(**kwargs)
+    fast.build(relation, EditDistance())
+    slow = QgramInvertedIndex(**kwargs)
+    slow.build(relation, CachedDistance(EditDistance()))
+    slow._edit_fast_path = False  # force the plain evaluation path
+    return relation, fast, slow
+
+
+class TestFastPathSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(strings, st.integers(1, 5))
+    def test_knn_identical_with_and_without_fast_path(self, words, k):
+        relation, fast, slow = build_pair(words)
+        for record in relation:
+            got = [(n.rid, pytest.approx(n.distance)) for n in fast.knn(record, k)]
+            want = [(n.rid, pytest.approx(n.distance)) for n in slow.knn(record, k)]
+            assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(strings, st.floats(0.05, 0.9))
+    def test_within_identical_with_and_without_fast_path(self, words, radius):
+        relation, fast, slow = build_pair(words)
+        for record in relation:
+            got = [n.rid for n in fast.within(record, radius)]
+            want = [n.rid for n in slow.within(record, radius)]
+            assert got == want
+
+    @settings(max_examples=25, deadline=None)
+    @given(strings)
+    def test_ng_identical_with_and_without_fast_path(self, words):
+        relation, fast, slow = build_pair(words)
+        for record in relation:
+            assert fast.neighborhood_growth(record) == slow.neighborhood_growth(
+                record
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(strings, st.floats(0.05, 0.6))
+    def test_stop_gram_skipping_stays_sound(self, words, radius):
+        """With an aggressive max_df, the count filter must still never
+        reject a candidate that shares enough (skipped) grams."""
+        relation, fast, slow = build_pair(words, max_df=2)
+        for record in relation:
+            got = [n.rid for n in fast.within(record, radius)]
+            want = [n.rid for n in slow.within(record, radius)]
+            assert got == want
+
+    def test_pair_cache_consistency(self):
+        relation = Relation.from_strings(
+            "r", ["golden dragon", "golden dragn", "jade palace"]
+        )
+        index = QgramInvertedIndex()
+        index.build(relation, EditDistance())
+        first = index.knn(relation.get(0), 2)
+        second = index.knn(relation.get(0), 2)  # cache-served
+        assert first == second
+
+    def test_rebuild_clears_pair_cache(self):
+        a = Relation.from_strings("a", ["aaa", "aab"])
+        b = Relation.from_strings("b", ["zzz", "zzy"])
+        index = QgramInvertedIndex()
+        index.build(a, EditDistance())
+        index.knn(a.get(0), 1)
+        index.build(b, EditDistance())
+        hits = index.knn(b.get(0), 1)
+        assert hits[0].rid == 1

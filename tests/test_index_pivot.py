@@ -1,0 +1,132 @@
+"""Tests for the LAESA pivot index: exact under metric distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Relation
+from repro.distances.jaccard import TokenJaccardDistance
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.pivot import PivotIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+def build_pair(relation, distance, n_pivots=4):
+    pivot = PivotIndex(n_pivots=n_pivots)
+    pivot.build(relation, distance)
+    brute = BruteForceIndex()
+    brute.build(relation, distance)
+    return pivot, brute
+
+
+class TestExactnessOnMetric:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=2, max_size=20, unique=True),
+        st.integers(1, 5),
+    )
+    def test_knn_matches_bruteforce_absdiff(self, values, k):
+        relation = numbers_relation(values)
+        pivot, brute = build_pair(relation, absdiff_distance())
+        for record in relation:
+            got = [(n.rid, pytest.approx(n.distance)) for n in pivot.knn(record, k)]
+            want = [(n.rid, pytest.approx(n.distance)) for n in brute.knn(record, k)]
+            assert got == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 500), min_size=2, max_size=16, unique=True),
+        st.floats(0.001, 0.4),
+    )
+    def test_within_matches_bruteforce_absdiff(self, values, radius):
+        relation = numbers_relation(values)
+        pivot, brute = build_pair(relation, absdiff_distance())
+        for record in relation:
+            got = [n.rid for n in pivot.within(record, radius)]
+            want = [n.rid for n in brute.within(record, radius)]
+            assert got == want
+
+    def test_token_jaccard_is_supported(self):
+        relation = Relation.from_strings(
+            "r",
+            [
+                "golden dragon express",
+                "golden dragon",
+                "jade palace",
+                "jade palace downtown",
+                "blue bistro",
+            ],
+        )
+        pivot, brute = build_pair(relation, TokenJaccardDistance())
+        for record in relation:
+            assert [n.rid for n in pivot.knn(record, 3)] == [
+                n.rid for n in brute.knn(record, 3)
+            ]
+
+    def test_ng_matches_bruteforce(self):
+        relation = numbers_relation([0, 3, 9, 27, 200])
+        pivot, brute = build_pair(relation, absdiff_distance())
+        for record in relation:
+            assert pivot.neighborhood_growth(record) == brute.neighborhood_growth(
+                record
+            )
+
+
+class TestPruning:
+    def test_pruning_reduces_evaluations(self):
+        values = list(range(0, 400, 5))
+        relation = numbers_relation(values)
+        pruned = PivotIndex(n_pivots=8)
+        pruned.build(relation, absdiff_distance())
+        pruned.evaluations = 0
+        unpruned = PivotIndex(n_pivots=8, assume_metric=False)
+        unpruned.build(relation, absdiff_distance())
+        unpruned.evaluations = 0
+        for record in relation:
+            pruned.within(record, 0.01)
+            unpruned.within(record, 0.01)
+        assert pruned.evaluations < unpruned.evaluations / 2
+
+    def test_no_metric_assumption_still_exact(self):
+        relation = numbers_relation([0, 5, 10, 100])
+        index = PivotIndex(n_pivots=2, assume_metric=False)
+        index.build(relation, absdiff_distance())
+        brute = BruteForceIndex()
+        brute.build(relation, absdiff_distance())
+        for record in relation:
+            assert [n.rid for n in index.knn(record, 2)] == [
+                n.rid for n in brute.knn(record, 2)
+            ]
+
+
+class TestEdgeCases:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PivotIndex(n_pivots=0)
+
+    def test_fewer_records_than_pivots(self):
+        relation = numbers_relation([0, 10])
+        index = PivotIndex(n_pivots=10)
+        index.build(relation, absdiff_distance())
+        assert [n.rid for n in index.knn(relation.get(0), 1)] == [1]
+
+    def test_singleton_relation(self):
+        relation = numbers_relation([42])
+        index = PivotIndex()
+        index.build(relation, absdiff_distance())
+        assert index.knn(relation.get(0), 3) == []
+
+    def test_duplicate_coordinates(self):
+        relation = numbers_relation([7, 7, 7, 50])
+        index = PivotIndex(n_pivots=4)
+        index.build(relation, absdiff_distance())
+        hits = index.knn(relation.get(0), 2)
+        assert [h.rid for h in hits] == [1, 2]
+        assert hits[0].distance == 0.0
+
+    def test_empty_relation(self):
+        relation = numbers_relation([])
+        index = PivotIndex()
+        index.build(relation, absdiff_distance())
+        assert index._pivots == []

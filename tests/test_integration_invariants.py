@@ -1,0 +1,118 @@
+"""End-to-end invariants: DE output always satisfies the paper's spec.
+
+These property-based tests connect the algorithm (NN lists + CSPairs +
+partitioning) back to the *definitions* in section 2/3: every emitted
+non-trivial group must be a compact set, an SN(AGG, c) group, and within
+the cut specification — checked by brute force against the definitions,
+not against the algorithm's own data structures.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import group_diameter, is_compact_set, is_sn_group
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.loaders import load_dataset
+from repro.distances.edit import EditDistance
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=2, max_size=18, unique=True
+)
+c_strategy = st.sampled_from([2.0, 3.0, 4.0, 6.0])
+agg_strategy = st.sampled_from(["max", "avg", "max2"])
+
+
+class TestSizeSpecInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(values_strategy, st.integers(2, 6), c_strategy, agg_strategy)
+    def test_groups_satisfy_all_criteria(self, values, k, c, agg):
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        params = DEParams.size(k, agg=agg, c=c)
+        result = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, params
+        )
+        for group in result.partition.non_trivial_groups():
+            assert len(group) <= k
+            assert is_compact_set(relation, distance, group)
+            assert is_sn_group(relation, distance, group, agg, c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values_strategy, st.integers(2, 6), c_strategy)
+    def test_partition_covers_relation_exactly(self, values, k, c):
+        relation = numbers_relation(values)
+        result = DuplicateEliminator(absdiff_distance(), cache_distance=False).run(
+            relation, DEParams.size(k, c=c)
+        )
+        assert result.partition.ids() == sorted(relation.ids())
+
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy)
+    def test_maximality_no_group_extends(self, values):
+        """No emitted pair group could have been a valid triple under
+        the same anchor (greedy largest-first is respected): re-running
+        with a larger K never yields smaller groups for the same c."""
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        small = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(2, c=4.0)
+        )
+        large = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(6, c=4.0)
+        )
+        # Every size-2 group found under K=2 is inside some group under K=6.
+        for group in small.partition.non_trivial_groups():
+            container = large.partition.group_of(group[0])
+            assert set(group).issubset(set(container)) or len(container) == 1
+
+
+class TestDiameterSpecInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(values_strategy, st.floats(0.005, 0.2), c_strategy, agg_strategy)
+    def test_groups_satisfy_all_criteria(self, values, theta, c, agg):
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        params = DEParams.diameter(theta, agg=agg, c=c)
+        result = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, params
+        )
+        for group in result.partition.non_trivial_groups():
+            assert group_diameter(relation, distance, group) < theta
+            assert is_compact_set(relation, distance, group)
+            assert is_sn_group(relation, distance, group, agg, c)
+
+
+class TestRealDatasetInvariants:
+    @pytest.mark.parametrize("name", ["restaurants", "media", "census"])
+    def test_string_dataset_groups_satisfy_criteria(self, name):
+        dataset = load_dataset(name, n_entities=30, duplicate_fraction=0.4, seed=11)
+        distance = EditDistance()
+        params = DEParams.size(4, c=4.0)
+        result = DuplicateEliminator(distance).run(dataset.relation, params)
+        distance.prepare(dataset.relation)
+        for group in result.partition.non_trivial_groups():
+            assert len(group) <= 4
+            assert is_compact_set(dataset.relation, distance, group)
+            assert is_sn_group(dataset.relation, distance, group, "max", 4.0)
+
+    def test_integers_example_needs_cut_spec(self):
+        """The paper's section-3 example: with a permissive SN threshold
+        and no effective cut, everything merges; the size cut prevents
+        the degenerate single group."""
+        from repro.data.embedded import integer_distance, integers_example
+
+        relation = integers_example()
+        distance = integer_distance()
+        loose = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(7, c=20.0)
+        )
+        assert len(loose.partition.groups) == 1  # the degenerate outcome
+
+        tight = DuplicateEliminator(distance, cache_distance=False).run(
+            relation, DEParams.size(3, c=20.0)
+        )
+        assert len(tight.partition.groups) > 1

@@ -1,0 +1,131 @@
+"""Edge-case coverage across modules."""
+
+import pytest
+
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.properties import is_p_conscious, p_conscious_transform
+from repro.core.result import Partition
+from repro.distances.base import FunctionDistance
+from repro.eval.report import format_kv, format_table
+from repro.index.bruteforce import BruteForceIndex
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+
+class TestNnPhaseDiameterSpec:
+    def test_within_lists_respect_theta(self):
+        relation = numbers_relation([0, 5, 12, 100])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        nn = prepare_nn_lists(relation, index, DEParams.diameter(0.01))
+        # Record 0: only value 5 is within 10 units.
+        assert nn.get(0).neighbor_ids == (1,)
+        # Record 3 (value 100): nothing within 10 units.
+        assert nn.get(3).neighbor_ids == ()
+
+    def test_ng_correct_when_within_list_empty(self):
+        # NG needs nn(v) even when the θ-list is empty: the index must
+        # fall back to a 1-NN probe.
+        relation = numbers_relation([0, 5, 100, 130])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        nn = prepare_nn_lists(relation, index, DEParams.diameter(0.01))
+        # Record 2 (100): nn is 130 at 30 units; radius 60 covers 130
+        # only -> ng = 2.
+        assert nn.get(2).neighbor_ids == ()
+        assert nn.get(2).ng == 2
+
+    def test_sequential_and_random_orders_cover_all(self):
+        relation = numbers_relation([3, 1, 2])
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        for order in ("sequential", "random"):
+            nn = prepare_nn_lists(
+                relation, index, DEParams.size(2), order=order
+            )
+            assert nn.ids() == [0, 1, 2]
+
+
+class TestPConsciousNegative:
+    def test_detects_violations(self):
+        relation = numbers_relation([0, 1, 50])
+        partition = Partition.from_groups([[0, 1], [2]])
+        base = absdiff_distance()
+
+        # A transformation that *stretches* a within-group distance is
+        # not P-conscious.
+        def stretched(a, b):
+            d = base.distance(a, b)
+            if {a.rid, b.rid} == {0, 1}:
+                return min(1.0, d * 3)
+            return d
+
+        bad = FunctionDistance(stretched)
+        assert not is_p_conscious(relation, base, bad, partition)
+
+    def test_valid_transform_passes(self):
+        relation = numbers_relation([0, 1, 50])
+        partition = Partition.from_groups([[0, 1], [2]])
+        base = absdiff_distance()
+        good = p_conscious_transform(base, partition, shrink=0.9, grow=1.1)
+        assert is_p_conscious(relation, base, good, partition)
+
+
+class TestReportEdges:
+    def test_empty_table(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text
+        assert len(text.splitlines()) == 2  # header + rule, no rows
+
+    def test_kv_empty(self):
+        assert format_kv({}) == ""
+
+    def test_table_handles_numeric_cells(self):
+        text = format_table(("n",), [(1234,)])
+        assert "1234" in text
+
+
+class TestDEResultSurface:
+    def test_duplicate_groups_excludes_singletons(self):
+        relation = numbers_relation([0, 1, 500])
+        result = DuplicateEliminator(absdiff_distance()).run(
+            relation, DEParams.size(2, c=3.0)
+        )
+        assert result.duplicate_groups == [(0, 1)]
+        assert len(result.partition) == 2
+
+    def test_params_echoed(self):
+        relation = numbers_relation([0, 1])
+        params = DEParams.size(2, c=2.5)
+        result = DuplicateEliminator(absdiff_distance()).run(relation, params)
+        assert result.params == params
+
+
+class TestMergeEdges:
+    def test_empty_partition(self):
+        from repro.core.merge import merge_partition
+        from repro.data.schema import Relation
+
+        relation = Relation.from_strings("r", [])
+        merged = merge_partition(relation, Partition.singletons([]))
+        assert len(merged.golden) == 0
+        assert merged.lineage == {}
+
+    def test_all_singletons_identity_modulo_ids(self):
+        from repro.core.merge import merge_partition
+
+        relation = numbers_relation([5, 7, 9])
+        merged = merge_partition(relation, Partition.singletons([0, 1, 2]))
+        assert merged.golden.texts() == relation.texts()
+
+
+class TestCachedDoubleWrapAvoidance:
+    def test_pipeline_does_not_rewrap(self):
+        from repro.distances.base import CachedDistance
+        from repro.distances.edit import EditDistance
+
+        cached = CachedDistance(EditDistance())
+        solver = DuplicateEliminator(cached)
+        assert solver.distance is cached

@@ -1,0 +1,115 @@
+"""Cross-module invariants on randomized instances."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explain import explain_pair
+from repro.core.formulation import DEParams
+from repro.core.merge import merge_partition
+from repro.core.pipeline import DuplicateEliminator
+from repro.core.review import fragile_groups, near_miss_pairs
+from repro.eval.cluster_metrics import bcubed, variation_of_information
+from repro.data.duplicates import GoldStandard
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+values_strategy = st.lists(
+    st.integers(0, 900), min_size=2, max_size=14, unique=True
+)
+
+
+def solve(values, k=4, c=4.0):
+    relation = numbers_relation(values)
+    result = DuplicateEliminator(absdiff_distance(), cache_distance=False).run(
+        relation, DEParams.size(k, c=c)
+    )
+    return relation, result
+
+
+class TestExplainConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_explanations_agree_with_partition(self, values):
+        relation, result = solve(values)
+        ids = relation.ids()
+        for a in ids[:6]:
+            for b in ids[:6]:
+                if a >= b:
+                    continue
+                explanation = explain_pair(result, a, b)
+                assert explanation.grouped == result.partition.same_group(a, b)
+                if explanation.grouped:
+                    assert explanation.verdict.startswith("grouped")
+                else:
+                    assert not explanation.verdict.startswith("grouped")
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_ng_values_echo_nn_relation(self, values):
+        relation, result = solve(values)
+        ids = relation.ids()
+        if len(ids) < 2:
+            return
+        explanation = explain_pair(result, ids[0], ids[1])
+        assert explanation.ng_a == result.nn_relation.get(ids[0]).ng
+        assert explanation.ng_b == result.nn_relation.get(ids[1]).ng
+
+
+class TestMergeAccounting:
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy)
+    def test_counts_add_up(self, values):
+        relation, result = solve(values)
+        merged = merge_partition(relation, result.partition)
+        assert len(merged.golden) == len(result.partition)
+        assert merged.n_merged_away == len(relation) - len(result.partition)
+        covered = sorted(
+            rid for sources in merged.lineage.values() for rid in sources
+        )
+        assert covered == relation.ids()
+
+    @settings(max_examples=30, deadline=None)
+    @given(values_strategy)
+    def test_golden_values_come_from_sources(self, values):
+        relation, result = solve(values)
+        merged = merge_partition(relation, result.partition)
+        for golden_rid, sources in merged.lineage.items():
+            golden_value = merged.golden.get(golden_rid).fields[0]
+            source_values = {relation.get(rid).fields[0] for rid in sources}
+            assert golden_value in source_values
+
+
+class TestReviewInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_near_misses_never_overlap_groups(self, values):
+        relation, result = solve(values, c=3.0)
+        grouped_pairs = result.partition.duplicate_pairs()
+        for candidate in near_miss_pairs(result, limit=50):
+            assert tuple(candidate.members) not in grouped_pairs
+            assert candidate.margin >= 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_fragile_groups_are_emitted_groups(self, values):
+        relation, result = solve(values, c=3.0)
+        emitted = set(result.partition.non_trivial_groups())
+        for candidate in fragile_groups(result, limit=50):
+            assert candidate.members in emitted
+            assert 0.0 < candidate.margin
+
+
+class TestMetricsSanity:
+    @settings(max_examples=25, deadline=None)
+    @given(values_strategy)
+    def test_perfect_prediction_scores_perfectly(self, values):
+        relation, result = solve(values)
+        # Use the result itself as "gold": all metrics must be perfect.
+        gold = GoldStandard()
+        for label, group in enumerate(result.partition.groups):
+            for rid in group:
+                gold.add(rid, label)
+        score = bcubed(result.partition, gold)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert variation_of_information(result.partition, gold) < 1e-9

@@ -1,0 +1,88 @@
+"""Property-based tests for Partition invariants."""
+
+from math import comb
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import Partition
+
+
+@st.composite
+def partitions(draw):
+    """Random partitions of a prefix of the integers."""
+    n = draw(st.integers(1, 30))
+    labels = draw(
+        st.lists(st.integers(0, 8), min_size=n, max_size=n)
+    )
+    groups: dict[int, list[int]] = {}
+    for rid, label in enumerate(labels):
+        groups.setdefault(label, []).append(rid)
+    return Partition.from_groups(groups.values())
+
+
+class TestPartitionInvariants:
+    @given(partitions())
+    def test_groups_disjoint_and_cover(self, partition):
+        seen = set()
+        for group in partition:
+            for rid in group:
+                assert rid not in seen
+                seen.add(rid)
+        assert sorted(seen) == partition.ids()
+
+    @given(partitions())
+    def test_canonical_ordering(self, partition):
+        firsts = [group[0] for group in partition.groups]
+        assert firsts == sorted(firsts)
+        for group in partition.groups:
+            assert list(group) == sorted(group)
+
+    @given(partitions())
+    def test_pair_count_formula(self, partition):
+        expected = sum(comb(len(group), 2) for group in partition)
+        assert len(partition.duplicate_pairs()) == expected
+
+    @given(partitions())
+    def test_group_of_consistency(self, partition):
+        for group in partition:
+            for rid in group:
+                assert partition.group_of(rid) == group
+
+    @given(partitions())
+    def test_same_group_iff_shared_pair(self, partition):
+        pairs = partition.duplicate_pairs()
+        ids = partition.ids()
+        for a in ids[:10]:
+            for b in ids[:10]:
+                if a < b:
+                    assert partition.same_group(a, b) == ((a, b) in pairs)
+
+    @given(partitions())
+    def test_singletons_refine_everything(self, partition):
+        singles = Partition.singletons(partition.ids())
+        assert singles.refines(partition)
+
+    @given(partitions())
+    def test_refines_is_reflexive(self, partition):
+        assert partition.refines(partition)
+
+    @settings(max_examples=30)
+    @given(partitions(), partitions())
+    def test_union_of_groups_detection(self, fine, coarse):
+        # For any group of `fine` that happens to be a union of whole
+        # groups of `coarse`, is_union_of_groups must agree.
+        if fine.ids() != coarse.ids():
+            return
+        for group in fine:
+            members = set(group)
+            union = set()
+            ok = True
+            for rid in group:
+                other = set(coarse.group_of(rid))
+                if not other.issubset(members):
+                    ok = False
+                    break
+                union |= other
+            expected = ok and union == members
+            assert fine.is_union_of_groups(group, coarse) == expected

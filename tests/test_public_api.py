@@ -1,0 +1,82 @@
+"""Tests for the top-level public API surface."""
+
+import pytest
+
+import repro
+from repro import Relation, deduplicate
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_classes_exported(self):
+        for name in (
+            "DEParams",
+            "DuplicateEliminator",
+            "Partition",
+            "EditDistance",
+            "FuzzyMatchDistance",
+            "BruteForceIndex",
+            "QgramInvertedIndex",
+        ):
+            assert name in repro.__all__
+
+
+class TestDeduplicateConvenience:
+    def test_finds_obvious_duplicates(self):
+        relation = Relation.from_strings(
+            "r",
+            [
+                "cascade systems corporation",
+                "cascade systems corp",
+                "granite manufacturing limited",
+                "sterling partners group",
+            ],
+        )
+        result = deduplicate(relation, k=3, c=4.0)
+        assert result.duplicate_groups == [(0, 1)]
+
+    def test_custom_distance(self):
+        from repro import EditDistance
+
+        relation = Relation.from_strings(
+            "r", ["abcdef", "abcdeg", "zzzzzz", "qqqqqq"]
+        )
+        result = deduplicate(relation, k=2, c=3.0, distance=EditDistance())
+        assert result.duplicate_groups == [(0, 1)]
+
+    def test_docstring_example(self):
+        """The module docstring's quickstart must stay true."""
+        from repro import DEParams, DuplicateEliminator, EditDistance
+        from repro.data import table1_relation
+
+        solver = DuplicateEliminator(EditDistance())
+        result = solver.run(table1_relation(), DEParams.size(5, c=4.0))
+        groups = result.duplicate_groups
+        for expected in [(0, 1), (2, 3), (4, 5)]:
+            assert expected in groups
+
+    def test_empty_relation(self):
+        relation = Relation.from_strings("r", [])
+        result = deduplicate(relation)
+        assert result.duplicate_groups == []
+        assert len(result.partition) == 0
+
+    def test_single_record(self):
+        relation = Relation.from_strings("r", ["only one"])
+        result = deduplicate(relation)
+        assert result.partition.groups == ((0,),)
+
+
+class TestDoctests:
+    def test_package_docstring_examples_hold(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.attempted >= 3
+        assert results.failed == 0

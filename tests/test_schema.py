@@ -1,0 +1,104 @@
+"""Tests for the relational data model (repro.data.schema)."""
+
+import pytest
+
+from repro.data.schema import Record, Relation
+
+
+class TestRecord:
+    def test_text_joins_fields(self):
+        record = Record(0, ("The Doors", "LA Woman"))
+        assert record.text() == "The Doors LA Woman"
+
+    def test_text_custom_separator(self):
+        record = Record(0, ("a", "b"))
+        assert record.text("|") == "a|b"
+
+    def test_getitem_and_len(self):
+        record = Record(3, ("x", "y", "z"))
+        assert record[1] == "y"
+        assert len(record) == 3
+
+    def test_records_are_hashable_and_equal_by_value(self):
+        assert Record(1, ("a",)) == Record(1, ("a",))
+        assert hash(Record(1, ("a",))) == hash(Record(1, ("a",)))
+
+    def test_records_are_immutable(self):
+        record = Record(0, ("a",))
+        with pytest.raises(AttributeError):
+            record.rid = 5
+
+
+class TestRelation:
+    def test_from_rows_assigns_sequential_ids(self):
+        relation = Relation.from_rows("r", ("v",), [["a"], ["b"], ["c"]])
+        assert relation.ids() == [0, 1, 2]
+
+    def test_from_strings(self):
+        relation = Relation.from_strings("r", ["x", "y"])
+        assert relation.schema == ("value",)
+        assert relation.get(1).fields == ("y",)
+
+    def test_get_by_id(self):
+        relation = Relation.from_strings("r", ["x", "y"])
+        assert relation.get(0).text() == "x"
+
+    def test_contains(self):
+        relation = Relation.from_strings("r", ["x"])
+        assert 0 in relation
+        assert 5 not in relation
+
+    def test_duplicate_id_rejected(self):
+        relation = Relation.from_strings("r", ["x"])
+        with pytest.raises(ValueError, match="duplicate record id"):
+            relation.add(Record(0, ("y",)))
+
+    def test_arity_mismatch_rejected_on_add(self):
+        relation = Relation("r", ("a", "b"))
+        with pytest.raises(ValueError, match="fields"):
+            relation.add(Record(0, ("only-one",)))
+
+    def test_arity_mismatch_rejected_on_init(self):
+        with pytest.raises(ValueError):
+            Relation("r", ("a", "b"), [Record(0, ("x",))])
+
+    def test_texts(self):
+        relation = Relation.from_rows("r", ("a", "b"), [["x", "y"]])
+        assert relation.texts() == ["x y"]
+
+    def test_project(self):
+        relation = Relation.from_rows("r", ("a", "b"), [["x", "y"], ["u", "v"]])
+        projected = relation.project(["b"])
+        assert projected.schema == ("b",)
+        assert projected.get(0).fields == ("y",)
+        assert projected.get(1).fields == ("v",)
+
+    def test_project_unknown_attribute_raises(self):
+        relation = Relation.from_rows("r", ("a",), [["x"]])
+        with pytest.raises(ValueError):
+            relation.project(["nope"])
+
+    def test_subset(self):
+        relation = Relation.from_strings("r", ["a", "b", "c"])
+        sub = relation.subset([0, 2])
+        assert sub.ids() == [0, 2]
+
+    def test_rename(self):
+        relation = Relation.from_strings("r", ["a"])
+        assert relation.rename("other").name == "other"
+
+    def test_iteration_order_is_insertion_order(self):
+        relation = Relation("r", ("v",))
+        relation.add(Record(5, ("x",)))
+        relation.add(Record(1, ("y",)))
+        assert [r.rid for r in relation] == [5, 1]
+
+    def test_non_dense_ids_supported(self):
+        relation = Relation("r", ("v",), [Record(10, ("a",)), Record(99, ("b",))])
+        assert relation.get(99).fields == ("b",)
+        assert len(relation) == 2
+
+    def test_to_mapping(self):
+        relation = Relation.from_strings("r", ["a"])
+        mapping = relation.to_mapping()
+        assert mapping[0].fields == ("a",)

@@ -1,0 +1,285 @@
+"""Tests for the paged storage substrate (pages, buffer, tables, engine)."""
+
+import pytest
+
+from repro.index.cache import PagedPostingStore
+from repro.storage.buffer import BufferPool
+from repro.storage.engine import Engine
+from repro.storage.pages import DiskManager, Page
+
+
+class TestPages:
+    def test_allocate_sequential_ids(self):
+        disk = DiskManager()
+        assert disk.allocate().page_id == 0
+        assert disk.allocate().page_id == 1
+
+    def test_page_capacity(self):
+        page = Page(0, capacity=2)
+        page.append("a")
+        page.append("b")
+        assert page.full
+        with pytest.raises(ValueError):
+            page.append("c")
+
+    def test_append_marks_dirty(self):
+        page = Page(0)
+        assert not page.dirty
+        page.append("x")
+        assert page.dirty
+
+    def test_allocate_run_splits_across_pages(self):
+        disk = DiskManager(page_capacity=3)
+        page_ids = disk.allocate_run(list(range(8)))
+        assert len(page_ids) == 3
+        items = [item for pid in page_ids for item in disk.read(pid).items]
+        assert items == list(range(8))
+
+    def test_allocate_run_empty(self):
+        disk = DiskManager()
+        page_ids = disk.allocate_run([])
+        assert len(page_ids) == 1
+
+    def test_read_counts_physical_reads(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        disk.read(page.page_id)
+        disk.read(page.page_id)
+        assert disk.physical_reads == 2
+
+    def test_io_stall_scales_with_read_cost(self):
+        disk = DiskManager(read_cost=2.5)
+        page = disk.allocate()
+        disk.read(page.page_id)
+        assert disk.io_stall == 2.5
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        pool = BufferPool(disk, capacity=2)
+        pool.get(page.page_id)
+        pool.get(page.page_id)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_lru_eviction(self):
+        disk = DiskManager()
+        pages = [disk.allocate() for _ in range(3)]
+        pool = BufferPool(disk, capacity=2)
+        pool.get(pages[0].page_id)
+        pool.get(pages[1].page_id)
+        pool.get(pages[2].page_id)  # evicts page 0
+        assert not pool.resident(pages[0].page_id)
+        assert pool.resident(pages[1].page_id)
+        assert pool.stats.evictions == 1
+
+    def test_access_refreshes_lru_position(self):
+        disk = DiskManager()
+        pages = [disk.allocate() for _ in range(3)]
+        pool = BufferPool(disk, capacity=2)
+        pool.get(pages[0].page_id)
+        pool.get(pages[1].page_id)
+        pool.get(pages[0].page_id)  # refresh 0
+        pool.get(pages[2].page_id)  # evicts 1, not 0
+        assert pool.resident(pages[0].page_id)
+        assert not pool.resident(pages[1].page_id)
+
+    def test_eviction_writes_back_dirty_pages(self):
+        disk = DiskManager()
+        pages = [disk.allocate() for _ in range(2)]
+        pool = BufferPool(disk, capacity=1)
+        frame = pool.get(pages[0].page_id)
+        frame.append("data")
+        pool.get(pages[1].page_id)
+        assert disk.physical_writes == 1
+        assert not pages[0].dirty
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(DiskManager(), capacity=0)
+
+    def test_clear_flushes(self):
+        disk = DiskManager()
+        page = disk.allocate()
+        pool = BufferPool(disk, capacity=2)
+        pool.get(page.page_id).append("x")
+        pool.clear()
+        assert disk.physical_writes == 1
+        assert len(pool) == 0
+
+    def test_hit_ratio_zero_when_untouched(self):
+        pool = BufferPool(DiskManager(), capacity=1)
+        assert pool.stats.hit_ratio == 0.0
+
+
+class TestHeapTable:
+    def test_insert_and_scan(self):
+        engine = Engine()
+        table = engine.create_table("t", ("a", "b"))
+        table.insert(("x", 1))
+        table.insert(("y", 2))
+        assert table.rows() == [("x", 1), ("y", 2)]
+
+    def test_arity_check(self):
+        engine = Engine()
+        table = engine.create_table("t", ("a", "b"))
+        with pytest.raises(ValueError, match="arity"):
+            table.insert(("only-one",))
+
+    def test_spills_to_multiple_pages(self):
+        engine = Engine(page_capacity=4)
+        table = engine.create_table("t", ("a",))
+        table.insert_many((i,) for i in range(10))
+        assert table.n_pages == 3
+        assert len(table.rows()) == 10
+
+    def test_scan_where(self):
+        engine = Engine()
+        table = engine.create_table("t", ("a",))
+        table.insert_many([(i,) for i in range(5)])
+        assert list(table.scan_where(lambda r: r[0] % 2 == 0)) == [(0,), (2,), (4,)]
+
+    def test_column_index(self):
+        engine = Engine()
+        table = engine.create_table("t", ("a", "b"))
+        assert table.column_index("b") == 1
+        with pytest.raises(KeyError):
+            table.column_index("zzz")
+
+    def test_scans_go_through_buffer(self):
+        engine = Engine(page_capacity=2)
+        table = engine.create_table("t", ("a",))
+        table.insert_many([(i,) for i in range(6)])
+        engine.reset_stats()
+        table.rows()
+        assert engine.buffer.stats.accesses >= 3
+
+
+class TestCatalog:
+    def test_create_and_get(self):
+        engine = Engine()
+        engine.create_table("t", ("a",))
+        assert engine.table("t").schema == ("a",)
+
+    def test_duplicate_create_rejected(self):
+        engine = Engine()
+        engine.create_table("t", ("a",))
+        with pytest.raises(ValueError, match="exists"):
+            engine.create_table("t", ("a",))
+
+    def test_replace(self):
+        engine = Engine()
+        engine.create_table("t", ("a",)).insert(("x",))
+        engine.create_table("t", ("a",), replace=True)
+        assert engine.table("t").n_rows == 0
+
+    def test_drop(self):
+        engine = Engine()
+        engine.create_table("t", ("a",))
+        engine.catalog.drop_table("t")
+        with pytest.raises(KeyError):
+            engine.table("t")
+
+    def test_names(self):
+        engine = Engine()
+        engine.create_table("b", ("x",))
+        engine.create_table("a", ("x",))
+        assert engine.catalog.names() == ["a", "b"]
+
+
+class TestEngineOperators:
+    def test_select_into(self):
+        engine = Engine()
+        src = engine.create_table("src", ("a",))
+        src.insert_many([(i,) for i in range(6)])
+        out = engine.select_into(
+            "out", src, predicate=lambda r: r[0] > 2, project=lambda r: (r[0] * 10,)
+        )
+        assert out.rows() == [(30,), (40,), (50,)]
+
+    def test_hash_index(self):
+        engine = Engine()
+        src = engine.create_table("src", ("k", "v"))
+        src.insert_many([("a", 1), ("b", 2), ("a", 3)])
+        index = engine.hash_index(src, "k")
+        assert sorted(row[1] for row in index["a"]) == [1, 3]
+
+    def test_index_join(self):
+        engine = Engine()
+        left = engine.create_table("left", ("id", "ref"))
+        left.insert_many([(1, "x"), (2, "y")])
+        right = engine.create_table("right", ("key", "val"))
+        right.insert_many([("x", 10), ("y", 20), ("z", 30)])
+        index = engine.hash_index(right, "key")
+        out = engine.index_join(
+            "joined",
+            ("id", "val"),
+            left,
+            probe_keys=lambda row: [row[1]],
+            index=index,
+            on=lambda l, r: True,
+            project=lambda l, r: (l[0], r[1]),
+        )
+        assert sorted(out.rows()) == [(1, 10), (2, 20)]
+
+    def test_order_by(self):
+        engine = Engine()
+        src = engine.create_table("src", ("a",))
+        src.insert_many([(3,), (1,), (2,)])
+        out = engine.order_by("sorted", src, key=lambda r: r[0])
+        assert out.rows() == [(1,), (2,), (3,)]
+
+    def test_group_iter(self):
+        engine = Engine()
+        src = engine.create_table("src", ("k", "v"))
+        src.insert_many([("a", 1), ("a", 2), ("b", 3)])
+        groups = list(Engine.group_iter(src, key=lambda r: r[0]))
+        assert groups == [("a", [("a", 1), ("a", 2)]), ("b", [("b", 3)])]
+
+    def test_group_iter_empty(self):
+        engine = Engine()
+        src = engine.create_table("src", ("k",))
+        assert list(Engine.group_iter(src, key=lambda r: r[0])) == []
+
+
+class TestPagedPostingStore:
+    def test_put_get_roundtrip(self):
+        pool = BufferPool(DiskManager(page_capacity=4), capacity=8)
+        store = PagedPostingStore(pool)
+        store.put("gram", [1, 2, 3, 4, 5, 6])
+        assert store.get("gram") == [1, 2, 3, 4, 5, 6]
+
+    def test_missing_key(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        store = PagedPostingStore(pool)
+        assert store.get("nope") == []
+
+    def test_duplicate_put_rejected(self):
+        pool = BufferPool(DiskManager(), capacity=2)
+        store = PagedPostingStore(pool)
+        store.put("k", [1])
+        with pytest.raises(ValueError):
+            store.put("k", [2])
+
+    def test_small_lists_share_pages(self):
+        disk = DiskManager(page_capacity=8)
+        pool = BufferPool(disk, capacity=8)
+        store = PagedPostingStore(pool)
+        store.put("a", [1, 2])
+        store.put("b", [3, 4])
+        # Both fit on the first page.
+        assert disk.n_pages == 1
+        assert store.get("a") == [1, 2]
+        assert store.get("b") == [3, 4]
+
+    def test_reads_counted_by_buffer(self):
+        disk = DiskManager(page_capacity=2)
+        pool = BufferPool(disk, capacity=4)
+        store = PagedPostingStore(pool)
+        store.put("k", [1, 2, 3, 4, 5])
+        pool.reset_stats()
+        store.get("k")
+        assert pool.stats.accesses == 3  # ceil(5 / 2) pages
