@@ -46,6 +46,7 @@ from repro.distances import (
     TokenJaccardDistance,
 )
 from repro.index import BKTreeIndex, BruteForceIndex, MinHashIndex, QgramInvertedIndex
+from repro.parallel import ParallelNNEngine
 
 __version__ = "1.0.0"
 
@@ -72,6 +73,7 @@ __all__ = [
     "BKTreeIndex",
     "QgramInvertedIndex",
     "MinHashIndex",
+    "ParallelNNEngine",
     "deduplicate",
     "IncrementalDeduplicator",
     "explain_pair",

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the adoption path:
+Four subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
 - ``generate`` — emit one of the synthetic evaluation datasets (with
   its gold standard) for experimentation;
 - ``estimate-c`` — run Phase 1 on a CSV and report the SN threshold
-  suggested for an estimated duplicate fraction (paper section 4.4).
+  suggested for an estimated duplicate fraction (paper section 4.4);
+- ``bench-phase1`` — run the Phase-1 batch/parallel scalability matrix
+  and write ``BENCH_phase1.json`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -27,6 +29,12 @@ from repro.data.loaders import (
 )
 from repro.distances.base import DistanceFunction
 from repro.distances.cosine import CosineDistance
+from repro.eval.bench_phase1 import (
+    BENCH_DISTANCES,
+    phase1_table,
+    run_phase1_bench,
+    write_phase1_json,
+)
 from repro.distances.edit import EditDistance
 from repro.distances.fms import FuzzyMatchDistance
 from repro.distances.jaccard import TokenJaccardDistance
@@ -84,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--singletons", action="store_true",
         help="include singleton groups in the output",
     )
+    dedup.add_argument(
+        "--workers", type=int, default=1,
+        help="Phase-1 worker count (>1 runs the chunked parallel engine)",
+    )
+    dedup.add_argument(
+        "--pool", choices=("thread", "process"), default="thread",
+        help="worker pool kind for --workers > 1",
+    )
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
     generate.add_argument("dataset", choices=dataset_names())
@@ -106,13 +122,42 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--distance", choices=sorted(DISTANCES), default="fms")
     estimate.add_argument("--k", type=int, default=5)
 
+    bench = sub.add_parser(
+        "bench-phase1",
+        help="run the Phase-1 batch/parallel scalability benchmark",
+    )
+    bench.add_argument("--dataset", choices=dataset_names(), default="org")
+    bench.add_argument(
+        "--distance", choices=sorted(BENCH_DISTANCES), default="cosine"
+    )
+    bench.add_argument(
+        "--sizes", default="500,1000,2000",
+        help="comma-separated entity counts per run",
+    )
+    bench.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated worker counts for the batch runs",
+    )
+    bench.add_argument("--pool", choices=("thread", "process"), default="thread")
+    bench.add_argument("--k", type=int, default=5)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--output", default="BENCH_phase1.json",
+        help="where to write the JSON payload",
+    )
+
     return parser
 
 
-def _make_solver(distance_name: str, index_name: str) -> DuplicateEliminator:
+def _make_solver(
+    distance_name: str,
+    index_name: str,
+    n_workers: int = 1,
+    pool: str = "thread",
+) -> DuplicateEliminator:
     distance: DistanceFunction = DISTANCES[distance_name]()
     index: NNIndex = INDEXES[index_name]()
-    return DuplicateEliminator(distance, index=index)
+    return DuplicateEliminator(distance, index=index, n_workers=n_workers, pool=pool)
 
 
 def _cmd_dedup(args: argparse.Namespace, out) -> int:
@@ -121,7 +166,7 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
         params = DEParams.diameter(args.theta, agg=args.agg, c=args.c)
     else:
         params = DEParams.size(args.k, agg=args.agg, c=args.c)
-    solver = _make_solver(args.distance, args.index)
+    solver = _make_solver(args.distance, args.index, args.workers, args.pool)
     result = solver.run(relation, params)
 
     if args.output:
@@ -186,6 +231,27 @@ def _cmd_estimate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
+    sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+    workers = tuple(int(part) for part in args.workers.split(",") if part)
+    payload = run_phase1_bench(
+        sizes=sizes,
+        workers=workers,
+        dataset=args.dataset,
+        distance=args.distance,
+        k=args.k,
+        pool=args.pool,
+        seed=args.seed,
+    )
+    path = write_phase1_json(payload, args.output)
+    print(phase1_table(payload), file=out)
+    print(f"\nwrote {path}", file=out)
+    if not all(payload["parity"].values()):
+        print("ERROR: execution modes disagreed on the NN relation", file=out)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -196,4 +262,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_generate(args, out)
     if args.command == "estimate-c":
         return _cmd_estimate(args, out)
+    if args.command == "bench-phase1":
+        return _cmd_bench_phase1(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -38,6 +38,12 @@ def breadth_first_order(
     probes.  Each id is yielded exactly once, immediately after its
     lookup, so callers can consume ``(rid, result)`` pairs by capturing
     the lookup results themselves.
+
+    Record ids are treated as opaque: they may be sparse, gapped, or
+    non-zero-based.  Neighbor ids outside the relation (an index built
+    over a superset, or stale postings) are skipped rather than
+    enqueued, so the traversal never probes an id the relation cannot
+    resolve.
     """
     visited: set[int] = set()  # the paper's bit vector H
     queue: deque[int] = deque()
@@ -54,7 +60,11 @@ def breadth_first_order(
             neighbors = lookup(rid)
             yield rid
             for neighbor in neighbors:
-                if neighbor.rid not in visited and len(queue) < max_queue:
+                if (
+                    neighbor.rid not in visited
+                    and neighbor.rid in relation
+                    and len(queue) < max_queue
+                ):
                     queue.append(neighbor.rid)
 
 

@@ -11,7 +11,7 @@ the Figure 8 benchmark compares this against random order.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.core.bforder import breadth_first_order, random_order, sequential_order
@@ -27,17 +27,41 @@ LookupOrder = Literal["bf", "random", "sequential"]
 
 @dataclass
 class Phase1Stats:
-    """Cost accounting for Phase 1."""
+    """Cost accounting for Phase 1.
+
+    All counters *accumulate*: reusing one stats object across several
+    ``prepare_nn_lists`` calls (resumed or incremental runs) sums their
+    costs instead of keeping only the last call's.  The chunk fields are
+    filled by the parallel engine only; the sequential path is one
+    implicit chunk and leaves them untouched.
+    """
 
     lookups: int = 0
     seconds: float = 0.0
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    n_chunks: int = 0
+    chunk_seconds: list[float] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
-        """Lookups per second (the paper's ``pt`` metric, wall-clock)."""
-        if self.seconds <= 0.0:
+        """Lookups per second (the paper's ``pt`` metric, wall-clock).
+
+        Defined as 0.0 when no lookup has been recorded (or no time has
+        elapsed), so resumed/empty runs never divide by zero.
+        """
+        if self.lookups == 0 or self.seconds <= 0.0:
             return 0.0
         return self.lookups / self.seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of distance requests served by a pair cache."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
 
 
 def _fetch(
@@ -60,6 +84,9 @@ def prepare_nn_lists(
     order_seed: int = 0,
     stats: Phase1Stats | None = None,
     radius_fn=None,
+    n_workers: int = 1,
+    pool: str = "thread",
+    chunk_size: int | None = None,
 ) -> NNRelation:
     """Materialize the NN relation for a DE problem instance.
 
@@ -86,12 +113,45 @@ def prepare_nn_lists(
         Optional :class:`~repro.core.radius.RadiusFunction` overriding
         the linear ``p * nn(v)`` neighborhood in the NG computation
         (the non-linear extension the paper's section 2 permits).
+    n_workers:
+        With ``n_workers > 1`` the computation is delegated to
+        :class:`~repro.parallel.engine.ParallelNNEngine`: the lookup
+        order is split into contiguous chunks answered through the
+        index's batch API over a worker pool, producing a result
+        identical to this sequential path for any worker count.
+    pool:
+        Worker pool kind for the parallel path: ``"thread"`` or
+        ``"process"``.
+    chunk_size:
+        Optional fixed chunk length for the parallel path.
     """
     if index.relation is not relation:
         raise ValueError("index was not built over the given relation")
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+
+    if n_workers > 1:
+        # Imported lazily: repro.parallel depends on repro.core modules.
+        from repro.parallel.engine import ParallelNNEngine
+
+        engine = ParallelNNEngine(
+            n_workers=n_workers, pool=pool, chunk_size=chunk_size
+        )
+        return engine.run(
+            relation,
+            index,
+            params,
+            order=order,
+            order_seed=order_seed,
+            stats=stats,
+            radius_fn=radius_fn,
+        )
 
     nn_relation = NNRelation()
     started = time.perf_counter()
+    evaluations_before = index.evaluations
+    hits_before = getattr(index, "cache_hits", 0)
+    misses_before = getattr(index, "cache_misses", 0)
 
     def lookup(rid: int) -> Sequence[Neighbor]:
         neighbors = _fetch(index, relation, rid, params)
@@ -125,4 +185,7 @@ def prepare_nn_lists(
 
     if stats is not None:
         stats.seconds += time.perf_counter() - started
+        stats.evaluations += index.evaluations - evaluations_before
+        stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
+        stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
     return nn_relation

@@ -87,6 +87,16 @@ class DuplicateEliminator:
     radius_fn:
         Optional :class:`~repro.core.radius.RadiusFunction` overriding
         the linear ``p * nn(v)`` neighborhood in the NG computation.
+    n_workers:
+        Phase-1 worker count.  ``1`` (default) runs the sequential
+        lookup loop; more workers run the chunked parallel engine
+        (:class:`~repro.parallel.engine.ParallelNNEngine`), which
+        produces an identical NN relation and partition.
+    pool:
+        Worker pool kind for the parallel path (``"thread"`` or
+        ``"process"``).
+    chunk_size:
+        Optional fixed chunk length for the parallel path.
     """
 
     def __init__(
@@ -101,6 +111,9 @@ class DuplicateEliminator:
         cannot_link: CannotLinkPredicate | None = None,
         cache_distance: bool = True,
         radius_fn=None,
+        n_workers: int = 1,
+        pool: str = "thread",
+        chunk_size: int | None = None,
     ):
         wrap = cache_distance and not isinstance(distance, CachedDistance)
         self.distance: DistanceFunction = (
@@ -115,6 +128,9 @@ class DuplicateEliminator:
         #: Optional RadiusFunction generalizing the p*nn(v) neighborhood
         #: (paper section 2's non-linear remark); None = linear.
         self.radius_fn = radius_fn
+        self.n_workers = n_workers
+        self.pool = pool
+        self.chunk_size = chunk_size
 
     # ------------------------------------------------------------------
 
@@ -130,6 +146,9 @@ class DuplicateEliminator:
             order_seed=self.order_seed,
             stats=stats,
             radius_fn=self.radius_fn,
+            n_workers=self.n_workers,
+            pool=self.pool,
+            chunk_size=self.chunk_size,
         )
         partition, phase2_seconds, n_pairs = self._phase2(relation, nn_relation, params)
         return DEResult(

@@ -82,14 +82,39 @@ class CachedDistance(DistanceFunction):
     Phase 1 probes the same pairs repeatedly (index candidate
     verification, NG counting); caching keeps the pure-Python
     implementation tractable at the sizes the benchmarks use.
+
+    Without a bound the cache can grow to O(n²) entries on an n-record
+    relation; ``max_entries`` caps it with cheap FIFO eviction (dicts
+    preserve insertion order, so the oldest pair is dropped first).
+    Eviction only costs recomputation on a later probe of the evicted
+    pair — results never change.
     """
 
-    def __init__(self, inner: DistanceFunction):
+    def __init__(self, inner: DistanceFunction, max_entries: int | None = None):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
         self.inner = inner
         self.name = f"cached({inner.name})"
+        self.max_entries = max_entries
         self._cache: dict[tuple[int, int], float] = {}
         self.calls = 0
         self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of calls served from the cache."""
+        return self.calls - self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of calls served from the cache (0.0 before any call)."""
+        if self.calls == 0:
+            return 0.0
+        return (self.calls - self.misses) / self.calls
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def prepare(self, relation: Relation) -> None:
         self._cache.clear()
@@ -97,10 +122,25 @@ class CachedDistance(DistanceFunction):
 
     def distance(self, a: Record, b: Record) -> float:
         self.calls += 1
-        key = (a.rid, b.rid) if a.rid <= b.rid else (b.rid, a.rid)
+        if a.rid > b.rid:
+            # Canonical (lower rid first) direction: the protocol is
+            # symmetric, but float accumulation inside real distances
+            # need not be bit-symmetric, and a fixed direction keeps
+            # results independent of which caller touches a pair first.
+            a, b = b, a
+        key = (a.rid, b.rid)
         cached = self._cache.get(key)
         if cached is None:
             cached = self.inner.distance(a, b)
+            if self.max_entries is not None and len(self._cache) >= self.max_entries:
+                try:
+                    # Thread-pool Phase-1 workers may share this cache;
+                    # racing on the oldest key is harmless.
+                    self._cache.pop(next(iter(self._cache)))
+                except (StopIteration, KeyError):
+                    pass
+                else:
+                    self.evictions += 1
             self._cache[key] = cached
             self.misses += 1
         return cached

@@ -1,0 +1,194 @@
+"""Phase-1 scalability benchmark: throughput vs. workers vs. size.
+
+Produces the ``BENCH_phase1.json`` artifact the performance roadmap
+regresses against.  Three execution modes of the same NN-list
+computation are timed on brute-force indexes over a generated dataset:
+
+- ``per-query`` — the sequential baseline: one full relation scan per
+  k-NN lookup and another per NG range count;
+- ``batch`` with 1 worker — the blocked all-pairs fast path
+  (:meth:`repro.index.bruteforce.BruteForceIndex.prime_pairs`), which
+  exploits distance symmetry and serves the NG counts from the shared
+  pair cache;
+- ``batch`` with N workers — the chunked
+  :class:`~repro.parallel.engine.ParallelNNEngine` executor.
+
+Every run's NN relation is checksummed; the payload records whether all
+modes agreed (they must — the parallel path is defined to be
+result-identical).  See ``docs/performance.md`` for how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNRelation
+from repro.core.nn_phase import Phase1Stats, prepare_nn_lists
+from repro.data.loaders import load_dataset
+from repro.distances.base import DistanceFunction
+from repro.distances.cosine import CosineDistance
+from repro.distances.edit import EditDistance
+from repro.distances.fms import FuzzyMatchDistance
+from repro.distances.jaccard import TokenJaccardDistance
+from repro.eval.report import format_table
+from repro.index.bruteforce import BruteForceIndex
+from repro.parallel.engine import ParallelNNEngine
+
+__all__ = [
+    "nn_checksum",
+    "run_phase1_bench",
+    "phase1_table",
+    "write_phase1_json",
+]
+
+BENCH_DISTANCES: dict[str, type[DistanceFunction]] = {
+    "cosine": CosineDistance,
+    "edit": EditDistance,
+    "fms": FuzzyMatchDistance,
+    "jaccard": TokenJaccardDistance,
+}
+
+
+def nn_checksum(nn_relation: NNRelation) -> str:
+    """A deterministic digest of an NN relation (lists, distances, NG)."""
+    digest = hashlib.sha256()
+    for entry in nn_relation:
+        digest.update(repr((entry.rid, entry.ng)).encode())
+        for neighbor in entry.neighbors:
+            digest.update(repr((neighbor.rid, neighbor.distance)).encode())
+    return digest.hexdigest()
+
+
+def _run_mode(
+    relation,
+    distance_cls: type[DistanceFunction],
+    params: DEParams,
+    mode: str,
+    n_workers: int,
+    pool: str,
+) -> dict:
+    """Time one Phase-1 execution mode on a fresh index and distance."""
+    index = BruteForceIndex()
+    index.build(relation, distance_cls())
+    stats = Phase1Stats()
+    if mode == "per-query":
+        nn = prepare_nn_lists(relation, index, params, order="sequential", stats=stats)
+    else:
+        engine = ParallelNNEngine(n_workers=n_workers, pool=pool)
+        nn = engine.run(relation, index, params, order="sequential", stats=stats)
+    return {
+        "n": len(relation),
+        "mode": mode,
+        "workers": n_workers,
+        "seconds": stats.seconds,
+        "lookups": stats.lookups,
+        "throughput": stats.throughput,
+        "evaluations": stats.evaluations,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "n_chunks": stats.n_chunks,
+        "checksum": nn_checksum(nn),
+    }
+
+
+def run_phase1_bench(
+    sizes: Sequence[int] = (500, 1000, 2000),
+    workers: Sequence[int] = (1, 2, 4),
+    dataset: str = "org",
+    distance: str = "cosine",
+    k: int = 5,
+    pool: str = "thread",
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+) -> dict:
+    """Run the Phase-1 scalability matrix and return the JSON payload.
+
+    ``sizes`` counts entities before duplicate injection; each row
+    reports the actual relation size ``n``.  For every size the
+    per-query baseline runs once and the batch path runs once per
+    worker count.
+    """
+    distance_cls = BENCH_DISTANCES[distance]
+    params = DEParams.size(k, c=4.0)
+    runs: list[dict] = []
+    speedups: dict[str, float] = {}
+    parity: dict[str, bool] = {}
+
+    for size in sizes:
+        relation = load_dataset(
+            dataset,
+            n_entities=size,
+            duplicate_fraction=duplicate_fraction,
+            seed=seed,
+        ).relation
+        baseline = _run_mode(relation, distance_cls, params, "per-query", 1, pool)
+        runs.append(baseline)
+        checksums = {baseline["checksum"]}
+        batch_one = None
+        for n_workers in workers:
+            row = _run_mode(relation, distance_cls, params, "batch", n_workers, pool)
+            runs.append(row)
+            checksums.add(row["checksum"])
+            if n_workers == 1:
+                batch_one = row
+        n_key = str(len(relation))
+        parity[n_key] = len(checksums) == 1
+        if batch_one is not None and baseline["throughput"] > 0.0:
+            speedups[n_key] = batch_one["throughput"] / baseline["throughput"]
+
+    return {
+        "benchmark": "phase1_parallel",
+        "dataset": dataset,
+        "distance": distance,
+        "k": k,
+        "pool": pool,
+        "duplicate_fraction": duplicate_fraction,
+        "seed": seed,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "sizes": list(sizes),
+        "workers": list(workers),
+        "runs": runs,
+        "speedup_batch_vs_per_query": speedups,
+        "parity": parity,
+    }
+
+
+def phase1_table(payload: Mapping) -> str:
+    """Render a payload's run matrix as the repo's standard text table."""
+    rows = [
+        (
+            run["n"],
+            run["mode"],
+            run["workers"],
+            f"{run['seconds']:.2f}s",
+            f"{run['throughput']:.0f}/s",
+            run["evaluations"],
+            f"{run['cache_hit_rate']:.2f}",
+        )
+        for run in payload["runs"]
+    ]
+    table = format_table(
+        ("n", "mode", "workers", "seconds", "throughput", "evaluations", "hit_rate"),
+        rows,
+        title="BENCH_phase1: Phase-1 lookup throughput by mode and worker count",
+    )
+    speedups = ", ".join(
+        f"n={n}: {s:.2f}x"
+        for n, s in sorted(payload["speedup_batch_vs_per_query"].items(), key=lambda kv: int(kv[0]))
+    )
+    return f"{table}\n\nbatch (1 worker) vs per-query speedup: {speedups}"
+
+
+def write_phase1_json(payload: Mapping, path: str | Path) -> Path:
+    """Write the payload to ``path`` (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

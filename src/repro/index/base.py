@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.data.schema import Record, Relation
 from repro.distances.base import DistanceFunction
@@ -77,6 +77,69 @@ class NNIndex(abc.ABC):
         self, record: Record, radius: float, inclusive: bool = False
     ) -> list[Neighbor]:
         """Return all other records with ``d < radius`` (or ``<=``), sorted."""
+
+    # ------------------------------------------------------------------
+    # Batch queries
+    # ------------------------------------------------------------------
+
+    def knn_batch(self, records: "Sequence[Record]", k: int) -> list[list[Neighbor]]:
+        """Answer :meth:`knn` for several records at once.
+
+        The default is a sequential per-record fallback, so every index
+        supports the batch protocol; implementations with a cheaper
+        blocked evaluation (notably :class:`~repro.index.bruteforce.
+        BruteForceIndex`, which exploits distance symmetry across the
+        batch) override it.  Results are positionally aligned with
+        ``records`` and identical to per-record :meth:`knn` calls.
+        """
+        return [self.knn(record, k) for record in records]
+
+    def within_batch(
+        self, records: "Sequence[Record]", radius: float, inclusive: bool = False
+    ) -> list[list[Neighbor]]:
+        """Answer :meth:`within` for several records at once.
+
+        Same contract as :meth:`knn_batch`: positionally aligned,
+        result-identical to per-record calls, sequential by default.
+        """
+        return [self.within(record, radius, inclusive) for record in records]
+
+    def phase1_batch(
+        self,
+        records: "Sequence[Record]",
+        k: int | None = None,
+        theta: float | None = None,
+        p: float = 2.0,
+        radius_fn: "Callable[[float], float] | None" = None,
+    ) -> list[tuple[list[Neighbor], int]]:
+        """Batched Phase-1 kernel: each record's cut neighbor list and NG.
+
+        The query shape mirrors the DE cut specifications: ``k`` alone
+        is the size cut (k nearest), ``theta`` alone the diameter cut
+        (all within θ), both together the combined cut (the k nearest
+        within θ).  Returns ``(neighbors, ng)`` per record, positionally
+        aligned with ``records`` and identical to the per-record
+        ``knn``/``within`` + :meth:`neighborhood_growth` sequence.  The
+        default implementation is exactly that sequence; indexes with a
+        blocked evaluation override it.
+        """
+        if k is None and theta is None:
+            raise ValueError("phase1_batch needs k, theta, or both")
+        results: list[tuple[list[Neighbor], int]] = []
+        for record in records:
+            if theta is not None:
+                neighbors = self.within(record, theta)
+                if k is not None:
+                    neighbors = neighbors[:k]
+            else:
+                assert k is not None
+                neighbors = self.knn(record, k)
+            nn_distance = neighbors[0].distance if neighbors else None
+            ng = self.neighborhood_growth(
+                record, p=p, nn_distance=nn_distance, radius_fn=radius_fn
+            )
+            results.append((neighbors, ng))
+        return results
 
     # ------------------------------------------------------------------
     # Derived queries

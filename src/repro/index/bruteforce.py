@@ -3,11 +3,36 @@
 The paper's fallback when no index is available ("otherwise, we apply
 nested loop join methods in this phase") and our exactness reference:
 every other index is validated against this one.
+
+Batch fast path
+---------------
+Per-query brute force re-scans the relation for every lookup: Phase 1
+over n records costs ``n * (n - 1)`` evaluations for the NN lists and
+the same again for the NG range counts.  The batch methods instead run
+a *blocked all-pairs* evaluation: each unordered pair inside the batch
+is evaluated at most once (distance symmetry), the result feeds both
+endpoints' answer heaps in the same pass, and every evaluated pair is
+stored in a shared pair cache that the NG range counts following in
+Phase 1 are then served from.  For a whole-relation batch this drops
+Phase 1 from ``2n(n-1)`` evaluations to ``n(n-1)/2`` — the engine
+behind the ``repro.parallel`` chunked executor.
+
+The per-query methods consult the cache but never populate it, so
+plain sequential usage keeps its O(1) memory profile and remains the
+honest baseline the batch path is benchmarked against.
+
+Evaluation direction is canonicalized by record id (the lower rid is
+always the first argument).  The distance protocol is symmetric, but
+floating-point accumulation inside real distance functions need not be
+bit-symmetric; a fixed direction keeps results bit-identical no matter
+which query touches a pair first — the property the parallel engine's
+"identical for any worker count" guarantee rests on.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Sequence
 
 from repro.data.schema import Record
 from repro.index.base import Neighbor, NNIndex
@@ -16,12 +41,113 @@ __all__ = ["BruteForceIndex"]
 
 
 class BruteForceIndex(NNIndex):
-    """Exact k-NN / range queries by scanning the whole relation."""
+    """Exact k-NN / range queries by scanning the whole relation.
+
+    Parameters
+    ----------
+    cache_pairs:
+        Enable the blocked batch evaluation and its shared pair cache.
+        With ``False`` the batch methods degrade to the sequential
+        per-record fallback.
+    max_cache_entries:
+        Optional bound on the pair cache (FIFO eviction, as in
+        :class:`~repro.distances.base.CachedDistance`).  Unbounded
+        caching of a whole-relation batch stores O(n²) floats; see
+        ``docs/performance.md`` for sizing guidance.
+    """
 
     name = "bruteforce"
 
+    def __init__(
+        self, cache_pairs: bool = True, max_cache_entries: int | None = None
+    ):
+        super().__init__()
+        if max_cache_entries is not None and max_cache_entries <= 0:
+            raise ValueError("max_cache_entries must be positive (or None)")
+        self.cache_pairs = cache_pairs
+        self.max_cache_entries = max_cache_entries
+        self._pair_cache: dict[tuple[int, int], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
     def _build(self) -> None:
-        pass  # nothing to construct
+        self._pair_cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Pair cache
+    # ------------------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of distance requests served by the pair cache."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def _canonical(self, record: Record, other: Record) -> float:
+        """Evaluate the pair in canonical (lower rid first) direction."""
+        if record.rid <= other.rid:
+            return self._evaluate(record, other)
+        return self._evaluate(other, record)
+
+    def _pair_distance(self, record: Record, other: Record) -> float:
+        """Evaluate ``d(record, other)``, consulting (not filling) the cache."""
+        if self._pair_cache:
+            rid, oid = record.rid, other.rid
+            key = (rid, oid) if rid <= oid else (oid, rid)
+            cached = self._pair_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        return self._canonical(record, other)
+
+    def _store(self, key: tuple[int, int], distance: float) -> None:
+        cache = self._pair_cache
+        if (
+            self.max_cache_entries is not None
+            and len(cache) >= self.max_cache_entries
+        ):
+            try:
+                # Concurrent thread workers may race on the oldest key;
+                # losing the race is harmless.
+                cache.pop(next(iter(cache)))
+            except (StopIteration, KeyError):
+                pass
+            else:
+                self.cache_evictions += 1
+        cache[key] = distance
+
+    def prime_pairs(self, records: Sequence[Record]) -> None:
+        """Blocked all-pairs fill: evaluate each (query, other) pair once.
+
+        Symmetry means a pair of two query records is evaluated a single
+        time even though both rows need it, and pairs already primed by
+        an earlier batch (e.g. a previous chunk of the parallel engine)
+        are skipped entirely.  No-op when ``cache_pairs`` is off.
+        """
+        if not self.cache_pairs:
+            return
+        relation, _ = self._checked()
+        cache = self._pair_cache
+        for record in records:
+            rid = record.rid
+            for other in relation:
+                oid = other.rid
+                if oid == rid:
+                    continue
+                key = (rid, oid) if rid <= oid else (oid, rid)
+                if key not in cache:
+                    self._store(key, self._canonical(record, other))
+
+    # ------------------------------------------------------------------
+    # Per-query scans
+    # ------------------------------------------------------------------
 
     def knn(self, record: Record, k: int) -> list[Neighbor]:
         relation, _ = self._checked()
@@ -31,7 +157,7 @@ class BruteForceIndex(NNIndex):
         for other in relation:
             if other.rid == record.rid:
                 continue
-            hit = Neighbor(self._evaluate(record, other), other.rid)
+            hit = Neighbor(self._pair_distance(record, other), other.rid)
             if len(heap) < k:
                 # heapq is a min-heap; invert ordering to keep the k smallest.
                 heapq.heappush(heap, _Inverted(hit))
@@ -44,14 +170,259 @@ class BruteForceIndex(NNIndex):
     ) -> list[Neighbor]:
         relation, _ = self._checked()
         hits = []
-        for other in relation:
-            if other.rid == record.rid:
-                continue
-            d = self._evaluate(record, other)
-            if d < radius or (inclusive and d == radius):
-                hits.append(Neighbor(d, other.rid))
+        cache = self._pair_cache
+        if cache:
+            # Hot path for the NG range counts that follow a blocked
+            # batch: almost every pair is a cache hit, so the loop is
+            # inlined with hoisted locals and counters batched up.
+            rid = record.rid
+            get = cache.get
+            cache_hits = 0
+            cache_misses = 0
+            for other in relation:
+                oid = other.rid
+                if oid == rid:
+                    continue
+                d = get((rid, oid) if rid <= oid else (oid, rid))
+                if d is None:
+                    cache_misses += 1
+                    d = self._canonical(record, other)
+                else:
+                    cache_hits += 1
+                if d < radius or (inclusive and d == radius):
+                    hits.append(Neighbor(d, oid))
+            self.cache_hits += cache_hits
+            self.cache_misses += cache_misses
+        else:
+            for other in relation:
+                if other.rid == record.rid:
+                    continue
+                self.cache_misses += 1
+                d = self._canonical(record, other)
+                if d < radius or (inclusive and d == radius):
+                    hits.append(Neighbor(d, other.rid))
         hits.sort()
         return hits
+
+    # ------------------------------------------------------------------
+    # Blocked batch evaluation
+    # ------------------------------------------------------------------
+    #
+    # Both batch methods share the same skeleton: query i scans the
+    # relation but skips records that are *earlier queries of the same
+    # batch* — that pair was evaluated during the earlier query's scan
+    # and contributed to both answers right then.  Batch records must
+    # therefore have distinct rids (relations guarantee this).
+
+    def knn_batch(self, records: Sequence[Record], k: int) -> list[list[Neighbor]]:
+        if k <= 0:
+            return [[] for _ in records]
+        if not self.cache_pairs:
+            return [self.knn(record, k) for record in records]
+        relation, _ = self._checked()
+        cache = self._pair_cache
+        position = {record.rid: i for i, record in enumerate(records)}
+        # Negated (distance, rid) tuples make a min-heap keep the k
+        # lexicographically smallest pairs with its root at the worst.
+        heaps: list[list[tuple[float, int]]] = [[] for _ in records]
+
+        def push(heap: list[tuple[float, int]], d: float, rid: int) -> None:
+            item = (-d, -rid)
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+
+        get = cache.get
+        position_get = position.get
+        cache_hits = 0
+        cache_misses = 0
+        for i, record in enumerate(records):
+            rid = record.rid
+            heap = heaps[i]
+            for other in relation:
+                oid = other.rid
+                if oid == rid:
+                    continue
+                j = position_get(oid)
+                if j is not None and j < i:
+                    continue  # already evaluated and pushed by query j
+                key = (rid, oid) if rid <= oid else (oid, rid)
+                d = get(key)
+                if d is None:
+                    cache_misses += 1
+                    d = self._canonical(record, other)
+                    self._store(key, d)
+                else:
+                    cache_hits += 1
+                push(heap, d, oid)
+                if j is not None:
+                    push(heaps[j], d, rid)
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+        return [
+            sorted(Neighbor(-nd, -nrid) for nd, nrid in heap) for heap in heaps
+        ]
+
+    def within_batch(
+        self, records: Sequence[Record], radius: float, inclusive: bool = False
+    ) -> list[list[Neighbor]]:
+        if not self.cache_pairs:
+            return [self.within(record, radius, inclusive) for record in records]
+        relation, _ = self._checked()
+        cache = self._pair_cache
+        position = {record.rid: i for i, record in enumerate(records)}
+        rows: list[list[Neighbor]] = [[] for _ in records]
+
+        get = cache.get
+        position_get = position.get
+        cache_hits = 0
+        cache_misses = 0
+        for i, record in enumerate(records):
+            rid = record.rid
+            for other in relation:
+                oid = other.rid
+                if oid == rid:
+                    continue
+                j = position_get(oid)
+                if j is not None and j < i:
+                    continue  # already evaluated and recorded by query j
+                key = (rid, oid) if rid <= oid else (oid, rid)
+                d = get(key)
+                if d is None:
+                    cache_misses += 1
+                    d = self._canonical(record, other)
+                    self._store(key, d)
+                else:
+                    cache_hits += 1
+                if d < radius or (inclusive and d == radius):
+                    rows[i].append(Neighbor(d, oid))
+                    if j is not None:
+                        rows[j].append(Neighbor(d, rid))
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+        for row in rows:
+            row.sort()
+        return rows
+
+    def phase1_batch(
+        self,
+        records: Sequence[Record],
+        k: int | None = None,
+        theta: float | None = None,
+        p: float = 2.0,
+        radius_fn=None,
+    ) -> list[tuple[list[Neighbor], int]]:
+        """Fused Phase-1 kernel: one blocked pass answers lists *and* NG.
+
+        On top of the blocked-batch skeleton this retains, per query, a
+        candidate list for the NG count using a monotone-radius filter:
+        a pair is kept while ``d <= p * running_nn``, and since the
+        running nearest-neighbor distance only shrinks, the retained
+        set is always a superset of the final ``d < p * nn(v)``
+        neighborhood — counted exactly at the end.  This removes the
+        whole second relation scan (and its cache lookups) that
+        per-record NG computation costs.
+
+        The monotonicity argument needs the linear ``p * nn`` radius, so
+        a custom ``radius_fn`` (and the cacheless configuration) falls
+        back to the generic per-record path.
+        """
+        if (
+            radius_fn is not None
+            or not self.cache_pairs
+            or (theta is None and k is not None and k <= 0)
+        ):
+            return super().phase1_batch(
+                records, k=k, theta=theta, p=p, radius_fn=radius_fn
+            )
+        if k is None and theta is None:
+            raise ValueError("phase1_batch needs k, theta, or both")
+        relation, _ = self._checked()
+        cache = self._pair_cache
+        get = cache.get
+        n = len(records)
+        position = {record.rid: i for i, record in enumerate(records)}
+        position_get = position.get
+        inf = float("inf")
+        running = [inf] * n  # running nn(v) upper bound per query
+        cands: list[list[float]] = [[] for _ in range(n)]
+        use_heaps = theta is None
+        heaps: list[list[tuple[float, int]]] = [[] for _ in range(n)]
+        rows: list[list[Neighbor]] = [[] for _ in range(n)]
+
+        cache_hits = 0
+        cache_misses = 0
+        for i, record in enumerate(records):
+            rid = record.rid
+            heap = heaps[i]
+            row = rows[i]
+            cand = cands[i]
+            for other in relation:
+                oid = other.rid
+                if oid == rid:
+                    continue
+                j = position_get(oid)
+                if j is not None and j < i:
+                    continue  # already evaluated and fed by query j
+                key = (rid, oid) if rid <= oid else (oid, rid)
+                d = get(key)
+                if d is None:
+                    cache_misses += 1
+                    d = self._canonical(record, other)
+                    self._store(key, d)
+                else:
+                    cache_hits += 1
+                if d < running[i]:
+                    running[i] = d
+                if d <= p * running[i]:
+                    cand.append(d)
+                if use_heaps:
+                    item = (-d, -oid)
+                    if len(heap) < k:
+                        heapq.heappush(heap, item)
+                    elif item > heap[0]:
+                        heapq.heapreplace(heap, item)
+                elif d < theta:
+                    row.append(Neighbor(d, oid))
+                if j is not None:
+                    if d < running[j]:
+                        running[j] = d
+                    if d <= p * running[j]:
+                        cands[j].append(d)
+                    if use_heaps:
+                        item = (-d, -rid)
+                        other_heap = heaps[j]
+                        if len(other_heap) < k:
+                            heapq.heappush(other_heap, item)
+                        elif item > other_heap[0]:
+                            heapq.heapreplace(other_heap, item)
+                    elif d < theta:
+                        rows[j].append(Neighbor(d, rid))
+        self.cache_hits += cache_hits
+        self.cache_misses += cache_misses
+
+        results: list[tuple[list[Neighbor], int]] = []
+        for i in range(n):
+            if use_heaps:
+                neighbors = sorted(
+                    Neighbor(-nd, -nrid) for nd, nrid in heaps[i]
+                )
+            else:
+                rows[i].sort()
+                neighbors = rows[i] if k is None else rows[i][:k]
+            nn_d = running[i]
+            if nn_d == inf:
+                ng = 1
+            elif nn_d == 0.0:
+                # Exact duplicates: the zero-distance records are the
+                # neighborhood (see NNIndex.neighborhood_growth).
+                ng = 1 + sum(1 for d in cands[i] if d == 0.0)
+            else:
+                radius = p * nn_d
+                ng = 1 + sum(1 for d in cands[i] if d < radius)
+            results.append((neighbors, ng))
+        return results
 
 
 class _Inverted:

@@ -1,0 +1,24 @@
+"""Parallel Phase-1 execution: chunked, multi-worker NN-list computation.
+
+The paper's Phase 1 (NN-list materialization) dominates the total DE
+cost, and its section 4.1 is entirely about lookup throughput.  This
+subsystem scales it out: the lookup order is split into contiguous
+chunks (preserving per-worker buffer locality, the point of the BF
+order of Figure 5), chunks fan out over a ``concurrent.futures`` pool,
+and per-chunk results merge deterministically so output is identical to
+the sequential path for any worker count.
+
+Entry points:
+
+- :func:`repro.parallel.chunking.plan_chunks` — contiguous, balanced
+  chunking of a lookup order (no assumption that record ids are dense
+  or zero-based);
+- :class:`repro.parallel.engine.ParallelNNEngine` — the chunked
+  executor; also the single-worker batched fast path used by the
+  ``BENCH_phase1`` scalability benchmark.
+"""
+
+from repro.parallel.chunking import Chunk, plan_chunks
+from repro.parallel.engine import ChunkResult, ParallelNNEngine
+
+__all__ = ["Chunk", "ChunkResult", "ParallelNNEngine", "plan_chunks"]

@@ -1,0 +1,53 @@
+"""Tier-1 smoke test for the Phase-1 scalability benchmark.
+
+The full matrix (n >= 2000, the 2x speedup assertion) lives in
+``benchmarks/test_bench_phase1_parallel.py``; this smoke keeps the
+harness itself — payload shape, parity checks, JSON artifact, table
+rendering — exercised on every test run with a relation small enough
+to stay fast.
+"""
+
+import json
+
+from repro.eval.bench_phase1 import (
+    phase1_table,
+    run_phase1_bench,
+    write_phase1_json,
+)
+
+
+class TestBenchPhase1Smoke:
+    def test_small_matrix_end_to_end(self, tmp_path):
+        payload = run_phase1_bench(
+            sizes=(30,), workers=(1, 2), dataset="org", distance="edit"
+        )
+
+        # One per-query baseline plus one batch run per worker count.
+        assert [run["mode"] for run in payload["runs"]] == [
+            "per-query",
+            "batch",
+            "batch",
+        ]
+        assert all(run["lookups"] == run["n"] for run in payload["runs"])
+        assert all(run["throughput"] > 0.0 for run in payload["runs"])
+
+        # All execution modes computed the identical NN relation.
+        assert payload["parity"] and all(payload["parity"].values())
+        assert len({run["checksum"] for run in payload["runs"]}) == 1
+
+        # The batch path must beat per-query even at toy sizes; assert
+        # only a sane lower bound here (the benchmark asserts 2x).
+        (speedup,) = payload["speedup_batch_vs_per_query"].values()
+        assert speedup > 0.5
+
+        # The symmetry savings are architectural, not timing-dependent:
+        # batch evaluates at most ~a quarter of the per-query pairs.
+        per_query = payload["runs"][0]["evaluations"]
+        batch = payload["runs"][1]["evaluations"]
+        assert batch * 3 < per_query
+
+        path = write_phase1_json(payload, tmp_path / "BENCH_phase1.json")
+        assert json.loads(path.read_text())["benchmark"] == "phase1_parallel"
+
+        table = phase1_table(payload)
+        assert "per-query" in table and "batch" in table

@@ -156,3 +156,57 @@ class TestMoreIndexes:
             out=out,
         )
         assert code == 0
+
+
+class TestParallelDedup:
+    def test_workers_flag_matches_sequential_output(self, org_csv, tmp_path):
+        path, _ = org_csv
+        sequential = tmp_path / "seq.csv"
+        parallel = tmp_path / "par.csv"
+        base = ["dedup", str(path), "--distance", "edit", "--output"]
+        assert main(base + [str(sequential)], out=io.StringIO()) == 0
+        assert (
+            main(
+                base + [str(parallel), "--workers", "3"],
+                out=io.StringIO(),
+            )
+            == 0
+        )
+        assert sequential.read_text() == parallel.read_text()
+
+    def test_workers_flag_defaults(self):
+        args = build_parser().parse_args(["dedup", "f.csv"])
+        assert args.workers == 1
+        assert args.pool == "thread"
+
+
+class TestBenchPhase1Command:
+    def test_writes_json_and_table(self, tmp_path):
+        output = tmp_path / "BENCH_phase1.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-phase1",
+                "--dataset",
+                "org",
+                "--distance",
+                "edit",
+                "--sizes",
+                "25",
+                "--workers",
+                "1,2",
+                "--output",
+                str(output),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert output.exists()
+        assert "BENCH_phase1" in out.getvalue()
+        assert "speedup" in out.getvalue()
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench-phase1"])
+        assert args.sizes == "500,1000,2000"
+        assert args.workers == "1,2,4"
+        assert args.output == "BENCH_phase1.json"

@@ -73,6 +73,28 @@ class TestBreadthFirstOrder:
             list(breadth_first_order(relation, lambda rid: [Neighbor(0.1, 0)])) == []
         )
 
+    def test_gapped_non_contiguous_record_ids(self):
+        # Record ids are opaque: gaps and a non-zero base must not
+        # confuse the traversal.
+        base = numbers_relation([0, 1, 2, 50, 51, 100, 101])
+        relation = base.subset([1, 3, 4, 6], name="gapped")
+        assert relation.ids() == [1, 3, 4, 6]
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        order = drive(relation, index, k=2)
+        assert sorted(order) == [1, 3, 4, 6]
+
+    def test_ignores_neighbor_ids_outside_the_relation(self):
+        # A lookup may surface ids the relation no longer holds (stale
+        # index, foreign neighbor): they are skipped, not crashed on.
+        relation = numbers_relation([0, 1, 2])
+
+        def lookup(rid):
+            return [Neighbor(0.1, 999), Neighbor(0.2, (rid + 1) % 3)]
+
+        order = list(breadth_first_order(relation, lookup))
+        assert sorted(order) == [0, 1, 2]
+
 
 class TestOtherOrders:
     def test_sequential(self):

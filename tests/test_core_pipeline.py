@@ -166,6 +166,33 @@ class TestPhase1Stats:
     def test_zero_seconds(self):
         assert Phase1Stats().throughput == 0.0
 
+    def test_zero_lookups_with_elapsed_time(self):
+        # A resumed/empty run may record time but no lookups; the
+        # throughput must stay defined (0.0), not divide into nonsense.
+        assert Phase1Stats(lookups=0, seconds=1.5).throughput == 0.0
+
+    def test_cache_hit_rate_defined_without_traffic(self):
+        assert Phase1Stats().cache_hit_rate == 0.0
+        assert Phase1Stats(cache_hits=3, cache_misses=1).cache_hit_rate == 0.75
+
+    def test_stats_accumulate_across_runs(self):
+        relation = numbers_relation([0, 1, 10, 11])
+        params = DEParams.size(2, c=4.0)
+        stats = Phase1Stats()
+        for _ in range(2):
+            index = BruteForceIndex()
+            index.build(relation, absdiff_distance())
+            prepare_nn_lists(relation, index, params, stats=stats)
+        assert stats.lookups == 8
+        assert stats.seconds > 0.0
+        assert stats.evaluations > 0
+        # Two runs cost twice one run, not "only the last run".
+        single = Phase1Stats()
+        index = BruteForceIndex()
+        index.build(relation, absdiff_distance())
+        prepare_nn_lists(relation, index, params, stats=single)
+        assert stats.evaluations == 2 * single.evaluations
+
     def test_prepare_requires_matching_relation(self):
         relation = numbers_relation([0, 1])
         other = numbers_relation([5, 6])

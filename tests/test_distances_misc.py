@@ -184,6 +184,33 @@ class TestBaseWrappers:
         cached.distance(a, b)
         assert cached.misses == 2
 
+    def test_cached_distance_hit_rate(self):
+        cached = CachedDistance(EditDistance())
+        a, b = Record(0, ("abc",)), Record(1, ("abd",))
+        assert cached.hit_rate == 0.0  # no calls yet: defined, not NaN
+        cached.distance(a, b)
+        cached.distance(a, b)
+        cached.distance(b, a)
+        assert cached.hits == 2
+        assert cached.hit_rate == pytest.approx(2 / 3)
+        assert len(cached) == 1
+
+    def test_cached_distance_bounded_eviction(self):
+        records = [Record(i, (f"word{i}",)) for i in range(6)]
+        cached = CachedDistance(EditDistance(), max_entries=3)
+        for other in records[1:]:
+            cached.distance(records[0], other)
+        assert len(cached) == 3
+        assert cached.evictions == 2
+        # Evicted pairs recompute to the same value.
+        assert cached.distance(records[0], records[1]) == EditDistance().distance(
+            records[0], records[1]
+        )
+
+    def test_cached_distance_rejects_bad_bound(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            CachedDistance(EditDistance(), max_entries=0)
+
     def test_scaled_distance(self):
         scaled = ScaledDistance(EditDistance(), 0.5)
         a, b = Record(0, ("ab",)), Record(1, ("ax",))

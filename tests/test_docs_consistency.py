@@ -41,8 +41,8 @@ class TestDesignDocument:
 class TestReadme:
     def test_architecture_names_every_subpackage(self):
         readme = read("README.md")
-        for subpackage in ("core", "distances", "index", "storage", "cluster",
-                           "data", "eval"):
+        for subpackage in ("core", "distances", "index", "parallel", "storage",
+                           "cluster", "data", "eval"):
             assert f"  {subpackage}/" in readme, subpackage
 
     def test_example_commands_reference_real_files(self):
@@ -78,5 +78,5 @@ class TestExperimentsDocument:
 
     def test_docs_directory_files_mentioned_exist(self):
         for doc in ("algorithm", "criteria", "datasets", "benchmarks", "api",
-                    "storage"):
+                    "storage", "performance"):
             assert (ROOT / "docs" / f"{doc}.md").exists(), doc
