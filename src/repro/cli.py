@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the adoption path:
+Five subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
+  ``--verify`` self-checks the run against the paper's invariants;
 - ``generate`` — emit one of the synthetic evaluation datasets (with
   its gold standard) for experimentation;
 - ``estimate-c`` — run Phase 1 on a CSV and report the SN threshold
   suggested for an estimated duplicate fraction (paper section 4.4);
+- ``verify`` — run the invariant-verification suite: every check of
+  ``docs/verification.md`` on every execution path (sequential vs.
+  parallel Phase 1 × in-memory vs. engine Phase 2), over the embedded
+  datasets, a generated dataset, or a CSV;
 - ``bench-phase1`` — run the Phase-1 batch/parallel scalability matrix
   and write ``BENCH_phase1.json`` (see ``docs/performance.md``).
 """
@@ -100,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--pool", choices=("thread", "process"), default="thread",
         help="worker pool kind for --workers > 1",
     )
+    dedup.add_argument(
+        "--verify", action="store_true",
+        help="self-check the run against the paper's invariants "
+             "(nonzero exit on violation)",
+    )
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
     generate.add_argument("dataset", choices=dataset_names())
@@ -121,6 +131,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     estimate.add_argument("--distance", choices=sorted(DISTANCES), default="fms")
     estimate.add_argument("--k", type=int, default=5)
+    estimate.add_argument(
+        "--window", type=float, default=0.05,
+        help="half-width of the spike search window, in [0, 0.5)",
+    )
+    estimate.add_argument(
+        "--spike", type=float, default=0.1,
+        help="probability mass defining a spike; must be positive",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="check DE runs against the paper's invariants on every "
+             "execution path",
+    )
+    verify.add_argument(
+        "input", nargs="?", default=None,
+        help="CSV file to verify; omit to verify the embedded datasets",
+    )
+    verify.add_argument(
+        "--dataset", choices=("table1", "integers", *dataset_names()),
+        default=None,
+        help="verify a named embedded or generated dataset instead of a CSV",
+    )
+    verify.add_argument("--entities", type=int, default=60)
+    verify.add_argument("--duplicate-fraction", type=float, default=0.3)
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--distance", choices=sorted(DISTANCES), default="edit")
+    verify.add_argument("--index", choices=sorted(INDEXES), default="brute")
+    verify.add_argument("--k", type=int, default=5, help="max group size (DE_S)")
+    verify.add_argument(
+        "--theta", type=float, default=None,
+        help="diameter bound; switches to DE_D(theta)",
+    )
+    verify.add_argument("--c", type=float, default=4.0, help="SN threshold")
+    verify.add_argument(
+        "--agg", choices=("max", "avg", "max2"), default="max",
+    )
+    verify.add_argument(
+        "--sample", type=int, default=8,
+        help="records sampled for the brute-force NN spot-check",
+    )
+    verify.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count exercised on the parallel paths",
+    )
+    verify.add_argument("--pool", choices=("thread", "process"), default="thread")
 
     bench = sub.add_parser(
         "bench-phase1",
@@ -145,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_phase1.json",
         help="where to write the JSON payload",
     )
+    bench.add_argument(
+        "--verify", action="store_true",
+        help="additionally run the full pipeline under the invariant "
+             "verifier and record the summary in the payload "
+             "(nonzero exit on violation)",
+    )
 
     return parser
 
@@ -154,19 +216,28 @@ def _make_solver(
     index_name: str,
     n_workers: int = 1,
     pool: str = "thread",
+    verify: bool | str = False,
 ) -> DuplicateEliminator:
     distance: DistanceFunction = DISTANCES[distance_name]()
     index: NNIndex = INDEXES[index_name]()
-    return DuplicateEliminator(distance, index=index, n_workers=n_workers, pool=pool)
+    return DuplicateEliminator(
+        distance, index=index, n_workers=n_workers, pool=pool, verify=verify
+    )
+
+
+def _params_from_args(args: argparse.Namespace) -> DEParams:
+    if args.theta is not None:
+        return DEParams.diameter(args.theta, agg=args.agg, c=args.c)
+    return DEParams.size(args.k, agg=args.agg, c=args.c)
 
 
 def _cmd_dedup(args: argparse.Namespace, out) -> int:
     relation = relation_from_csv(args.input)
-    if args.theta is not None:
-        params = DEParams.diameter(args.theta, agg=args.agg, c=args.c)
-    else:
-        params = DEParams.size(args.k, agg=args.agg, c=args.c)
-    solver = _make_solver(args.distance, args.index, args.workers, args.pool)
+    params = _params_from_args(args)
+    solver = _make_solver(
+        args.distance, args.index, args.workers, args.pool,
+        verify="report" if args.verify else False,
+    )
     result = solver.run(relation, params)
 
     if args.output:
@@ -186,6 +257,11 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             print(file=out)
             for rid in group:
                 print(f"  [{rid}] {relation.get(rid).text()}", file=out)
+    if result.verification is not None:
+        print(file=out)
+        print(result.verification.render(), file=out)
+        if not result.verification.ok:
+            return 1
     return 0
 
 
@@ -215,11 +291,23 @@ def _cmd_generate(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace, out) -> int:
+    # Validate the heuristic's parameters before paying for Phase 1;
+    # estimate_sn_threshold rejects them with the same messages.
+    try:
+        estimate_sn_threshold(
+            [2], args.fraction, window=args.window, spike=args.spike
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     relation = relation_from_csv(args.input)
     solver = _make_solver(args.distance, "brute")
     result = solver.run(relation, DEParams.size(args.k, c=4.0))
     estimate = estimate_sn_threshold(
-        result.nn_relation.ng_values(), args.fraction
+        result.nn_relation.ng_values(),
+        args.fraction,
+        window=args.window,
+        spike=args.spike,
     )
     print(
         f"suggested SN threshold: c = {estimate.c:g} "
@@ -229,6 +317,60 @@ def _cmd_estimate(args: argparse.Namespace, out) -> int:
         file=out,
     )
     return 0
+
+
+def _verify_targets(args: argparse.Namespace) -> list[tuple[str, object, object]]:
+    """Resolve the verify subcommand's (label, relation, distance) list."""
+    from repro.data.embedded import (
+        integer_distance,
+        integers_example,
+        table1_relation,
+    )
+
+    if args.input is not None:
+        return [(args.input, relation_from_csv(args.input),
+                 DISTANCES[args.distance]())]
+    if args.dataset == "table1":
+        return [("table1", table1_relation(), DISTANCES[args.distance]())]
+    if args.dataset == "integers":
+        return [("integers", integers_example(), integer_distance())]
+    if args.dataset is not None:
+        dataset = load_dataset(
+            args.dataset,
+            n_entities=args.entities,
+            duplicate_fraction=args.duplicate_fraction,
+            seed=args.seed,
+        )
+        return [(args.dataset, dataset.relation, DISTANCES[args.distance]())]
+    # Default: the embedded paper datasets.
+    return [
+        ("table1", table1_relation(), DISTANCES[args.distance]()),
+        ("integers", integers_example(), integer_distance()),
+    ]
+
+
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    from repro.verify import verify_paths
+
+    params = _params_from_args(args)
+    all_ok = True
+    for label, relation, distance in _verify_targets(args):
+        report = verify_paths(
+            relation,
+            distance,
+            params,
+            index_factory=INDEXES[args.index],
+            n_workers=args.workers,
+            pool=args.pool,
+            sample=args.sample,
+            label=f"{label} under {params.describe()}",
+        )
+        print(report.render(), file=out)
+        print(file=out)
+        all_ok = all_ok and report.ok
+    print("all invariants hold" if all_ok else "INVARIANT VIOLATIONS FOUND",
+          file=out)
+    return 0 if all_ok else 1
 
 
 def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
@@ -242,6 +384,7 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
         k=args.k,
         pool=args.pool,
         seed=args.seed,
+        verify=args.verify,
     )
     path = write_phase1_json(payload, args.output)
     print(phase1_table(payload), file=out)
@@ -249,6 +392,17 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
     if not all(payload["parity"].values()):
         print("ERROR: execution modes disagreed on the NN relation", file=out)
         return 1
+    verification = payload.get("verification")
+    if verification is not None:
+        status = "OK" if verification["ok"] else "FAILED"
+        print(f"invariant verification: {status}", file=out)
+        if not verification["ok"]:
+            print(
+                "ERROR: invariant violations in "
+                + ", ".join(verification["failed"]),
+                file=out,
+            )
+            return 1
     return 0
 
 
@@ -262,6 +416,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_generate(args, out)
     if args.command == "estimate-c":
         return _cmd_estimate(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     if args.command == "bench-phase1":
         return _cmd_bench_phase1(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

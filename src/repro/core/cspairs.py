@@ -21,6 +21,7 @@ from repro.storage.table import HeapTable
 __all__ = [
     "CSPair",
     "max_pair_size",
+    "nn_list_limit",
     "prefix_equal_flags",
     "build_cs_pairs",
     "materialize_nn_reln",
@@ -51,6 +52,19 @@ class CSPair:
         """Whether the pair's m-neighbor sets are known to be equal."""
         index = m - 2
         return 0 <= index < len(self.flags) and self.flags[index]
+
+
+def nn_list_limit(params: DEParams, n_neighbors: int) -> int:
+    """How much of an NN list the cut specification lets Phase 2 read.
+
+    Under a size bound only the first ``K`` entries are candidates; the
+    diameter bound already shaped the list (all within θ), so the whole
+    list is read.  Shared by the CSPairs builders, the explainer, and
+    the runtime verifier so candidate visibility stays consistent.
+    """
+    if isinstance(params.cut, (SizeCut, CombinedCut)):
+        return min(params.cut.k, n_neighbors)
+    return n_neighbors
 
 
 def max_pair_size(
@@ -91,11 +105,7 @@ def build_cs_pairs(nn_relation: NNRelation, params: DEParams) -> list[CSPair]:
     """Direct (in-memory) CSPairs construction, sorted by ``(id1, id2)``."""
     pairs: list[CSPair] = []
     for entry in nn_relation:
-        limit = (
-            params.cut.k
-            if isinstance(params.cut, (SizeCut, CombinedCut))
-            else len(entry.neighbors)
-        )
+        limit = nn_list_limit(params, len(entry.neighbors))
         for neighbor in entry.neighbors[:limit]:
             other_id = neighbor.rid
             if other_id <= entry.rid:
@@ -103,11 +113,7 @@ def build_cs_pairs(nn_relation: NNRelation, params: DEParams) -> list[CSPair]:
             if other_id not in nn_relation:
                 continue
             other = nn_relation.get(other_id)
-            other_limit = (
-                params.cut.k
-                if isinstance(params.cut, (SizeCut, CombinedCut))
-                else len(other.neighbors)
-            )
+            other_limit = nn_list_limit(params, len(other.neighbors))
             if entry.rid not in other.neighbor_ids[:other_limit]:
                 continue  # not mutual
             max_m = max_pair_size(len(entry.neighbors), len(other.neighbors), params)
@@ -161,17 +167,15 @@ def build_cs_pairs_engine(
     nn_table = engine.table(nn_table_name)
     id_index = engine.hash_index(nn_table, "id")
 
-    bounded_by_k = isinstance(params.cut, (SizeCut, CombinedCut))
-
     def probe_keys(row):
         rid, nn_list, _ = row
-        limit = params.cut.k if bounded_by_k else len(nn_list)
+        limit = nn_list_limit(params, len(nn_list))
         return [other for other in nn_list[:limit] if other > rid]
 
     def on(left, right) -> bool:
         lid, _, _ = left
         rid, r_list, _ = right
-        limit = params.cut.k if bounded_by_k else len(r_list)
+        limit = nn_list_limit(params, len(r_list))
         return lid in r_list[:limit]
 
     def project(left, right):

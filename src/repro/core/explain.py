@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.criteria import aggregate
-from repro.core.cspairs import max_pair_size, prefix_equal_flags
-from repro.core.formulation import CombinedCut, DEParams, SizeCut
+from repro.core.cspairs import max_pair_size, nn_list_limit, prefix_equal_flags
+from repro.core.formulation import DEParams
 from repro.core.pipeline import DEResult
 
 __all__ = ["PairExplanation", "explain_pair", "explain_group"]
@@ -90,9 +90,8 @@ def explain_pair(
     entry_a = nn.get(rid_a)
     entry_b = nn.get(rid_b)
 
-    bounded_by_k = isinstance(params.cut, (SizeCut, CombinedCut))
-    limit_a = params.cut.k if bounded_by_k else len(entry_a.neighbors)
-    limit_b = params.cut.k if bounded_by_k else len(entry_b.neighbors)
+    limit_a = nn_list_limit(params, len(entry_a.neighbors))
+    limit_b = nn_list_limit(params, len(entry_b.neighbors))
     in_a = rid_b in entry_a.neighbor_ids[:limit_a]
     in_b = rid_a in entry_b.neighbor_ids[:limit_b]
     mutual = in_a and in_b

@@ -30,7 +30,20 @@ from repro.core.cspairs import CSPair
 from repro.core.formulation import DEParams
 from repro.core.result import Partition
 
-__all__ = ["partition_records", "extract_group"]
+__all__ = ["partition_records", "extract_group", "rows_by_anchor"]
+
+
+def rows_by_anchor(cs_pairs: Sequence[CSPair]) -> dict[int, list[CSPair]]:
+    """Group sorted CSPairs rows by their anchor ``id1``.
+
+    This is the paper's ``Q[ID = v]`` access pattern; the partitioner
+    consumes it in anchor order, and the runtime verifier reuses it to
+    re-derive group support from the same rows.
+    """
+    return {
+        anchor: list(rows)
+        for anchor, rows in groupby(cs_pairs, key=lambda row: row.id1)
+    }
 
 
 def extract_group(
@@ -78,10 +91,9 @@ def partition_records(
     assigned: set[int] = set()
     groups: list[list[int]] = []
 
-    for anchor, group_rows in groupby(cs_pairs, key=lambda row: row.id1):
+    for anchor, rows in rows_by_anchor(cs_pairs).items():
         if anchor in assigned:
             continue
-        rows = list(group_rows)
         group = extract_group(anchor, rows[0].ng1, rows, params, assigned)
         if group is not None:
             groups.append(group)

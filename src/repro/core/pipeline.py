@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.cspairs import (
+    CSPair,
     build_cs_pairs,
     build_cs_pairs_engine,
     cs_pairs_from_table,
@@ -36,6 +38,9 @@ from repro.distances.base import CachedDistance, DistanceFunction
 from repro.index.base import NNIndex
 from repro.index.bruteforce import BruteForceIndex
 from repro.storage.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.verify.report import VerificationReport
 
 __all__ = ["DEResult", "DuplicateEliminator"]
 
@@ -56,6 +61,13 @@ class DEResult:
     phase1: Phase1Stats = field(default_factory=Phase1Stats)
     phase2_seconds: float = 0.0
     n_cs_pairs: int = 0
+    #: The Phase-2 CSPairs rows, kept when the solver is configured
+    #: with ``keep_cs_pairs`` (or any ``verify`` mode) so the verifier
+    #: can audit the actual rows instead of a reconstruction.
+    cs_pairs: list[CSPair] | None = field(default=None, repr=False)
+    #: Invariant-verification outcome, filled by
+    #: ``DuplicateEliminator(verify=...)``; ``None`` when not verified.
+    verification: "VerificationReport | None" = field(default=None, repr=False)
 
     @property
     def duplicate_groups(self) -> list[tuple[int, ...]]:
@@ -97,6 +109,19 @@ class DuplicateEliminator:
         ``"process"``).
     chunk_size:
         Optional fixed chunk length for the parallel path.
+    verify:
+        Runtime invariant verification of every result.  ``False``
+        (default) skips it; ``True`` or ``"report"`` attaches a
+        :class:`~repro.verify.report.VerificationReport` to
+        ``DEResult.verification`` without ever raising; ``"strict"``
+        additionally raises :class:`~repro.verify.report
+        .VerificationError` when any check fails.  Postprocessed runs
+        (``minimal`` or ``cannot_link``) intentionally reshape groups,
+        so they are checked only for partition well-formedness, the cut
+        specification, and NN parity.
+    keep_cs_pairs:
+        Keep the Phase-2 CSPairs rows on the result (implied by any
+        ``verify`` mode).
     """
 
     def __init__(
@@ -114,6 +139,8 @@ class DuplicateEliminator:
         n_workers: int = 1,
         pool: str = "thread",
         chunk_size: int | None = None,
+        verify: bool | str = False,
+        keep_cs_pairs: bool = False,
     ):
         wrap = cache_distance and not isinstance(distance, CachedDistance)
         self.distance: DistanceFunction = (
@@ -131,6 +158,13 @@ class DuplicateEliminator:
         self.n_workers = n_workers
         self.pool = pool
         self.chunk_size = chunk_size
+        if verify not in (False, True, "report", "strict"):
+            raise ValueError(
+                f"verify must be False, True, 'report', or 'strict'; "
+                f"got {verify!r}"
+            )
+        self.verify = verify
+        self.keep_cs_pairs = keep_cs_pairs or bool(verify)
 
     # ------------------------------------------------------------------
 
@@ -150,15 +184,18 @@ class DuplicateEliminator:
             pool=self.pool,
             chunk_size=self.chunk_size,
         )
-        partition, phase2_seconds, n_pairs = self._phase2(relation, nn_relation, params)
-        return DEResult(
+        partition, phase2_seconds, pairs = self._phase2(relation, nn_relation, params)
+        result = DEResult(
             partition=partition,
             nn_relation=nn_relation,
             params=params,
             phase1=stats,
             phase2_seconds=phase2_seconds,
-            n_cs_pairs=n_pairs,
+            n_cs_pairs=len(pairs),
+            cs_pairs=pairs if self.keep_cs_pairs else None,
         )
+        self._maybe_verify(result, relation)
+        return result
 
     def run_from_nn(
         self, relation: Relation, nn_relation: NNRelation, params: DEParams
@@ -169,20 +206,23 @@ class DuplicateEliminator:
         the paper notes the SN threshold is not needed until Phase 2,
         and the quality benchmarks sweep ``c``/``AGG``/``K`` this way.
         """
-        partition, phase2_seconds, n_pairs = self._phase2(relation, nn_relation, params)
-        return DEResult(
+        partition, phase2_seconds, pairs = self._phase2(relation, nn_relation, params)
+        result = DEResult(
             partition=partition,
             nn_relation=nn_relation,
             params=params,
             phase2_seconds=phase2_seconds,
-            n_cs_pairs=n_pairs,
+            n_cs_pairs=len(pairs),
+            cs_pairs=pairs if self.keep_cs_pairs else None,
         )
+        self._maybe_verify(result, relation)
+        return result
 
     # ------------------------------------------------------------------
 
     def _phase2(
         self, relation: Relation, nn_relation: NNRelation, params: DEParams
-    ) -> tuple[Partition, float, int]:
+    ) -> tuple[Partition, float, list]:
         started = time.perf_counter()
         if self.engine is not None:
             materialize_nn_reln(self.engine, nn_relation)
@@ -197,4 +237,23 @@ class DuplicateEliminator:
             partition = apply_constraining_predicate(
                 partition, relation, self.cannot_link
             )
-        return partition, time.perf_counter() - started, len(pairs)
+        return partition, time.perf_counter() - started, pairs
+
+    def _maybe_verify(self, result: DEResult, relation: Relation) -> None:
+        """Attach (and in strict mode enforce) the verification report."""
+        if not self.verify:
+            return
+        # Imported lazily: repro.verify depends on this module.
+        from repro.verify.verifier import verify_result
+
+        postprocessed = self.minimal or self.cannot_link is not None
+        checks = ("partition", "cut-spec", "nn-parity") if postprocessed else None
+        result.verification = verify_result(
+            result,
+            relation,
+            self.distance,
+            cs_pairs=result.cs_pairs,
+            checks=checks,
+            radius_fn=self.radius_fn,
+            strict=self.verify == "strict",
+        )

@@ -14,10 +14,15 @@ tuples* — and derives ``c`` from the cumulative NG distribution ``D``:
 - if no spike exists, it falls back to ``D^{-1}(f + 0.05)``.
 
 NG values are small integers, so ``D`` is a step function: ``D'(x)`` at
-an attained value is the probability mass at that value.  The returned
-threshold is ``x + 1`` for the chosen NG value ``x``, because the SN
-criterion is the strict comparison ``AGG({ng}) < c`` and tuples *at*
-the chosen value must pass.
+an attained value is the probability mass at that value.  A value is
+considered *inside the window* when its cumulative step interval
+``[D(prev), D(value)]`` overlaps ``[f - window, f + window]`` — a
+single value whose probability mass straddles the whole window (the
+cumulative jumps from below ``f - window`` to above ``f + window``) is
+exactly the spike the heuristic should anchor on, not a fallback case.
+The returned threshold is ``x + 1`` for the chosen NG value ``x``,
+because the SN criterion is the strict comparison ``AGG({ng}) < c``
+and tuples *at* the chosen value must pass.
 """
 
 from __future__ import annotations
@@ -62,14 +67,19 @@ def estimate_sn_threshold(
         duplicates, in (0, 1).
     window:
         Half-width of the percentile interval around ``f`` searched for
-        a spike (paper: 0.05).
+        a spike, in ``[0, 0.5)`` (paper: 0.05).
     spike:
-        Probability-mass threshold defining a spike (paper: ``D' > 0.1``).
+        Probability-mass threshold defining a spike; must be positive
+        (paper: ``D' > 0.1``).
     """
     if not ng_values:
         raise ValueError("ng_values must be non-empty")
     if not 0.0 < duplicate_fraction < 1.0:
         raise ValueError("duplicate_fraction must be in (0, 1)")
+    if not 0.0 <= window < 0.5:
+        raise ValueError("window must be in [0, 0.5)")
+    if spike <= 0.0:
+        raise ValueError("spike must be positive")
 
     total = len(ng_values)
     counts = Counter(ng_values)
@@ -87,16 +97,22 @@ def estimate_sn_threshold(
     lo = duplicate_fraction - window
     hi = duplicate_fraction + window
 
-    # Least attained NG value whose cumulative lands in the window and
-    # whose probability mass is a spike.
+    # Least attained NG value whose cumulative step interval
+    # [D(prev), D(value)] overlaps the window and whose probability
+    # mass is a spike.  Interval overlap (rather than membership of the
+    # endpoint D(value)) keeps a value whose mass straddles the whole
+    # window — D jumping from below lo to above hi — eligible.
+    previous = 0.0
     for value in attained:
-        if lo <= cumulative_at[value] <= hi and mass_at[value] > spike:
+        current = cumulative_at[value]
+        if previous <= hi and current >= lo and mass_at[value] > spike:
             return ThresholdEstimate(
                 c=float(value + 1),
                 ng_value=value,
                 spike_found=True,
-                cumulative=cumulative_at[value],
+                cumulative=current,
             )
+        previous = current
 
     # Fallback: D^{-1}(f + window) — the least value covering f + window.
     for value in attained:

@@ -106,6 +106,7 @@ def run_phase1_bench(
     pool: str = "thread",
     duplicate_fraction: float = 0.3,
     seed: int = 0,
+    verify: bool = False,
 ) -> dict:
     """Run the Phase-1 scalability matrix and return the JSON payload.
 
@@ -113,6 +114,12 @@ def run_phase1_bench(
     reports the actual relation size ``n``.  For every size the
     per-query baseline runs once and the batch path runs once per
     worker count.
+
+    With ``verify=True`` the smallest size additionally runs the full
+    DE pipeline under the invariant verifier (``repro.verify``) and
+    the payload records the per-check summary under ``"verification"``
+    — a bench artifact produced from an invariant-breaking build is
+    flagged rather than silently published.
     """
     distance_cls = BENCH_DISTANCES[distance]
     params = DEParams.size(k, c=4.0)
@@ -142,6 +149,15 @@ def run_phase1_bench(
         if batch_one is not None and baseline["throughput"] > 0.0:
             speedups[n_key] = batch_one["throughput"] / baseline["throughput"]
 
+    verification = None
+    if verify:
+        verification = _self_check(
+            dataset, distance_cls, params,
+            n_entities=min(sizes),
+            duplicate_fraction=duplicate_fraction,
+            seed=seed,
+        )
+
     return {
         "benchmark": "phase1_parallel",
         "dataset": dataset,
@@ -157,7 +173,32 @@ def run_phase1_bench(
         "runs": runs,
         "speedup_batch_vs_per_query": speedups,
         "parity": parity,
+        "verification": verification,
     }
+
+
+def _self_check(
+    dataset: str,
+    distance_cls: type[DistanceFunction],
+    params: DEParams,
+    n_entities: int,
+    duplicate_fraction: float,
+    seed: int,
+) -> dict:
+    """Run the full pipeline under the verifier; return its summary."""
+    # Imported lazily: the verifier sits above the pipeline layer.
+    from repro.core.pipeline import DuplicateEliminator
+    from repro.verify.report import summarize
+
+    relation = load_dataset(
+        dataset,
+        n_entities=n_entities,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    ).relation
+    solver = DuplicateEliminator(distance_cls(), verify="report")
+    result = solver.run(relation, params)
+    return summarize(result.verification)
 
 
 def phase1_table(payload: Mapping) -> str:

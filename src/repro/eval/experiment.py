@@ -75,9 +75,12 @@ class QualityExperiment:
         theta_max: float = 0.6,
         c_values: tuple[float, ...] = (4.0, 6.0),
         agg: str = "max",
+        verify: bool = False,
     ):
         self.dataset = dataset
         self.distance = distance
+        #: Self-check every DE sweep point (see QualitySweeper.verify).
+        self.verify = verify
         self.k_max = k_max
         self.theta_max = theta_max
         self.c_values = c_values
@@ -89,6 +92,7 @@ class QualityExperiment:
             self.distance,
             k_max=self.k_max,
             theta_max=self.theta_max,
+            verify=self.verify,
         )
         result = QualityResult(
             dataset=self.dataset.name, distance=self.distance.name

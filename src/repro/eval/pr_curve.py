@@ -108,6 +108,12 @@ class QualitySweeper:
     k_max, theta_max:
         The most permissive settings Phase 1 is materialized at; sweep
         points must stay within them.
+    verify:
+        Self-check every DE sweep point against the paper's invariants
+        (``repro.verify``), raising
+        :class:`~repro.verify.report.VerificationError` on the first
+        violation so a quality figure can never be built from an
+        invariant-breaking run.
     """
 
     def __init__(
@@ -117,14 +123,30 @@ class QualitySweeper:
         index: NNIndex | None = None,
         k_max: int = 10,
         theta_max: float = 0.6,
+        verify: bool = False,
     ):
         self.dataset = dataset
         self.distance = CachedDistance(distance)
         self.index = index if index is not None else BruteForceIndex()
         self.k_max = k_max
         self.theta_max = theta_max
+        self.verify = verify
         self._size_nn: NNRelation | None = None
         self._radius_nn: NNRelation | None = None
+
+    def _self_check(self, result) -> None:
+        """Verify one sweep point's result (strict) when enabled."""
+        if not self.verify:
+            return
+        from repro.verify.verifier import verify_result
+
+        verify_result(
+            result,
+            self.dataset.relation,
+            self.distance,
+            sample=4,
+            strict=True,
+        )
 
     # ------------------------------------------------------------------
     # Phase-1 materialization (lazy, shared across sweep points)
@@ -178,6 +200,7 @@ class QualitySweeper:
             result = solver.run_from_nn(
                 self.dataset.relation, truncate_to_k(nn_relation, k), params
             )
+            self._self_check(result)
             score = pairwise_scores(result.partition, self.dataset.gold)
             points.append(PRPoint.from_score(method, float(k), score))
         return PRSweep(method=method, points=points)
@@ -197,6 +220,7 @@ class QualitySweeper:
             result = solver.run_from_nn(
                 self.dataset.relation, truncate_to_radius(nn_relation, theta), params
             )
+            self._self_check(result)
             score = pairwise_scores(result.partition, self.dataset.gold)
             points.append(PRPoint.from_score(method, theta, score))
         return PRSweep(method=method, points=points)

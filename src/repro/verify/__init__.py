@@ -1,0 +1,52 @@
+"""Runtime invariant verification for DE results.
+
+The paper's pitch is *robustness*: solutions are unique, consistent,
+and satisfy the compact-set / sparse-neighborhood / cut-specification
+criteria by construction.  This package turns those guarantees into a
+machine-checkable contract over a finished run:
+
+- :func:`~repro.verify.verifier.verify_result` — check one
+  :class:`~repro.core.pipeline.DEResult` against every invariant;
+- :func:`~repro.verify.parity.verify_paths` — additionally execute all
+  four execution paths (sequential/parallel Phase 1 × in-memory/engine
+  Phase 2) and assert they agree;
+- :class:`~repro.verify.report.VerificationReport` — structured
+  per-check outcomes with offending ids and readable explanations.
+
+Violations are collected, never raised mid-pipeline, unless strict
+mode is requested.  See ``docs/verification.md``.
+"""
+
+from repro.verify.checks import VerificationContext
+from repro.verify.parity import (
+    EXECUTION_PATHS,
+    check_cross_path,
+    nn_signature,
+    run_paths,
+    verify_paths,
+)
+from repro.verify.report import (
+    CheckResult,
+    VerificationError,
+    VerificationReport,
+    Violation,
+    summarize,
+)
+from repro.verify.verifier import CHECKS, default_checks, verify_result
+
+__all__ = [
+    "CHECKS",
+    "EXECUTION_PATHS",
+    "CheckResult",
+    "VerificationContext",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "check_cross_path",
+    "default_checks",
+    "nn_signature",
+    "run_paths",
+    "summarize",
+    "verify_paths",
+    "verify_result",
+]

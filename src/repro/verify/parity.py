@@ -1,0 +1,166 @@
+"""Cross-path parity: the four execution paths must agree exactly.
+
+The repository now has four ways to run the same DE instance —
+sequential vs. parallel Phase 1 (``n_workers``) crossed with in-memory
+vs. storage-engine Phase 2 — all defined to produce identical output.
+:func:`verify_paths` executes every path, checks the invariants on the
+canonical (sequential, in-memory) result, and appends a ``cross-path``
+check asserting that every other path reproduced the same NN relation
+and partition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNRelation
+from repro.core.pipeline import DEResult, DuplicateEliminator
+from repro.data.schema import Relation
+from repro.distances.base import CachedDistance, DistanceFunction
+from repro.index.base import NNIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.storage.engine import Engine
+from repro.verify.report import CheckResult, VerificationReport, Violation
+from repro.verify.verifier import verify_result
+
+__all__ = [
+    "EXECUTION_PATHS",
+    "nn_signature",
+    "run_paths",
+    "check_cross_path",
+    "verify_paths",
+]
+
+#: The four execution paths: (name, parallel Phase 1?, engine Phase 2?).
+EXECUTION_PATHS: tuple[tuple[str, bool, bool], ...] = (
+    ("seq-mem", False, False),
+    ("par-mem", True, False),
+    ("seq-eng", False, True),
+    ("par-eng", True, True),
+)
+
+
+def nn_signature(nn_relation: NNRelation) -> tuple:
+    """A comparable rendering of an NN relation (ids, distances, NGs)."""
+    return tuple(
+        (entry.rid, entry.neighbor_ids,
+         tuple(neighbor.distance for neighbor in entry.neighbors), entry.ng)
+        for entry in nn_relation
+    )
+
+
+def run_paths(
+    relation: Relation,
+    distance: DistanceFunction,
+    params: DEParams,
+    *,
+    index_factory: Callable[[], NNIndex] = BruteForceIndex,
+    n_workers: int = 2,
+    pool: str = "thread",
+    paths: Sequence[tuple[str, bool, bool]] = EXECUTION_PATHS,
+) -> dict[str, DEResult]:
+    """Run the DE instance once per execution path.
+
+    Each path gets a fresh index (and engine, where applicable); the
+    distance function is shared through one memo cache so repeated
+    paths do not redo distance work.
+    """
+    if not isinstance(distance, CachedDistance):
+        distance = CachedDistance(distance)
+    results: dict[str, DEResult] = {}
+    for name, parallel, engine in paths:
+        solver = DuplicateEliminator(
+            distance,
+            index=index_factory(),
+            engine=Engine() if engine else None,
+            n_workers=n_workers if parallel else 1,
+            pool=pool,
+            keep_cs_pairs=True,
+        )
+        results[name] = solver.run(relation, params)
+    return results
+
+
+def check_cross_path(results: dict[str, DEResult]) -> CheckResult:
+    """All paths produced the same NN relation and the same partition."""
+    names = list(results)
+    baseline_name = names[0]
+    baseline = results[baseline_name]
+    baseline_signature = nn_signature(baseline.nn_relation)
+    violations: list[Violation] = []
+    for name in names[1:]:
+        other = results[name]
+        if nn_signature(other.nn_relation) != baseline_signature:
+            violations.append(
+                Violation(
+                    "cross-path",
+                    (),
+                    f"path {name!r} produced a different NN relation than "
+                    f"{baseline_name!r}",
+                )
+            )
+        if other.partition != baseline.partition:
+            ours = set(baseline.partition.groups)
+            theirs = set(other.partition.groups)
+            example = sorted(ours ^ theirs)[0]
+            violations.append(
+                Violation(
+                    "cross-path",
+                    example,
+                    f"path {name!r} partitions differently than "
+                    f"{baseline_name!r} (e.g. group {example})",
+                )
+            )
+        if other.n_cs_pairs != baseline.n_cs_pairs:
+            violations.append(
+                Violation(
+                    "cross-path",
+                    (),
+                    f"path {name!r} built {other.n_cs_pairs} CSPairs rows; "
+                    f"{baseline_name!r} built {baseline.n_cs_pairs}",
+                )
+            )
+    return CheckResult.from_violations(
+        "cross-path", len(names), violations,
+        detail=", ".join(names),
+    )
+
+
+def verify_paths(
+    relation: Relation,
+    distance: DistanceFunction,
+    params: DEParams,
+    *,
+    index_factory: Callable[[], NNIndex] = BruteForceIndex,
+    n_workers: int = 2,
+    pool: str = "thread",
+    sample: int = 8,
+    seed: int = 0,
+    strict: bool = False,
+    label: str = "",
+) -> VerificationReport:
+    """Full self-check: invariants on the canonical path + path parity."""
+    if not isinstance(distance, CachedDistance):
+        distance = CachedDistance(distance)
+    results = run_paths(
+        relation,
+        distance,
+        params,
+        index_factory=index_factory,
+        n_workers=n_workers,
+        pool=pool,
+    )
+    canonical = results[EXECUTION_PATHS[0][0]]
+    report = verify_result(
+        canonical,
+        relation,
+        distance,
+        sample=sample,
+        seed=seed,
+        label=label or params.describe(),
+    )
+    report = report.merged_with(check_cross_path(results))
+    if strict:
+        report.raise_for_violations()
+    return report

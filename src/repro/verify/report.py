@@ -1,0 +1,164 @@
+"""Structured verification outcomes.
+
+A verification run produces a :class:`VerificationReport`: one
+:class:`CheckResult` per invariant, each carrying the
+:class:`Violation` rows (offending group / pair / record ids plus a
+human-readable explanation) that made it fail.  Reports are plain
+data — nothing here raises — so callers can log, serialize, or render
+them; :meth:`VerificationReport.raise_for_violations` converts a
+failed report into a :class:`VerificationError` for strict mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Violation",
+    "CheckResult",
+    "VerificationReport",
+    "VerificationError",
+    "summarize",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which check, which records, and why."""
+
+    #: Name of the check that flagged the breach.
+    check: str
+    #: The offending record / pair / group ids.
+    subject: tuple[int, ...]
+    #: Human-readable explanation in terms of the paper's criteria.
+    message: str
+
+    def render(self) -> str:
+        ids = ", ".join(str(rid) for rid in self.subject)
+        return f"({ids}): {self.message}"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    passed: bool
+    #: How many units (groups, pairs, records, paths) were examined.
+    checked: int = 0
+    violations: tuple[Violation, ...] = ()
+    #: Short free-text note (e.g. what was sampled, why skipped).
+    detail: str = ""
+    #: True when the check could not run (e.g. no distance function);
+    #: a skipped check never fails the report but is rendered as SKIP.
+    skipped: bool = False
+
+    @classmethod
+    def from_violations(
+        cls, name: str, checked: int, violations, detail: str = ""
+    ) -> "CheckResult":
+        rows = tuple(violations)
+        return cls(
+            name=name,
+            passed=not rows,
+            checked=checked,
+            violations=rows,
+            detail=detail,
+        )
+
+    @classmethod
+    def skip(cls, name: str, detail: str) -> "CheckResult":
+        return cls(name=name, passed=True, skipped=True, detail=detail)
+
+    @property
+    def status(self) -> str:
+        if self.skipped:
+            return "SKIP"
+        return "PASS" if self.passed else "FAIL"
+
+    def render(self) -> str:
+        note = self.detail
+        if not self.skipped:
+            unit = f"{self.checked} checked"
+            note = f"{unit}; {note}" if note else unit
+        lines = [f"[{self.status}] {self.name:<18} {note}"]
+        for violation in self.violations:
+            lines.append(f"       - {violation.render()}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """All check outcomes for one verified DE run."""
+
+    checks: tuple[CheckResult, ...]
+    #: What was verified (dataset / parameter description).
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def get(self, name: str) -> CheckResult:
+        """Return the named check's result (:class:`KeyError` if absent)."""
+        for check in self.checks:
+            if check.name == name:
+                return check
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(check.name == name for check in self.checks)
+
+    def failures(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.passed]
+
+    def failed_names(self) -> list[str]:
+        return [check.name for check in self.failures()]
+
+    def violations(self) -> list[Violation]:
+        return [v for check in self.checks for v in check.violations]
+
+    def render(self) -> str:
+        """Multi-line, human-readable report."""
+        subject = f" of {self.label}" if self.label else ""
+        if self.ok:
+            ran = sum(1 for check in self.checks if not check.skipped)
+            head = f"verification{subject}: OK ({ran} checks)"
+        else:
+            head = (
+                f"verification{subject}: FAILED "
+                f"({len(self.failures())} of {len(self.checks)} checks)"
+            )
+        lines = [head]
+        for check in self.checks:
+            for line in check.render().splitlines():
+                lines.append(f"  {line}")
+        return "\n".join(lines)
+
+    def raise_for_violations(self) -> None:
+        """Raise :class:`VerificationError` unless every check passed."""
+        if not self.ok:
+            raise VerificationError(self)
+
+    def merged_with(self, *extra: CheckResult) -> "VerificationReport":
+        """A new report with additional check results appended."""
+        return VerificationReport(checks=self.checks + tuple(extra), label=self.label)
+
+
+def summarize(report: VerificationReport) -> dict:
+    """Digest a report into a JSON-serializable mapping (bench payloads)."""
+    return {
+        "ok": report.ok,
+        "label": report.label,
+        "n_checks": len(report.checks),
+        "failed": report.failed_names(),
+        "n_violations": len(report.violations()),
+    }
+
+
+class VerificationError(RuntimeError):
+    """Raised in strict mode when a verification report has failures."""
+
+    def __init__(self, report: VerificationReport):
+        self.report = report
+        super().__init__(report.render())

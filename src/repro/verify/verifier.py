@@ -1,0 +1,146 @@
+"""The verification entry point: run every invariant check on a result.
+
+:func:`verify_result` is the one call sites use: give it a finished
+:class:`~repro.core.pipeline.DEResult` plus the relation (and, for the
+distance-based checks, the distance function), get back a
+:class:`~repro.verify.report.VerificationReport`.  Violations are
+*collected*, never raised mid-verification; ``strict=True`` raises
+:class:`~repro.verify.report.VerificationError` at the end when any
+check failed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.cspairs import CSPair
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DEResult
+from repro.data.schema import Relation
+from repro.distances.base import DistanceFunction
+from repro.verify.checks import (
+    VerificationContext,
+    check_compact_sets,
+    check_cspairs,
+    check_cut_spec,
+    check_maximality,
+    check_nn_parity,
+    check_partition,
+    check_reproducible,
+    check_sn_bound,
+)
+from repro.verify.report import CheckResult, VerificationReport
+
+__all__ = ["CHECKS", "default_checks", "verify_result"]
+
+#: All known checks, in report order.
+CHECKS: dict[str, Callable[[VerificationContext], CheckResult]] = {
+    "partition": check_partition,
+    "compact-set": check_compact_sets,
+    "sn-bound": check_sn_bound,
+    "cut-spec": check_cut_spec,
+    "cspairs": check_cspairs,
+    "maximality": check_maximality,
+    "nn-parity": check_nn_parity,
+    "reproducible": check_reproducible,
+}
+
+
+def default_checks(
+    expect_maximal: bool = True, expect_reproducible: bool = True
+) -> list[str]:
+    """The default check list for a raw (un-postprocessed) DE run.
+
+    Minimality enforcement and constraining predicates deliberately
+    split groups after partitioning, so a postprocessed result is *not*
+    expected to be maximal or byte-reproducible from the CSPairs rows;
+    callers drop those checks via the two flags.
+    """
+    names = list(CHECKS)
+    if not expect_maximal:
+        names.remove("maximality")
+    if not expect_reproducible:
+        names.remove("reproducible")
+    return names
+
+
+def verify_result(
+    result: DEResult,
+    relation: Relation,
+    distance: DistanceFunction | None = None,
+    *,
+    params: DEParams | None = None,
+    cs_pairs: list[CSPair] | None = None,
+    checks: Sequence[str] | None = None,
+    sample: int = 8,
+    seed: int = 0,
+    radius_fn: Callable[[float], float] | None = None,
+    expect_maximal: bool = True,
+    expect_reproducible: bool = True,
+    strict: bool = False,
+    label: str = "",
+) -> VerificationReport:
+    """Check a DE result against every paper-defined invariant.
+
+    Parameters
+    ----------
+    result:
+        The finished run (partition + NN relation + params).
+    relation:
+        The relation the run was computed over.
+    distance:
+        The run's distance function; without it the distance-based
+        checks (compact-set, diameter cut, maximality, nn-parity) are
+        reported as skipped rather than silently passing.
+    params:
+        Override for ``result.params`` (rarely needed).
+    cs_pairs:
+        The run's actual Phase-2 rows, if kept, for the deep CSPairs
+        comparison; defaults to ``result.cs_pairs``.
+    checks:
+        Explicit check-name list (subset of :data:`CHECKS`); default is
+        :func:`default_checks` under the two ``expect_*`` flags.
+    sample, seed:
+        Spot-check sample size and its deterministic sampling seed.
+    radius_fn:
+        The run's neighborhood-radius override, if any (kept out of
+        :class:`DEResult`, so it must be re-supplied for NG parity).
+    expect_maximal, expect_reproducible:
+        Set False for postprocessed runs (minimality enforcement,
+        constraining predicates) whose partitions legitimately deviate
+        from the raw two-phase output.
+    strict:
+        Raise :class:`~repro.verify.report.VerificationError` when any
+        check fails (the report is attached to the exception).
+    label:
+        Report label; defaults to the parameter description.
+    """
+    context = VerificationContext(
+        result=result,
+        relation=relation,
+        distance=distance,
+        params=params,
+        cs_pairs=cs_pairs,
+        sample=sample,
+        seed=seed,
+        radius_fn=radius_fn,
+    )
+    if checks is None:
+        names = default_checks(
+            expect_maximal=expect_maximal,
+            expect_reproducible=expect_reproducible,
+        )
+    else:
+        unknown = [name for name in checks if name not in CHECKS]
+        if unknown:
+            raise ValueError(
+                f"unknown checks {unknown}; available: {list(CHECKS)}"
+            )
+        names = list(checks)
+    results = tuple(CHECKS[name](context) for name in names)
+    report = VerificationReport(
+        checks=results, label=label or context.params.describe()
+    )
+    if strict:
+        report.raise_for_violations()
+    return report

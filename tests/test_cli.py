@@ -137,6 +137,62 @@ class TestEstimate:
         assert code == 0
         assert "suggested SN threshold: c =" in out.getvalue()
 
+    @pytest.mark.parametrize(
+        "flag,value", [("--window", "0.7"), ("--window", "-0.1"), ("--spike", "0")]
+    )
+    def test_invalid_heuristic_parameters_exit_2(self, org_csv, capsys, flag, value):
+        path, _ = org_csv
+        code = main(
+            ["estimate-c", str(path), "--fraction", "0.4", flag, value],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerifyCommand:
+    def test_embedded_suite_all_green(self):
+        out = io.StringIO()
+        code = main(["verify"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "all invariants hold" in text
+        assert "table1" in text and "integers" in text
+        assert "cross-path" in text
+
+    def test_generated_dataset_target(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "verify",
+                "--dataset", "restaurants",
+                "--entities", "25",
+                "--distance", "edit",
+                "--sample", "4",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "verification of" in out.getvalue()
+
+    def test_csv_target(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["verify", str(path), "--distance", "edit", "--sample", "4"], out=out
+        )
+        assert code == 0
+
+    def test_dedup_verify_flag_reports(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            ["dedup", str(path), "--distance", "edit", "--verify"], out=out
+        )
+        assert code == 0
+        assert "verification" in out.getvalue()
+        assert "OK" in out.getvalue()
+
 
 class TestMoreIndexes:
     def test_pivot_index_available(self, org_csv):
@@ -210,3 +266,27 @@ class TestBenchPhase1Command:
         assert args.sizes == "500,1000,2000"
         assert args.workers == "1,2,4"
         assert args.output == "BENCH_phase1.json"
+        assert args.verify is False
+
+    def test_verify_flag_records_summary(self, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_phase1.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-phase1",
+                "--dataset", "org",
+                "--distance", "edit",
+                "--sizes", "25",
+                "--workers", "1",
+                "--output", str(output),
+                "--verify",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "invariant verification: OK" in out.getvalue()
+        payload = json.loads(output.read_text())
+        assert payload["verification"]["ok"] is True
+        assert payload["verification"]["failed"] == []

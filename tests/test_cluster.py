@@ -1,7 +1,6 @@
 """Tests for the clustering baselines (union-find, thr, star, clique, MST)."""
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for CSPairs construction (both the direct and engine paths)."""
 
-import pytest
 
 from repro.core.cspairs import (
     CSPair,

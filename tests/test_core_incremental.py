@@ -1,6 +1,5 @@
 """Property tests: incremental DE equals batch DE at every prefix."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ from repro.core.formulation import DEParams
 from repro.core.nn_phase import Phase1Stats, prepare_nn_lists
 from repro.core.pipeline import DuplicateEliminator
 from repro.core.result import Partition
-from repro.data.embedded import table1_duplicate_groups, table1_relation
+from repro.data.embedded import table1_duplicate_groups
 from repro.distances.edit import EditDistance
 from repro.index.bktree import BKTreeIndex
 from repro.index.bruteforce import BruteForceIndex

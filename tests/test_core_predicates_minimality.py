@@ -1,6 +1,5 @@
 """Tests for constraining predicates and minimal compact sets."""
 
-import pytest
 
 from repro.core.minimality import compact_subsets, enforce_minimality, split_to_minimal
 from repro.core.neighborhood import NNEntry, NNRelation

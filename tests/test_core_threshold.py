@@ -66,6 +66,48 @@ class TestSpikeDetection:
         assert estimate.cumulative == pytest.approx(0.5)
 
 
+class TestSpikeWindowStraddle:
+    """Regression tests: a spike whose cumulative interval straddles the
+    window must anchor the threshold (it used to fall to the fallback,
+    which only coincidentally picked the same value)."""
+
+    def test_spike_mass_straddling_the_window(self):
+        # ng=2 covers cumulative (0, 0.8]; the window around f=0.3 is
+        # [0.25, 0.35], strictly inside that jump.  Point membership of
+        # D(2)=0.8 fails, interval overlap succeeds.
+        ng = [2] * 80 + [9] * 20
+        estimate = estimate_sn_threshold(ng, 0.3)
+        assert estimate.spike_found
+        assert estimate.ng_value == 2
+        assert estimate.c == 3.0
+
+    def test_partial_overlap_from_below(self):
+        # ng=2 covers (0.04, 0.64]: enters the window from below and
+        # exits above it.
+        ng = [1] * 2 + [2] * 30 + [9] * 18
+        estimate = estimate_sn_threshold(ng, 0.3)
+        assert estimate.spike_found
+        assert estimate.ng_value == 2
+
+    def test_spike_entirely_outside_window_still_ignored(self):
+        # Sub-spike masses tile the window [0.45, 0.55]; the two big
+        # spikes end below it / start above it.  Interval semantics
+        # must not over-match onto either.
+        ng = [2] * 40 + [5, 6, 7, 8, 9, 10] * 3 + [20] * 42
+        estimate = estimate_sn_threshold(ng, 0.5, window=0.05)
+        assert not estimate.spike_found
+
+    @pytest.mark.parametrize("window", [-0.01, 0.5, 1.0])
+    def test_invalid_window_rejected(self, window):
+        with pytest.raises(ValueError, match="window"):
+            estimate_sn_threshold([2, 3], 0.3, window=window)
+
+    @pytest.mark.parametrize("spike", [0.0, -1.0])
+    def test_invalid_spike_rejected(self, spike):
+        with pytest.raises(ValueError, match="spike"):
+            estimate_sn_threshold([2, 3], 0.3, spike=spike)
+
+
 class TestEndToEnd:
     def test_heuristic_on_dataset_ng_values(self, restaurants_dataset):
         """The estimated c separates duplicates from dense uniques."""

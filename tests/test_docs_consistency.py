@@ -42,7 +42,7 @@ class TestReadme:
     def test_architecture_names_every_subpackage(self):
         readme = read("README.md")
         for subpackage in ("core", "distances", "index", "parallel", "storage",
-                           "cluster", "data", "eval"):
+                           "cluster", "data", "eval", "verify"):
             assert f"  {subpackage}/" in readme, subpackage
 
     def test_example_commands_reference_real_files(self):
@@ -78,5 +78,5 @@ class TestExperimentsDocument:
 
     def test_docs_directory_files_mentioned_exist(self):
         for doc in ("algorithm", "criteria", "datasets", "benchmarks", "api",
-                    "storage", "performance"):
+                    "storage", "performance", "verification"):
             assert (ROOT / "docs" / f"{doc}.md").exists(), doc

@@ -1,6 +1,5 @@
 """Tests for the ASCII figure rendering."""
 
-import pytest
 
 from repro.eval.figures import loglog_plot, pr_plot, scatter
 from repro.eval.pr_curve import PRPoint, PRSweep

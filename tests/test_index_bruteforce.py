@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.data.schema import Relation
 from repro.index.base import Neighbor
 from repro.index.bruteforce import BruteForceIndex
 

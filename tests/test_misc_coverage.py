@@ -1,6 +1,5 @@
 """Edge-case coverage across modules."""
 
-import pytest
 
 from repro.core.formulation import DEParams
 from repro.core.nn_phase import prepare_nn_lists

@@ -1,6 +1,5 @@
 """Tests for the top-level public API surface."""
 
-import pytest
 
 import repro
 from repro import Relation, deduplicate

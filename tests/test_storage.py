@@ -220,8 +220,8 @@ class TestEngineOperators:
             left,
             probe_keys=lambda row: [row[1]],
             index=index,
-            on=lambda l, r: True,
-            project=lambda l, r: (l[0], r[1]),
+            on=lambda lhs, rhs: True,
+            project=lambda lhs, rhs: (lhs[0], rhs[1]),
         )
         assert sorted(out.rows()) == [(1, 10), (2, 20)]
 

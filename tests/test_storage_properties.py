@@ -48,14 +48,14 @@ class TestOperatorSemantics:
             left,
             probe_keys=lambda row: [row[0]],
             index=index,
-            on=lambda l, r: True,
-            project=lambda l, r: (l[0], l[1], r[1]),
+            on=lambda lhs, rhs: True,
+            project=lambda lhs, rhs: (lhs[0], lhs[1], rhs[1]),
         )
         expected = sorted(
-            (l[0], l[1], r[1])
-            for l in left_rows
-            for r in right_rows
-            if l[0] == r[0]
+            (lhs[0], lhs[1], rhs[1])
+            for lhs in left_rows
+            for rhs in right_rows
+            if lhs[0] == rhs[0]
         )
         assert sorted(joined.rows()) == expected
 
