@@ -36,6 +36,7 @@ from repro.distances.base import DistanceFunction
 from repro.distances.cosine import CosineDistance
 from repro.eval.bench_phase1 import (
     BENCH_DISTANCES,
+    index_matrix_table,
     phase1_table,
     run_phase1_bench,
     write_phase1_json,
@@ -109,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="self-check the run against the paper's invariants "
              "(nonzero exit on violation)",
+    )
+    dedup.add_argument(
+        "--stats", action="store_true",
+        help="print Phase-1 cost accounting (lookups, evaluations, "
+             "candidate pruning, cache hits)",
     )
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
@@ -207,6 +213,38 @@ def build_parser() -> argparse.ArgumentParser:
              "verifier and record the summary in the payload "
              "(nonzero exit on violation)",
     )
+    bench.add_argument(
+        "--index", action="append", dest="indexes",
+        choices=sorted(INDEXES),
+        help="additionally run the candidate-index comparison matrix "
+             "over these indexes (repeatable; brute force is always "
+             "included as the exact baseline)",
+    )
+    bench.add_argument(
+        "--min-recall", type=float, default=None,
+        help="fail (nonzero exit, like --verify) when any requested "
+             "matrix index scores a mean sampled NN recall below this "
+             "bound; requires --index",
+    )
+    bench.add_argument(
+        "--matrix-entities", type=int, default=None,
+        help="entity count for the index matrix (default: largest "
+             "value of --sizes)",
+    )
+    bench.add_argument(
+        "--matrix-distance", choices=sorted(BENCH_DISTANCES), default=None,
+        help="distance for the index matrix (default: --distance)",
+    )
+    bench.add_argument(
+        "--matrix-theta", type=float, default=0.4,
+        help="diameter bound for the matrix workload (the combined "
+             "cut: k nearest within theta); pass 0 for a pure k-NN "
+             "matrix",
+    )
+    bench.add_argument(
+        "--recall-sample", type=int, default=50,
+        help="records sampled for the matrix NN-recall check",
+    )
 
     return parser
 
@@ -257,6 +295,19 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             print(file=out)
             for rid in group:
                 print(f"  [{rid}] {relation.get(rid).text()}", file=out)
+    if args.stats:
+        stats = result.phase1
+        print(file=out)
+        print(
+            f"phase 1 [{args.index}]: {stats.lookups} lookups in "
+            f"{stats.seconds:.2f}s ({stats.throughput:.0f}/s), "
+            f"{stats.evaluations} distance evaluations, "
+            f"{stats.candidates_generated} candidates verified, "
+            f"{stats.evaluations_pruned} pairs pruned "
+            f"(prune rate {stats.prune_rate:.2f}, "
+            f"cache hit rate {stats.cache_hit_rate:.2f})",
+            file=out,
+        )
     if result.verification is not None:
         print(file=out)
         print(result.verification.render(), file=out)
@@ -374,6 +425,9 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
+    if args.min_recall is not None and not args.indexes:
+        print("ERROR: --min-recall requires at least one --index", file=out)
+        return 2
     sizes = tuple(int(part) for part in args.sizes.split(",") if part)
     workers = tuple(int(part) for part in args.workers.split(",") if part)
     payload = run_phase1_bench(
@@ -385,9 +439,17 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
         pool=args.pool,
         seed=args.seed,
         verify=args.verify,
+        indexes=args.indexes,
+        matrix_distance=args.matrix_distance,
+        matrix_entities=args.matrix_entities,
+        matrix_theta=args.matrix_theta if args.matrix_theta > 0 else None,
+        recall_sample=args.recall_sample,
     )
     path = write_phase1_json(payload, args.output)
     print(phase1_table(payload), file=out)
+    for matrix in payload.get("index_matrix") or ():
+        print("", file=out)
+        print(index_matrix_table(matrix), file=out)
     print(f"\nwrote {path}", file=out)
     if not all(payload["parity"].values()):
         print("ERROR: execution modes disagreed on the NN relation", file=out)
@@ -403,6 +465,26 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
                 file=out,
             )
             return 1
+    if args.min_recall is not None:
+        # Same exit convention as --verify: a published bench artifact
+        # must meet its own quality bar or the run fails loudly.
+        failed = [
+            f"{row['index']} ({row['recall']['mean_recall']:.3f})"
+            for matrix in payload.get("index_matrix") or ()
+            for row in matrix["rows"]
+            if "skipped" not in row
+            and row["index"] in set(args.indexes)
+            and row["recall"]["mean_recall"] < args.min_recall
+        ]
+        if failed:
+            print(
+                f"ERROR: sampled NN recall below {args.min_recall:g} for "
+                + ", ".join(failed),
+                file=out,
+            )
+            return 1
+        print(f"sampled NN recall >= {args.min_recall:g} for all indexes",
+              file=out)
     return 0
 
 

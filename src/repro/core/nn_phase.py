@@ -41,8 +41,57 @@ class Phase1Stats:
     evaluations: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Candidate (query, record) pairs the index surfaced for
+    #: verification — the size of the candidate-generation stage's
+    #: output (``n * (n - 1)`` for brute force would examine everything;
+    #: approximate indexes surface far fewer).
+    candidates_generated: int = 0
+    #: Pairs excluded without any distance computation: LSH bucket
+    #: misses, q-gram count-filter rejects, triangle-inequality prunes,
+    #: BK-tree subtree skips.  The sub-quadratic lever, made visible.
+    evaluations_pruned: int = 0
     n_chunks: int = 0
     chunk_seconds: list[float] = field(default_factory=list)
+    #: Per-index-name accumulation of {lookups, evaluations,
+    #: candidates_generated, evaluations_pruned} — one stats object can
+    #: aggregate runs over several indexes (the bench matrix does).
+    by_index: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def credit_index(
+        self,
+        name: str,
+        *,
+        lookups: int = 0,
+        evaluations: int = 0,
+        candidates_generated: int = 0,
+        evaluations_pruned: int = 0,
+    ) -> None:
+        """Accumulate one run's costs under the index's name."""
+        row = self.by_index.setdefault(
+            name,
+            {
+                "lookups": 0,
+                "evaluations": 0,
+                "candidates_generated": 0,
+                "evaluations_pruned": 0,
+            },
+        )
+        row["lookups"] += lookups
+        row["evaluations"] += evaluations
+        row["candidates_generated"] += candidates_generated
+        row["evaluations_pruned"] += evaluations_pruned
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of considered pairs excluded without evaluation.
+
+        0.0 when nothing was pruned or nothing ran (brute force never
+        prunes: it has no candidate-generation stage).
+        """
+        total = self.evaluations_pruned + self.evaluations + self.cache_hits
+        if total == 0:
+            return 0.0
+        return self.evaluations_pruned / total
 
     @property
     def throughput(self) -> float:
@@ -152,6 +201,9 @@ def prepare_nn_lists(
     evaluations_before = index.evaluations
     hits_before = getattr(index, "cache_hits", 0)
     misses_before = getattr(index, "cache_misses", 0)
+    candidates_before = getattr(index, "candidates_generated", 0)
+    pruned_before = getattr(index, "evaluations_pruned", 0)
+    lookups_before = stats.lookups if stats is not None else 0
 
     def lookup(rid: int) -> Sequence[Neighbor]:
         neighbors = _fetch(index, relation, rid, params)
@@ -184,8 +236,20 @@ def prepare_nn_lists(
             lookup(rid)
 
     if stats is not None:
+        evaluations = index.evaluations - evaluations_before
+        candidates = getattr(index, "candidates_generated", 0) - candidates_before
+        pruned = getattr(index, "evaluations_pruned", 0) - pruned_before
         stats.seconds += time.perf_counter() - started
-        stats.evaluations += index.evaluations - evaluations_before
+        stats.evaluations += evaluations
         stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
         stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
+        stats.candidates_generated += candidates
+        stats.evaluations_pruned += pruned
+        stats.credit_index(
+            index.name,
+            lookups=stats.lookups - lookups_before,
+            evaluations=evaluations,
+            candidates_generated=candidates,
+            evaluations_pruned=pruned,
+        )
     return nn_relation

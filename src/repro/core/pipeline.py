@@ -85,7 +85,11 @@ class DuplicateEliminator:
         ``cache_distance=False``).
     index:
         NN index instance; defaults to :class:`BruteForceIndex`.  The
-        index is (re)built per :meth:`run` call.
+        index is (re)built per :meth:`run` call.  Approximate indexes
+        (MinHash, q-gram, BK-tree, pivot) trade distance evaluations
+        for recall — see ``docs/performance.md`` ("Choosing an index");
+        the result's ``phase1`` stats record the candidate counts and
+        pruning each run actually achieved.
     engine:
         Optional storage engine.  When given (or ``use_engine=True``),
         Phase 2 executes through the engine's relational operators,

@@ -26,25 +26,34 @@ import json
 import os
 import platform
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.formulation import DEParams
 from repro.core.neighborhood import NNRelation
 from repro.core.nn_phase import Phase1Stats, prepare_nn_lists
 from repro.data.loaders import load_dataset
-from repro.distances.base import DistanceFunction
+from repro.distances.base import CachedDistance, DistanceFunction
 from repro.distances.cosine import CosineDistance
 from repro.distances.edit import EditDistance
 from repro.distances.fms import FuzzyMatchDistance
 from repro.distances.jaccard import TokenJaccardDistance
 from repro.eval.report import format_table
+from repro.index.base import NNIndex
+from repro.index.bktree import BKTreeIndex
 from repro.index.bruteforce import BruteForceIndex
+from repro.index.inverted import QgramInvertedIndex
+from repro.index.minhash import MinHashIndex
+from repro.index.pivot import PivotIndex
 from repro.parallel.engine import ParallelNNEngine
 
 __all__ = [
+    "BENCH_DISTANCES",
+    "INDEX_FACTORIES",
     "nn_checksum",
     "run_phase1_bench",
+    "run_index_matrix",
     "phase1_table",
+    "index_matrix_table",
     "write_phase1_json",
 ]
 
@@ -53,6 +62,20 @@ BENCH_DISTANCES: dict[str, type[DistanceFunction]] = {
     "edit": EditDistance,
     "fms": FuzzyMatchDistance,
     "jaccard": TokenJaccardDistance,
+}
+
+#: Candidate-generation strategies the index matrix compares.  Brute
+#: force is the exact baseline every approximate row is scored against.
+#: The q-gram index runs with its scalability knobs engaged (stop-grams
+#: and a range-query budget) — without them the NG range queries verify
+#: nearly every gram-sharing pair and the index degenerates to
+#: quadratic on text with common grams; see docs/performance.md.
+INDEX_FACTORIES: dict[str, Callable[[], NNIndex]] = {
+    "brute": BruteForceIndex,
+    "bktree": BKTreeIndex,
+    "qgram": lambda: QgramInvertedIndex(max_df=64, within_budget=128),
+    "minhash": MinHashIndex,
+    "pivot": PivotIndex,
 }
 
 
@@ -97,6 +120,118 @@ def _run_mode(
     }
 
 
+def run_index_matrix(
+    indexes: Sequence[str],
+    dataset: str = "org",
+    distance: str = "cosine",
+    n_entities: int = 2000,
+    k: int = 5,
+    theta: float | None = 0.4,
+    n_workers: int = 1,
+    pool: str = "thread",
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+    recall_sample: int = 50,
+) -> dict:
+    """Compare candidate-generation indexes on one Phase-1 instance.
+
+    Runs the batched Phase 1 once per requested index (brute force is
+    always included as the exact baseline) and reports, per row: cost
+    (distance evaluations during queries and during index construction),
+    pruning effectiveness (candidates surfaced vs. pairs never
+    examined), throughput, and sampled NN recall against brute force
+    (:func:`repro.verify.parity.sampled_nn_recall`).
+
+    The default workload is the paper's combined cut — the ``k``
+    nearest neighbors within ``theta`` — which is the regime candidate
+    generation exists for: neighbors beyond θ are never needed, so an
+    index that skips far pairs loses nothing.  Pass ``theta=None`` for
+    a pure k-NN matrix; expect approximate indexes to trade much more
+    recall there, because every query must then return ``k`` rows even
+    when nothing similar exists (see docs/performance.md, "When brute
+    force wins").
+
+    An index incompatible with the distance (e.g. the BK-tree without
+    edit distance) produces a ``skipped`` row instead of failing the
+    whole matrix, so one matrix can sweep every index per distance.
+    """
+    # Imported lazily: repro.verify sits above the eval layer.
+    from repro.verify.parity import sampled_nn_recall
+
+    distance_cls = BENCH_DISTANCES[distance]
+    if theta is not None:
+        params = DEParams.combined(k, theta, c=4.0)
+    else:
+        params = DEParams.size(k, c=4.0)
+    relation = load_dataset(
+        dataset,
+        n_entities=n_entities,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    ).relation
+    names = ["brute"] + [name for name in indexes if name != "brute"]
+    # One memoized distance serves every row's recall check: the sample
+    # is fixed, so the brute-force reference pairs are computed once.
+    recall_distance = CachedDistance(distance_cls())
+
+    rows: list[dict] = []
+    brute_total: int | None = None
+    for name in names:
+        try:
+            index = INDEX_FACTORIES[name]()
+            index.build(relation, distance_cls())
+        except (TypeError, ValueError) as exc:
+            rows.append({"index": name, "skipped": str(exc)})
+            continue
+        stats = Phase1Stats()
+        engine = ParallelNNEngine(n_workers=n_workers, pool=pool)
+        nn = engine.run(relation, index, params, order="sequential", stats=stats)
+        total = stats.evaluations + index.build_evaluations
+        if name == "brute":
+            brute_total = total
+        row = {
+            "index": name,
+            "index_name": index.name,
+            "seconds": stats.seconds,
+            "lookups": stats.lookups,
+            "throughput": stats.throughput,
+            "evaluations": stats.evaluations,
+            "build_evaluations": index.build_evaluations,
+            "total_evaluations": total,
+            "candidates_generated": stats.candidates_generated,
+            "evaluations_pruned": stats.evaluations_pruned,
+            "prune_rate": stats.prune_rate,
+            "cache_hit_rate": stats.cache_hit_rate,
+            "evaluations_ratio_vs_brute": (
+                brute_total / total if brute_total and total else None
+            ),
+            "recall": sampled_nn_recall(
+                relation,
+                recall_distance,
+                nn,
+                params,
+                sample=recall_sample,
+                seed=seed,
+            ),
+            "checksum": nn_checksum(nn),
+        }
+        rows.append(row)
+    return {
+        "dataset": dataset,
+        "distance": distance,
+        "n": len(relation),
+        "n_entities": n_entities,
+        "k": k,
+        "theta": theta,
+        "workers": n_workers,
+        "pool": pool,
+        "duplicate_fraction": duplicate_fraction,
+        "seed": seed,
+        "recall_sample": recall_sample,
+        "rows": rows,
+    }
+
+
 def run_phase1_bench(
     sizes: Sequence[int] = (500, 1000, 2000),
     workers: Sequence[int] = (1, 2, 4),
@@ -107,6 +242,11 @@ def run_phase1_bench(
     duplicate_fraction: float = 0.3,
     seed: int = 0,
     verify: bool = False,
+    indexes: Sequence[str] | None = None,
+    matrix_distance: str | None = None,
+    matrix_entities: int | None = None,
+    matrix_theta: float | None = 0.4,
+    recall_sample: int = 50,
 ) -> dict:
     """Run the Phase-1 scalability matrix and return the JSON payload.
 
@@ -120,6 +260,12 @@ def run_phase1_bench(
     the payload records the per-check summary under ``"verification"``
     — a bench artifact produced from an invariant-breaking build is
     flagged rather than silently published.
+
+    With ``indexes`` given (names from :data:`INDEX_FACTORIES`), the
+    payload additionally carries ``"index_matrix"``: a list of
+    :func:`run_index_matrix` results — by default one matrix at the
+    largest size, overridable via ``matrix_distance`` /
+    ``matrix_entities``.
     """
     distance_cls = BENCH_DISTANCES[distance]
     params = DEParams.size(k, c=4.0)
@@ -158,6 +304,23 @@ def run_phase1_bench(
             seed=seed,
         )
 
+    index_matrix = None
+    if indexes:
+        index_matrix = [
+            run_index_matrix(
+                indexes,
+                dataset=dataset,
+                distance=matrix_distance or distance,
+                n_entities=matrix_entities or max(sizes),
+                k=k,
+                theta=matrix_theta,
+                pool=pool,
+                duplicate_fraction=duplicate_fraction,
+                seed=seed,
+                recall_sample=recall_sample,
+            )
+        ]
+
     return {
         "benchmark": "phase1_parallel",
         "dataset": dataset,
@@ -174,6 +337,7 @@ def run_phase1_bench(
         "speedup_batch_vs_per_query": speedups,
         "parity": parity,
         "verification": verification,
+        "index_matrix": index_matrix,
     }
 
 
@@ -225,6 +389,40 @@ def phase1_table(payload: Mapping) -> str:
         for n, s in sorted(payload["speedup_batch_vs_per_query"].items(), key=lambda kv: int(kv[0]))
     )
     return f"{table}\n\nbatch (1 worker) vs per-query speedup: {speedups}"
+
+
+def index_matrix_table(matrix: Mapping) -> str:
+    """Render one :func:`run_index_matrix` result as a text table."""
+    rows = []
+    for row in matrix["rows"]:
+        if "skipped" in row:
+            rows.append((row["index"], "skipped: " + row["skipped"],
+                         "", "", "", "", ""))
+            continue
+        ratio = row["evaluations_ratio_vs_brute"]
+        rows.append(
+            (
+                row["index"],
+                row["total_evaluations"],
+                f"{ratio:.1f}x" if ratio else "-",
+                f"{row['prune_rate']:.2f}",
+                f"{row['recall']['mean_recall']:.3f}",
+                f"{row['throughput']:.0f}/s",
+                f"{row['seconds']:.2f}s",
+            )
+        )
+    theta = matrix.get("theta")
+    cut = f"k={matrix['k']}" + (f" within theta={theta:g}" if theta else "")
+    title = (
+        f"BENCH_phase1 index matrix: {matrix['distance']} distance, "
+        f"n={matrix['n']}, {cut}"
+    )
+    return format_table(
+        ("index", "evaluations", "vs_brute", "prune_rate", "recall",
+         "throughput", "seconds"),
+        rows,
+        title=title,
+    )
 
 
 def write_phase1_json(payload: Mapping, path: str | Path) -> Path:

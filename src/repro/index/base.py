@@ -27,8 +27,10 @@ violates the paper's distinct-distances assumption.
 from __future__ import annotations
 
 import abc
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.data.schema import Record, Relation
 from repro.distances.base import DistanceFunction
@@ -56,12 +58,46 @@ class NNIndex(abc.ABC):
         #: Number of candidate distance evaluations performed (for cost
         #: accounting in benchmarks).
         self.evaluations = 0
+        #: Distance computations spent constructing the index itself
+        #: (pivot tables, BK-tree inserts); zero for structure-free
+        #: indexes.  Reported separately so the bench matrix can charge
+        #: each index its honest total cost.
+        self.build_evaluations = 0
+        #: Candidate (query, record) pairs surfaced for verification.
+        self.candidates_generated = 0
+        #: Pairs excluded without any distance computation (bucket
+        #: misses, count-filter rejects, triangle-inequality prunes,
+        #: memo/cache hits that replaced an evaluation).
+        self.evaluations_pruned = 0
+        #: Shared pair-cache accounting, mirrored by ``Phase1Stats``.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Canonical-direction pair cache keyed by ``(min_rid, max_rid)``.
+        #: Batch scopes fill it; per-query calls only consult it, so the
+        #: plain sequential path stays the honest O(1)-memory baseline.
+        self._pair_cache: dict[tuple[int, int], float] = {}
+        self._batch_depth = 0
+        self._batch_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks do not pickle; process-pool workers re-create their own.
+        state = self.__dict__.copy()
+        state["_batch_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._batch_lock = threading.Lock()
 
     def build(self, relation: Relation, distance: DistanceFunction) -> None:
         """Index ``relation`` under ``distance`` (calls ``prepare``)."""
         distance.prepare(relation)
         self.relation = relation
         self.distance = distance
+        # Cached pairs are keyed by rid and scoped to one relation;
+        # stale entries across rebuilds would silently answer with
+        # another relation's distances.
+        self._pair_cache.clear()
         self._build()
 
     @abc.abstractmethod
@@ -85,14 +121,19 @@ class NNIndex(abc.ABC):
     def knn_batch(self, records: "Sequence[Record]", k: int) -> list[list[Neighbor]]:
         """Answer :meth:`knn` for several records at once.
 
-        The default is a sequential per-record fallback, so every index
-        supports the batch protocol; implementations with a cheaper
-        blocked evaluation (notably :class:`~repro.index.bruteforce.
-        BruteForceIndex`, which exploits distance symmetry across the
-        batch) override it.  Results are positionally aligned with
-        ``records`` and identical to per-record :meth:`knn` calls.
+        The default runs the per-record loop inside a *batch scope*:
+        indexes that route candidate verification through
+        :meth:`_pair_distance` then evaluate each unordered pair at most
+        once per batch (distance symmetry), with later probes of the
+        same pair — including the NG range counts of
+        :meth:`phase1_batch` — served from the shared pair cache.
+        :class:`~repro.index.bruteforce.BruteForceIndex` overrides the
+        batch methods entirely with a blocked all-pairs evaluation.
+        Results are positionally aligned with ``records`` and identical
+        to per-record :meth:`knn` calls.
         """
-        return [self.knn(record, k) for record in records]
+        with self._batch_scope():
+            return [self.knn(record, k) for record in records]
 
     def within_batch(
         self, records: "Sequence[Record]", radius: float, inclusive: bool = False
@@ -100,9 +141,10 @@ class NNIndex(abc.ABC):
         """Answer :meth:`within` for several records at once.
 
         Same contract as :meth:`knn_batch`: positionally aligned,
-        result-identical to per-record calls, sequential by default.
+        result-identical to per-record calls, pair-cached per batch.
         """
-        return [self.within(record, radius, inclusive) for record in records]
+        with self._batch_scope():
+            return [self.within(record, radius, inclusive) for record in records]
 
     def phase1_batch(
         self,
@@ -126,19 +168,20 @@ class NNIndex(abc.ABC):
         if k is None and theta is None:
             raise ValueError("phase1_batch needs k, theta, or both")
         results: list[tuple[list[Neighbor], int]] = []
-        for record in records:
-            if theta is not None:
-                neighbors = self.within(record, theta)
-                if k is not None:
-                    neighbors = neighbors[:k]
-            else:
-                assert k is not None
-                neighbors = self.knn(record, k)
-            nn_distance = neighbors[0].distance if neighbors else None
-            ng = self.neighborhood_growth(
-                record, p=p, nn_distance=nn_distance, radius_fn=radius_fn
-            )
-            results.append((neighbors, ng))
+        with self._batch_scope():
+            for record in records:
+                if theta is not None:
+                    neighbors = self.within(record, theta)
+                    if k is not None:
+                        neighbors = neighbors[:k]
+                else:
+                    assert k is not None
+                    neighbors = self.knn(record, k)
+                nn_distance = neighbors[0].distance if neighbors else None
+                ng = self.neighborhood_growth(
+                    record, p=p, nn_distance=nn_distance, radius_fn=radius_fn
+                )
+                results.append((neighbors, ng))
         return results
 
     # ------------------------------------------------------------------
@@ -195,3 +238,56 @@ class NNIndex(abc.ABC):
         self.evaluations += 1
         assert self.distance is not None
         return self.distance.distance(a, b)
+
+    # ------------------------------------------------------------------
+    # Batch scope and the shared canonical pair cache
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _batch_scope(self) -> Iterator[None]:
+        """Mark a batch evaluation in progress.
+
+        Inside the scope :meth:`_pair_distance` *fills* the shared pair
+        cache (outside it only consults), so a pair probed from both
+        endpoints — or probed again by the NG range count — is evaluated
+        once per batch.  Scopes nest and may be entered concurrently by
+        thread-pool chunk workers; batch-scoped scratch state is
+        released when the outermost scope exits.
+        """
+        with self._batch_lock:
+            self._batch_depth += 1
+        try:
+            yield
+        finally:
+            with self._batch_lock:
+                self._batch_depth -= 1
+                if self._batch_depth == 0:
+                    self._on_batch_exit()
+
+    def _on_batch_exit(self) -> None:
+        """Hook: drop per-batch scratch state (see ``BKTreeIndex``)."""
+
+    def _pair_distance(self, record: Record, other: Record) -> float:
+        """Evaluate ``d(record, other)`` through the shared pair cache.
+
+        The pair is always evaluated in canonical (lower rid first)
+        direction: the distance protocol is symmetric, but float
+        accumulation inside real distance functions need not be
+        bit-symmetric, and a fixed direction keeps batch and per-query
+        answers bit-identical no matter which side touches a pair first.
+        """
+        rid, oid = record.rid, other.rid
+        key = (rid, oid) if rid <= oid else (oid, rid)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        d = (
+            self._evaluate(record, other)
+            if rid <= oid
+            else self._evaluate(other, record)
+        )
+        if self._batch_depth:
+            self._pair_cache[key] = d
+        return d

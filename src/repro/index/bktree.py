@@ -14,6 +14,26 @@ translating radii:
 
 This is the "exact nearest neighbor index" role of the paper's Phase 1
 for the edit distance runs.
+
+Batch traversals
+----------------
+The tree's edge-window descent (keep children with edge weight in
+``[raw - r, raw + r]``) *is* triangle-inequality pruning; per
+traversal, ``evaluations_pruned`` counts the nodes it never visited.
+Inside a batch scope two caches remove the remaining repeat work, both
+exact because raw Levenshtein is an integer and symmetric:
+
+- a per-query *traversal memo* (node -> raw distance) that carries over
+  the k-NN radius doubling and into the NG range query that follows in
+  ``phase1_batch`` — re-visited nodes cost a dict probe, not a DP;
+- a cross-query *canonical pair cache* keyed by ``(min rep, max rep)``
+  node-representative rids, so when query ``b`` visits the node holding
+  ``a``'s text after query ``a`` already visited ``b``'s, the second
+  evaluation is a cache hit.
+
+Per-query (non-batch) traversals consult the pair cache but never fill
+it, keeping the sequential path the honest baseline (same convention as
+:class:`~repro.index.bruteforce.BruteForceIndex`).
 """
 
 from __future__ import annotations
@@ -50,7 +70,17 @@ class BKTreeIndex(NNIndex):
         super().__init__()
         self._root: _Node | None = None
         self._max_length = 0
+        self._n_nodes = 0
         self._normalize_text = True
+        #: rid -> representative rid (first record inserted with the
+        #: same rendered text); the canonical key space of the
+        #: cross-query pair cache.
+        self._rep_of: dict[int, int] = {}
+        #: (min rep, max rep) -> raw distance, filled by batch
+        #: traversals, consulted by all.
+        self._node_pair_cache: dict[tuple[int, int], int] = {}
+        #: Per-query traversal memos, alive for one batch scope only.
+        self._query_memos: dict[int, dict[int, int]] = {}
 
     def _build(self) -> None:
         relation, distance = self._checked()
@@ -66,10 +96,19 @@ class BKTreeIndex(NNIndex):
         self._normalize_text = distance.normalize_text
         self._root = None
         self._max_length = 0
+        self._n_nodes = 0
+        self._rep_of = {}
+        self._node_pair_cache = {}
+        self._query_memos = {}
         for record in relation:
             text = self._render(record)
             self._max_length = max(self._max_length, len(text))
             self._insert(text, record.rid)
+
+    def _on_batch_exit(self) -> None:
+        # Memos key nodes by id(); dropping them with the batch keeps
+        # them safe against id reuse after a rebuild.
+        self._query_memos = {}
 
     def _render(self, record: Record) -> str:
         text = record.text()
@@ -78,37 +117,72 @@ class BKTreeIndex(NNIndex):
     def _insert(self, text: str, rid: int) -> None:
         if self._root is None:
             self._root = _Node(text, rid)
+            self._n_nodes = 1
+            self._rep_of[rid] = rid
             return
         node = self._root
         while True:
             raw = levenshtein(text, node.text)
+            self.build_evaluations += 1
             if raw == 0:
                 node.rids.append(rid)
+                self._rep_of[rid] = node.rids[0]
                 return
             child = node.children.get(raw)
             if child is None:
                 node.children[raw] = _Node(text, rid)
+                self._n_nodes += 1
+                self._rep_of[rid] = rid
                 return
             node = child
 
-    def _raw_range(self, query: str, radius: int) -> list[tuple[int, _Node]]:
+    def _raw_range(
+        self, query: str, radius: int, qrid: int | None = None
+    ) -> list[tuple[int, _Node]]:
         """Return ``(raw_distance, node)`` for nodes with ``ed <= radius``."""
         if self._root is None:
             return []
+        memo: dict[int, int] | None = None
+        if qrid is not None and self._batch_depth:
+            memo = self._query_memos.setdefault(qrid, {})
+        pair_cache = self._node_pair_cache
+        qrep = self._rep_of.get(qrid, -1) if qrid is not None else -1
         hits: list[tuple[int, _Node]] = []
         stack = [self._root]
+        visited = 0
         while stack:
             node = stack.pop()
-            # The exact raw distance is needed to decide which child
-            # edges stay inside [raw - radius, raw + radius].
-            raw = levenshtein(query, node.text)
-            self.evaluations += 1
+            visited += 1
+            nid = id(node)
+            raw = memo.get(nid) if memo is not None else None
+            if raw is None:
+                key: tuple[int, int] | None = None
+                if qrep >= 0:
+                    nrep = node.rids[0]
+                    key = (qrep, nrep) if qrep <= nrep else (nrep, qrep)
+                    raw = pair_cache.get(key)
+                if raw is None:
+                    self.cache_misses += 1
+                    # The exact raw distance is needed to decide which
+                    # child edges stay inside [raw - radius, raw + radius].
+                    raw = levenshtein(query, node.text)
+                    self.evaluations += 1
+                    if key is not None and self._batch_depth:
+                        pair_cache[key] = raw
+                else:
+                    self.cache_hits += 1
+                if memo is not None:
+                    memo[nid] = raw
+            else:
+                self.cache_hits += 1
             if raw <= radius:
                 hits.append((raw, node))
             lo, hi = raw - radius, raw + radius
             for edge, child in node.children.items():
                 if lo <= edge <= hi:
                     stack.append(child)
+        self.candidates_generated += visited
+        self.evaluations_pruned += self._n_nodes - visited
         return hits
 
     # ------------------------------------------------------------------
@@ -155,7 +229,7 @@ class BKTreeIndex(NNIndex):
     def _collect(self, record: Record, query: str, raw_radius: int) -> list[Neighbor]:
         """Range-search and convert to normalized-distance neighbors."""
         neighbors: list[Neighbor] = []
-        for raw, node in self._raw_range(query, raw_radius):
+        for raw, node in self._raw_range(query, raw_radius, qrid=record.rid):
             norm = self._norm(query, raw, node.text)
             for rid in node.rids:
                 if rid != record.rid:

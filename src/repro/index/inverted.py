@@ -108,10 +108,10 @@ class QgramInvertedIndex(NNIndex):
         self._texts: dict[int, str] = {}
         self._n_grams: dict[int, int] = {}
         self._edit_fast_path = False
-        # Pair-level memo for the fast path: every pair is probed from
-        # both endpoints (knn of a sees b, knn of b sees a) and again by
-        # the NG range query; caching exact results halves the DP work.
-        self._pair_cache: dict[tuple[int, int], float] = {}
+        # The shared canonical pair cache (NNIndex._pair_cache) doubles
+        # as the fast path's memo: every pair is probed from both
+        # endpoints (knn of a sees b, knn of b sees a) and again by the
+        # NG range query; caching exact results halves the DP work.
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,7 +121,6 @@ class QgramInvertedIndex(NNIndex):
         relation, _ = self._checked()
         self._postings = {}
         self._grams = {}
-        self._pair_cache = {}
         for record in relation:
             grams = qgrams(record.text(), q=self.q)
             self._grams[record.rid] = grams
@@ -190,6 +189,19 @@ class QgramInvertedIndex(NNIndex):
                     counts[rid] += 1
         return counts, skipped, len(gram_set)
 
+    def _account_candidates(self, record: Record, n_candidates: int) -> None:
+        """Record how many pairs one query surfaced vs. skipped entirely.
+
+        Pairs sharing no (non-stop) q-gram with the query, plus
+        candidates cut by the ``candidate_factor`` / ``within_budget``
+        ranking, never reach verification — the inverted index's
+        sub-quadratic lever.
+        """
+        relation, _ = self._checked()
+        n_others = len(relation) - (1 if record.rid in relation else 0)
+        self.candidates_generated += n_candidates
+        self.evaluations_pruned += max(0, n_others - n_candidates)
+
     def _verify(
         self,
         record: Record,
@@ -211,11 +223,13 @@ class QgramInvertedIndex(NNIndex):
         """
         relation, _ = self._checked()
         if not self._edit_fast_path or cutoff is None or cutoff >= 1.0:
-            return self._evaluate(record, relation.get(rid))
+            return self._pair_distance(record, relation.get(rid))
         key = (record.rid, rid) if record.rid <= rid else (rid, record.rid)
         cached = self._pair_cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached if cached <= cutoff else None
+        self.cache_misses += 1
         query = self._texts.get(record.rid)
         if query is None:
             query = normalize(record.text())
@@ -228,7 +242,9 @@ class QgramInvertedIndex(NNIndex):
             grams = max(query_grams, self._n_grams.get(rid, 0))
             lower = (grams - shared) / self.q
             if lower > bound:
-                return None  # count filter: ed provably exceeds the band
+                # Count filter: ed provably exceeds the band, no DP run.
+                self.evaluations_pruned += 1
+                return None
         self.evaluations += 1
         raw = levenshtein(query, other, max_distance=bound)
         if raw > bound:
@@ -252,6 +268,7 @@ class QgramInvertedIndex(NNIndex):
             ranked = ranked + [
                 (r.rid, 0) for r in relation if r.rid not in seen
             ]
+        self._account_candidates(record, len(ranked))
         hits: list[Neighbor] = []
         cutoff: float | None = None
         for rid, shared in ranked:
@@ -277,6 +294,7 @@ class QgramInvertedIndex(NNIndex):
             candidates = counts.most_common(self.within_budget)
         else:
             candidates = list(counts.items())
+        self._account_candidates(record, len(candidates))
         hits = []
         for rid, shared in candidates:
             d = self._verify(

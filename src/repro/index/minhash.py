@@ -10,6 +10,17 @@ The banding scheme makes candidate probability an S-curve in Jaccard
 similarity; with the defaults (64 hashes, 16 bands of 4 rows) pairs with
 token Jaccard above ~0.4 are found with high probability, which is the
 regime fuzzy duplicates live in.
+
+Cost model
+----------
+Signatures *and* per-record band keys are computed exactly once, in
+``_build``; a lookup for an in-relation record is ``n_bands`` dict
+probes plus one verification per surfaced candidate.  Batch queries
+(``knn_batch`` / ``within_batch`` / ``phase1_batch``) additionally run
+inside the base-class batch scope, so every unordered candidate pair is
+evaluated at most once per batch and the NG range counts that follow in
+Phase 1 are served from the shared pair cache.  See
+``docs/performance.md`` ("Choosing an index") for the knobs.
 """
 
 from __future__ import annotations
@@ -41,7 +52,9 @@ class MinHashIndex(NNIndex):
     n_hashes:
         Signature length; must be divisible by ``n_bands``.
     n_bands:
-        Number of LSH bands.
+        Number of LSH bands.  More bands (fewer rows per band) lower
+        the collision threshold of the S-curve: candidates multiply and
+        recall rises at the cost of more verifications.
     use_qgrams:
         Sign q-gram sets instead of word-token sets.  Q-grams make the
         index robust to in-token typos at the cost of larger sets.
@@ -69,6 +82,10 @@ class MinHashIndex(NNIndex):
         self.exhaustive_fallback = exhaustive_fallback
         self.name = f"minhash{n_hashes}x{n_bands}"
         self._signatures: dict[int, tuple[int, ...]] = {}
+        #: rid -> its ``n_bands`` banded sub-signature keys, precomputed
+        #: in ``_build`` so lookups never re-slice (let alone re-hash)
+        #: a signature.
+        self._band_keys: dict[int, tuple[tuple[int, tuple[int, ...]], ...]] = {}
         self._buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
 
     def _elements(self, record: Record) -> list[str]:
@@ -84,45 +101,77 @@ class MinHashIndex(NNIndex):
             for salt in range(self.n_hashes)
         )
 
+    def _keys_of(self, signature: tuple[int, ...]) -> tuple:
+        rows = self.rows_per_band
+        return tuple(
+            (band, signature[band * rows : band * rows + rows])
+            for band in range(self.n_bands)
+        )
+
     def _build(self) -> None:
+        """Sign every record and bucket it — once, idempotently.
+
+        Rebuilding (same or different relation) starts from empty
+        structures, so a second ``build`` never duplicates bucket
+        entries, and no lookup ever recomputes a signature or band key
+        for an in-relation record.
+        """
         relation, _ = self._checked()
         self._signatures = {}
+        self._band_keys = {}
         self._buckets = {}
         for record in relation:
             signature = self._signature(record)
+            keys = self._keys_of(signature)
             self._signatures[record.rid] = signature
-            for band in range(self.n_bands):
-                lo = band * self.rows_per_band
-                key = (band, signature[lo : lo + self.rows_per_band])
+            self._band_keys[record.rid] = keys
+            for key in keys:
                 self._buckets.setdefault(key, []).append(record.rid)
 
     def _candidates(self, record: Record) -> list[int]:
-        signature = self._signatures.get(record.rid)
-        if signature is None:
-            signature = self._signature(record)
+        keys = self._band_keys.get(record.rid)
+        if keys is None:
+            # Out-of-relation probe: sign on the fly (the only case
+            # where a signature is ever computed outside _build).
+            keys = self._keys_of(self._signature(record))
         seen: set[int] = set()
-        for band in range(self.n_bands):
-            lo = band * self.rows_per_band
-            key = (band, signature[lo : lo + self.rows_per_band])
+        for key in keys:
             for rid in self._buckets.get(key, ()):
                 if rid != record.rid:
                     seen.add(rid)
         return sorted(seen)
 
-    def knn(self, record: Record, k: int) -> list[Neighbor]:
+    def _final_candidates(self, record: Record, k: int | None) -> list[int]:
+        """Candidate rids for one query, with pruning accounting.
+
+        ``candidates_generated`` counts the pairs handed to
+        verification (including any exhaustive-fallback extension);
+        ``evaluations_pruned`` counts the pairs never examined at all.
+        """
         relation, _ = self._checked()
-        if k <= 0 or len(relation) <= 1:
-            return []
         candidates = self._candidates(record)
-        if len(candidates) < k and self.exhaustive_fallback:
+        if (
+            k is not None
+            and len(candidates) < k
+            and self.exhaustive_fallback
+        ):
             extra = set(candidates)
             extra.add(record.rid)
             candidates = candidates + [
                 r.rid for r in relation if r.rid not in extra
             ]
+        n_others = len(relation) - (1 if record.rid in relation else 0)
+        self.candidates_generated += len(candidates)
+        self.evaluations_pruned += n_others - len(candidates)
+        return candidates
+
+    def knn(self, record: Record, k: int) -> list[Neighbor]:
+        relation, _ = self._checked()
+        if k <= 0 or len(relation) <= 1:
+            return []
         hits = [
-            Neighbor(self._evaluate(record, relation.get(rid)), rid)
-            for rid in candidates
+            Neighbor(self._pair_distance(record, relation.get(rid)), rid)
+            for rid in self._final_candidates(record, k)
         ]
         hits.sort()
         return hits[:k]
@@ -132,8 +181,8 @@ class MinHashIndex(NNIndex):
     ) -> list[Neighbor]:
         relation, _ = self._checked()
         hits = []
-        for rid in self._candidates(record):
-            d = self._evaluate(record, relation.get(rid))
+        for rid in self._final_candidates(record, None):
+            d = self._pair_distance(record, relation.get(rid))
             if d < radius or (inclusive and d == radius):
                 hits.append(Neighbor(d, rid))
         hits.sort()

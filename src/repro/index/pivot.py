@@ -70,9 +70,12 @@ class PivotIndex(NNIndex):
         if not records:
             return
 
-        # Max-min farthest-point pivot selection.
+        # Max-min farthest-point pivot selection.  Every distance spent
+        # here is charged to build_evaluations: the pivot table is the
+        # index's up-front cost, amortized over the queries it prunes.
         first = records[0]
         self._pivots.append(first)
+        self.build_evaluations += len(records)
         min_dist = {
             record.rid: distance.distance(first, record) for record in records
         }
@@ -82,11 +85,13 @@ class PivotIndex(NNIndex):
                 break  # all remaining records coincide with a pivot
             pivot = relation.get(next_rid)
             self._pivots.append(pivot)
+            self.build_evaluations += len(records)
             for record in records:
                 d = distance.distance(pivot, record)
                 if d < min_dist[record.rid]:
                     min_dist[record.rid] = d
 
+        self.build_evaluations += len(self._pivots) * len(records)
         for record in records:
             self._table[record.rid] = tuple(
                 distance.distance(pivot, record) for pivot in self._pivots
@@ -132,11 +137,15 @@ class PivotIndex(NNIndex):
 
         hits: list[Neighbor] = []
         cutoff = float("inf")
-        for rid in ordered:
+        for position, rid in enumerate(ordered):
             bound = self._lower_bound(query_vector, rid)
             if bound > cutoff + _EPSILON:
-                break  # ordered by bound: nothing later can qualify
-            d = self._evaluate(record, relation.get(rid))
+                # Ordered by bound: nothing later can qualify — the
+                # whole tail is pruned by the triangle inequality.
+                self.evaluations_pruned += len(ordered) - position
+                break
+            self.candidates_generated += 1
+            d = self._pair_distance(record, relation.get(rid))
             insort(hits, Neighbor(d, rid))
             if len(hits) >= k:
                 cutoff = hits[k - 1].distance
@@ -152,8 +161,10 @@ class PivotIndex(NNIndex):
             if rid == record.rid:
                 continue
             if self._lower_bound(query_vector, rid) > radius + _EPSILON:
+                self.evaluations_pruned += 1
                 continue
-            d = self._evaluate(record, relation.get(rid))
+            self.candidates_generated += 1
+            d = self._pair_distance(record, relation.get(rid))
             if d < radius or (inclusive and d == radius):
                 hits.append(Neighbor(d, rid))
         hits.sort()

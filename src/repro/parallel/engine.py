@@ -67,6 +67,8 @@ class ChunkResult:
     evaluations: int
     cache_hits: int
     cache_misses: int
+    candidates_generated: int = 0
+    evaluations_pruned: int = 0
 
 
 def _cut_shape(params: DEParams) -> tuple[int | None, float | None]:
@@ -79,11 +81,13 @@ def _cut_shape(params: DEParams) -> tuple[int | None, float | None]:
     return None, params.theta
 
 
-def _counters(index: NNIndex) -> tuple[int, int, int]:
+def _counters(index: NNIndex) -> tuple[int, int, int, int, int]:
     return (
         index.evaluations,
         getattr(index, "cache_hits", 0),
         getattr(index, "cache_misses", 0),
+        getattr(index, "candidates_generated", 0),
+        getattr(index, "evaluations_pruned", 0),
     )
 
 
@@ -94,7 +98,7 @@ def _run_chunk(
     relation = index.relation
     assert relation is not None
     started = time.perf_counter()
-    ev0, hit0, miss0 = _counters(index)
+    ev0, hit0, miss0, cand0, pruned0 = _counters(index)
     records = [relation.get(rid) for rid in chunk.rids]
     k, theta = _cut_shape(params)
     answers = index.phase1_batch(
@@ -104,7 +108,7 @@ def _run_chunk(
         NNEntry(rid=record.rid, neighbors=tuple(neighbors), ng=ng)
         for record, (neighbors, ng) in zip(records, answers)
     ]
-    ev1, hit1, miss1 = _counters(index)
+    ev1, hit1, miss1, cand1, pruned1 = _counters(index)
     return ChunkResult(
         chunk_index=chunk.index,
         entries=entries,
@@ -113,6 +117,8 @@ def _run_chunk(
         evaluations=ev1 - ev0,
         cache_hits=hit1 - hit0,
         cache_misses=miss1 - miss0,
+        candidates_generated=cand1 - cand0,
+        evaluations_pruned=pruned1 - pruned0,
     )
 
 
@@ -212,7 +218,7 @@ class ParallelNNEngine:
         rids = self._resolve_order(relation, order, order_seed)
         chunks = self.plan(rids)
         started = time.perf_counter()
-        ev0, hit0, miss0 = _counters(index)
+        ev0, hit0, miss0, cand0, pruned0 = _counters(index)
 
         if self.n_workers == 1 or len(chunks) <= 1:
             results = [_run_chunk(index, params, chunk, radius_fn) for chunk in chunks]
@@ -239,21 +245,38 @@ class ParallelNNEngine:
                 nn_relation.add(entry)
 
         if stats is not None:
-            stats.lookups += sum(r.lookups for r in results)
+            lookups = sum(r.lookups for r in results)
+            stats.lookups += lookups
             stats.seconds += time.perf_counter() - started
             stats.n_chunks += len(results)
             stats.chunk_seconds.extend(r.seconds for r in results)
             if self.pool == "process" and self.n_workers > 1 and len(chunks) > 1:
                 # Worker processes own private index copies; the parent's
                 # counters never move, so sum the per-chunk deltas.
-                stats.evaluations += sum(r.evaluations for r in results)
-                stats.cache_hits += sum(r.cache_hits for r in results)
-                stats.cache_misses += sum(r.cache_misses for r in results)
+                evaluations = sum(r.evaluations for r in results)
+                cache_hits = sum(r.cache_hits for r in results)
+                cache_misses = sum(r.cache_misses for r in results)
+                candidates = sum(r.candidates_generated for r in results)
+                pruned = sum(r.evaluations_pruned for r in results)
             else:
                 # Shared index: per-chunk deltas interleave across
                 # threads, but the global delta is exact.
-                ev1, hit1, miss1 = _counters(index)
-                stats.evaluations += ev1 - ev0
-                stats.cache_hits += hit1 - hit0
-                stats.cache_misses += miss1 - miss0
+                ev1, hit1, miss1, cand1, pruned1 = _counters(index)
+                evaluations = ev1 - ev0
+                cache_hits = hit1 - hit0
+                cache_misses = miss1 - miss0
+                candidates = cand1 - cand0
+                pruned = pruned1 - pruned0
+            stats.evaluations += evaluations
+            stats.cache_hits += cache_hits
+            stats.cache_misses += cache_misses
+            stats.candidates_generated += candidates
+            stats.evaluations_pruned += pruned
+            stats.credit_index(
+                index.name,
+                lookups=lookups,
+                evaluations=evaluations,
+                candidates_generated=candidates,
+                evaluations_pruned=pruned,
+            )
         return nn_relation

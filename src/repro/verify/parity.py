@@ -11,6 +11,7 @@ and partition.
 
 from __future__ import annotations
 
+import random
 from typing import Callable, Sequence
 
 from repro.core.formulation import DEParams
@@ -30,6 +31,7 @@ __all__ = [
     "run_paths",
     "check_cross_path",
     "verify_paths",
+    "sampled_nn_recall",
 ]
 
 #: The four execution paths: (name, parallel Phase 1?, engine Phase 2?).
@@ -125,6 +127,68 @@ def check_cross_path(results: dict[str, DEResult]) -> CheckResult:
         "cross-path", len(names), violations,
         detail=", ".join(names),
     )
+
+
+def sampled_nn_recall(
+    relation: Relation,
+    distance: DistanceFunction,
+    nn_relation: NNRelation,
+    params: DEParams,
+    *,
+    sample: int = 50,
+    seed: int = 0,
+    radius_fn=None,
+) -> dict:
+    """NN-list recall of a (possibly approximate) run vs. brute force.
+
+    Samples up to ``sample`` records, recomputes their exact NN lists
+    with a fresh :class:`BruteForceIndex` under the same cut bounds, and
+    scores each stored list as ``|got ∩ want| / |want|`` (1.0 when the
+    exact list is empty).  Set intersection rather than positional
+    equality keeps ties harmless: an approximate index returning a tied
+    neighbor in a different slot still gets full credit.
+
+    Returns a dict with ``n_sampled``, ``mean_recall``, ``min_recall``,
+    and ``exact_lists`` (how many sampled lists matched id-for-id).
+    """
+    from repro.verify.checks import _cut_bounds
+
+    ids = [rid for rid in relation.ids() if rid in nn_relation]
+    if not ids:
+        return {
+            "n_sampled": 0,
+            "mean_recall": 1.0,
+            "min_recall": 1.0,
+            "exact_lists": 0,
+        }
+    size = min(sample, len(ids))
+    sampled = sorted(random.Random(seed).sample(ids, size))
+
+    k, theta = _cut_bounds(params)
+    reference = BruteForceIndex()
+    reference.build(relation, distance)
+    records = [relation.get(rid) for rid in sampled]
+    expected = reference.phase1_batch(
+        records, k=k, theta=theta, p=params.p, radius_fn=radius_fn
+    )
+
+    recalls: list[float] = []
+    exact_lists = 0
+    for rid, (neighbors, _ng) in zip(sampled, expected):
+        want = {neighbor.rid for neighbor in neighbors}
+        got = set(nn_relation.get(rid).neighbor_ids)
+        if not want:
+            recalls.append(1.0)
+            exact_lists += int(not got)
+            continue
+        recalls.append(len(got & want) / len(want))
+        exact_lists += int(got == want)
+    return {
+        "n_sampled": size,
+        "mean_recall": sum(recalls) / len(recalls),
+        "min_recall": min(recalls),
+        "exact_lists": exact_lists,
+    }
 
 
 def verify_paths(

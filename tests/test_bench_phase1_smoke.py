@@ -10,7 +10,9 @@ to stay fast.
 import json
 
 from repro.eval.bench_phase1 import (
+    index_matrix_table,
     phase1_table,
+    run_index_matrix,
     run_phase1_bench,
     write_phase1_json,
 )
@@ -51,3 +53,37 @@ class TestBenchPhase1Smoke:
 
         table = phase1_table(payload)
         assert "per-query" in table and "batch" in table
+
+        # No matrix requested: the payload records that explicitly.
+        assert payload["index_matrix"] is None
+
+
+class TestIndexMatrixSmoke:
+    def test_matrix_rows_and_skips(self):
+        matrix = run_index_matrix(
+            ["minhash", "bktree"],
+            n_entities=25,
+            distance="cosine",
+            recall_sample=10,
+        )
+        rows = {row["index"]: row for row in matrix["rows"]}
+        assert set(rows) == {"brute", "minhash", "bktree"}
+
+        # The BK-tree cannot index cosine distance: a skipped row, not
+        # a crashed matrix.
+        assert "EditDistance" in rows["bktree"]["skipped"]
+
+        brute = rows["brute"]
+        assert brute["recall"]["mean_recall"] == 1.0
+        assert brute["evaluations_ratio_vs_brute"] == 1.0
+        assert brute["evaluations_pruned"] == 0
+
+        minhash = rows["minhash"]
+        assert minhash["candidates_generated"] > 0
+        assert 0.0 <= minhash["recall"]["mean_recall"] <= 1.0
+        assert minhash["total_evaluations"] == (
+            minhash["evaluations"] + minhash["build_evaluations"]
+        )
+
+        table = index_matrix_table(matrix)
+        assert "minhash" in table and "skipped" in table

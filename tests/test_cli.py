@@ -45,6 +45,25 @@ class TestDedup:
         assert code == 0
         assert "duplicate group(s) found" in out.getvalue()
 
+    def test_stats_flag_reports_phase1_costs(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            [
+                "dedup", str(path),
+                "--distance", "edit",
+                "--index", "qgram",
+                "--workers", "2",
+                "--stats",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "phase 1 [qgram]:" in text
+        assert "pairs pruned" in text
+        assert "distance evaluations" in text
+
     def test_writes_assignment_csv(self, org_csv, tmp_path):
         path, _ = org_csv
         output = tmp_path / "groups.csv"
@@ -267,6 +286,78 @@ class TestBenchPhase1Command:
         assert args.workers == "1,2,4"
         assert args.output == "BENCH_phase1.json"
         assert args.verify is False
+        assert args.indexes is None
+        assert args.min_recall is None
+
+    def test_index_flag_is_repeatable_and_validated(self):
+        args = build_parser().parse_args(
+            ["bench-phase1", "--index", "minhash", "--index", "qgram"]
+        )
+        assert args.indexes == ["minhash", "qgram"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-phase1", "--index", "nope"])
+
+    def test_min_recall_requires_index(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-phase1",
+                "--sizes", "20",
+                "--workers", "1",
+                "--min-recall", "0.9",
+                "--output", str(tmp_path / "b.json"),
+            ],
+            out=out,
+        )
+        assert code == 2
+        assert "--min-recall requires" in out.getvalue()
+
+    def test_index_matrix_and_min_recall(self, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_phase1.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-phase1",
+                "--dataset", "org",
+                "--distance", "edit",
+                "--sizes", "25",
+                "--workers", "1",
+                "--index", "qgram",
+                "--min-recall", "0.5",
+                "--recall-sample", "10",
+                "--output", str(output),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "index matrix" in out.getvalue()
+        assert "sampled NN recall >= 0.5" in out.getvalue()
+        payload = json.loads(output.read_text())
+        (matrix,) = payload["index_matrix"]
+        assert [row["index"] for row in matrix["rows"]] == ["brute", "qgram"]
+        assert all("skipped" not in row for row in matrix["rows"])
+
+    def test_min_recall_failure_exits_nonzero(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-phase1",
+                "--dataset", "org",
+                "--distance", "edit",
+                "--sizes", "25",
+                "--workers", "1",
+                "--index", "qgram",
+                # An unreachable bar: mean recall can never exceed 1.0.
+                "--min-recall", "1.1",
+                "--recall-sample", "5",
+                "--output", str(tmp_path / "b.json"),
+            ],
+            out=out,
+        )
+        assert code == 1
+        assert "recall below 1.1" in out.getvalue()
 
     def test_verify_flag_records_summary(self, tmp_path):
         import json
