@@ -47,6 +47,7 @@ from repro.distances import (
 )
 from repro.index import BKTreeIndex, BruteForceIndex, MinHashIndex, QgramInvertedIndex
 from repro.parallel import ParallelNNEngine
+from repro.run import RunConfig, RunContext, RunStats
 
 __version__ = "1.0.0"
 
@@ -74,11 +75,25 @@ __all__ = [
     "QgramInvertedIndex",
     "MinHashIndex",
     "ParallelNNEngine",
+    "RunConfig",
+    "RunContext",
+    "RunStats",
+    "StagedPipeline",
     "deduplicate",
     "IncrementalDeduplicator",
     "explain_pair",
     "merge_partition",
 ]
+
+
+def __getattr__(name):
+    # StagedPipeline loads lazily (repro.run defers its pipeline module
+    # to keep the core <-> run import graph acyclic at load time).
+    if name == "StagedPipeline":
+        from repro.run.pipeline import StagedPipeline
+
+        return StagedPipeline
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def deduplicate(relation, k=5, c=4.0, agg="max", distance=None):

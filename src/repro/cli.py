@@ -32,8 +32,6 @@ from repro.data.loaders import (
     load_dataset,
     relation_from_csv,
 )
-from repro.distances.base import DistanceFunction
-from repro.distances.cosine import CosineDistance
 from repro.eval.bench_phase1 import (
     BENCH_DISTANCES,
     index_matrix_table,
@@ -41,32 +39,10 @@ from repro.eval.bench_phase1 import (
     run_phase1_bench,
     write_phase1_json,
 )
-from repro.distances.edit import EditDistance
-from repro.distances.fms import FuzzyMatchDistance
-from repro.distances.jaccard import TokenJaccardDistance
-from repro.index.base import NNIndex
-from repro.index.bktree import BKTreeIndex
-from repro.index.bruteforce import BruteForceIndex
-from repro.index.inverted import QgramInvertedIndex
-from repro.index.minhash import MinHashIndex
-from repro.index.pivot import PivotIndex
+from repro.run.config import ConfigError, RunConfig
+from repro.run.registry import DISTANCES, INDEXES
 
 __all__ = ["main", "build_parser"]
-
-DISTANCES = {
-    "edit": EditDistance,
-    "fms": FuzzyMatchDistance,
-    "cosine": CosineDistance,
-    "jaccard": TokenJaccardDistance,
-}
-
-INDEXES = {
-    "brute": BruteForceIndex,
-    "bktree": BKTreeIndex,
-    "qgram": QgramInvertedIndex,
-    "minhash": MinHashIndex,
-    "pivot": PivotIndex,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,14 +83,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker pool kind for --workers > 1",
     )
     dedup.add_argument(
+        "--engine", action="store_true",
+        help="run Phase 2 through the storage engine (the paper's "
+             "SQL-server architecture)",
+    )
+    dedup.add_argument(
+        "--spill", action="store_true",
+        help="stream the Phase-1 NN relation into a storage-engine "
+             "table instead of holding it in memory (implies --engine); "
+             "Phase 2 reads it back through the buffer pool",
+    )
+    dedup.add_argument(
+        "--buffer-pages", type=int, default=RunConfig.buffer_pages,
+        help="buffer-pool capacity, in pages, for --engine / --spill",
+    )
+    dedup.add_argument(
+        "--page-capacity", type=int, default=RunConfig.page_capacity,
+        help="rows per storage-engine page for --engine / --spill",
+    )
+    dedup.add_argument(
         "--verify", action="store_true",
         help="self-check the run against the paper's invariants "
              "(nonzero exit on violation)",
     )
     dedup.add_argument(
         "--stats", action="store_true",
-        help="print Phase-1 cost accounting (lookups, evaluations, "
-             "candidate pruning, cache hits)",
+        help="print run telemetry: per-stage wall times, Phase-1 cost "
+             "accounting, distance-cache hit rate, and the buffer hit "
+             "ratio when the engine is in play",
     )
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
@@ -256,8 +252,8 @@ def _make_solver(
     pool: str = "thread",
     verify: bool | str = False,
 ) -> DuplicateEliminator:
-    distance: DistanceFunction = DISTANCES[distance_name]()
-    index: NNIndex = INDEXES[index_name]()
+    distance = DISTANCES[distance_name]()
+    index = INDEXES[index_name]()
     return DuplicateEliminator(
         distance, index=index, n_workers=n_workers, pool=pool, verify=verify
     )
@@ -270,11 +266,17 @@ def _params_from_args(args: argparse.Namespace) -> DEParams:
 
 
 def _cmd_dedup(args: argparse.Namespace, out) -> int:
+    try:
+        config = RunConfig.from_cli_args(args)
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     relation = relation_from_csv(args.input)
     params = _params_from_args(args)
-    solver = _make_solver(
-        args.distance, args.index, args.workers, args.pool,
-        verify="report" if args.verify else False,
+    solver = DuplicateEliminator(
+        DISTANCES[args.distance](),
+        index=INDEXES[args.index](),
+        config=config,
     )
     result = solver.run(relation, params)
 
@@ -296,7 +298,7 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             for rid in group:
                 print(f"  [{rid}] {relation.get(rid).text()}", file=out)
     if args.stats:
-        stats = result.phase1
+        stats = result.stats.phase1
         print(file=out)
         print(
             f"phase 1 [{args.index}]: {stats.lookups} lookups in "
@@ -308,6 +310,26 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             f"cache hit rate {stats.cache_hit_rate:.2f})",
             file=out,
         )
+        run_stats = result.stats
+        stages = ", ".join(
+            f"{timing.stage} {timing.seconds:.3f}s"
+            for timing in run_stats.timings
+        )
+        print(f"stages: {stages}", file=out)
+        print(
+            f"distance cache: {run_stats.distance_cache_calls} calls, "
+            f"hit rate {run_stats.distance_cache_hit_rate:.2f}",
+            file=out,
+        )
+        if run_stats.buffer is not None:
+            spill_note = " (NN relation spilled)" if run_stats.spilled else ""
+            print(
+                f"buffer pool: {run_stats.buffer.hits} hits / "
+                f"{run_stats.buffer.misses} misses / "
+                f"{run_stats.buffer.evictions} evictions, "
+                f"hit ratio {run_stats.buffer.hit_ratio:.2f}{spill_note}",
+                file=out,
+            )
     if result.verification is not None:
         print(file=out)
         print(result.verification.render(), file=out)
@@ -458,6 +480,13 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
     if verification is not None:
         status = "OK" if verification["ok"] else "FAILED"
         print(f"invariant verification: {status}", file=out)
+        buffer = (verification.get("stats") or {}).get("buffer")
+        if buffer is not None:
+            print(
+                f"engine buffer hit ratio: {buffer['hit_ratio']:.2f} "
+                f"({buffer['hits']} hits / {buffer['misses']} misses)",
+                file=out,
+            )
         if not verification["ok"]:
             print(
                 "ERROR: invariant violations in "

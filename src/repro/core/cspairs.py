@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.formulation import CombinedCut, DEParams, SizeCut
-from repro.core.neighborhood import NNRelation
+from repro.core.neighborhood import NNRelation, entry_from_row
 from repro.storage.engine import Engine
 from repro.storage.table import HeapTable
 
@@ -25,13 +25,17 @@ __all__ = [
     "prefix_equal_flags",
     "build_cs_pairs",
     "materialize_nn_reln",
+    "nn_relation_from_table",
     "build_cs_pairs_engine",
     "cs_pairs_from_table",
 ]
 
 #: Schema of the materialized CSPairs relation.
 CSPAIRS_SCHEMA = ("id1", "id2", "ng1", "ng2", "flags")
-NN_RELN_SCHEMA = ("id", "nn_list", "ng")
+#: Schema of the materialized NN relation.  The distance column exists
+#: so an out-of-core (spilled) table can be read back into an exact NN
+#: relation; the CSPairs self-join reads only ``id``/``nn_list``/``ng``.
+NN_RELN_SCHEMA = ("id", "nn_list", "dists", "ng")
 
 
 @dataclass(frozen=True)
@@ -151,6 +155,19 @@ def materialize_nn_reln(
     return table
 
 
+def nn_relation_from_table(table: HeapTable) -> NNRelation:
+    """Read a materialized ``NN_Reln`` table back into an NN relation.
+
+    Exact inverse of :func:`materialize_nn_reln` — distances included —
+    so a spilled run can still serve consumers that need the full
+    Phase-1 output (the verifier, the ``thr`` baseline).
+    """
+    nn_relation = NNRelation()
+    for row in table.scan():
+        nn_relation.add(entry_from_row(row))
+    return nn_relation
+
+
 def build_cs_pairs_engine(
     engine: Engine,
     params: DEParams,
@@ -168,19 +185,19 @@ def build_cs_pairs_engine(
     id_index = engine.hash_index(nn_table, "id")
 
     def probe_keys(row):
-        rid, nn_list, _ = row
+        rid, nn_list, _dists, _ng = row
         limit = nn_list_limit(params, len(nn_list))
         return [other for other in nn_list[:limit] if other > rid]
 
     def on(left, right) -> bool:
-        lid, _, _ = left
-        rid, r_list, _ = right
+        lid = left[0]
+        r_list = right[1]
         limit = nn_list_limit(params, len(r_list))
         return lid in r_list[:limit]
 
     def project(left, right):
-        lid, l_list, l_ng = left
-        rid, r_list, r_ng = right
+        lid, l_list, _l_dists, l_ng = left
+        rid, r_list, _r_dists, r_ng = right
         max_m = max_pair_size(len(l_list), len(r_list), params)
         flags = prefix_equal_flags(lid, l_list, rid, r_list, max_m)
         return (lid, rid, l_ng, r_ng, flags)

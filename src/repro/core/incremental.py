@@ -107,7 +107,15 @@ class IncrementalDeduplicator:
             if self._admits(other_rid, d):
                 insort(old_list, Neighbor(d, rid))
                 self._neighbors[other_rid] = self._bound_list(old_list)
-            if old_nn == float("inf") or d < self.params.p * old_nn:
+            # A record is NG-affected when the newcomer lands inside its
+            # p * nn neighborhood — including the degenerate zero-radius
+            # neighborhood, where _compute_ng counts exact co-located
+            # records (d == 0) but ``d < p * 0.0`` can never hold.
+            if (
+                old_nn == float("inf")
+                or d < self.params.p * old_nn
+                or (old_nn == 0.0 and d == 0.0)
+            ):
                 affected.append(other_rid)
 
         # Exact NG for the new record and all affected records.

@@ -18,7 +18,7 @@ from typing import Iterator, Mapping
 
 from repro.index.base import Neighbor
 
-__all__ = ["NNEntry", "NNRelation"]
+__all__ = ["NNEntry", "NNRelation", "entry_to_row", "entry_from_row"]
 
 
 @dataclass(frozen=True)
@@ -112,6 +112,38 @@ class NNRelation:
         """id -> neighbor list mapping (used by the ``thr`` baseline)."""
         return {rid: entry.neighbors for rid, entry in self._entries.items()}
 
-    def as_rows(self) -> list[tuple[int, tuple[int, ...], int]]:
-        """Render as ``(ID, NN-List, NG)`` rows for the storage engine."""
-        return [(entry.rid, entry.neighbor_ids, entry.ng) for entry in self]
+    def as_rows(self) -> list[tuple[int, tuple[int, ...], tuple[float, ...], int]]:
+        """Render as ``(ID, NN-List, Distances, NG)`` rows for the
+        storage engine (see ``repro.core.cspairs.NN_RELN_SCHEMA``).
+
+        Distances ride along so a spilled table can be read back into a
+        bit-identical NN relation (:func:`repro.core.cspairs
+        .nn_relation_from_table`); the CSPairs join itself only touches
+        the id list.
+        """
+        return [entry_to_row(entry) for entry in self]
+
+
+def entry_to_row(
+    entry: NNEntry,
+) -> tuple[int, tuple[int, ...], tuple[float, ...], int]:
+    """One NN entry as an ``(ID, NN-List, Distances, NG)`` engine row."""
+    return (
+        entry.rid,
+        entry.neighbor_ids,
+        tuple(neighbor.distance for neighbor in entry.neighbors),
+        entry.ng,
+    )
+
+
+def entry_from_row(row: tuple) -> NNEntry:
+    """Inverse of :func:`entry_to_row` (exact, including distances)."""
+    rid, neighbor_ids, distances, ng = row
+    return NNEntry(
+        rid=rid,
+        neighbors=tuple(
+            Neighbor(distance=distance, rid=other)
+            for other, distance in zip(neighbor_ids, distances)
+        ),
+        ng=ng,
+    )

@@ -1,45 +1,46 @@
 """The end-to-end duplicate elimination pipeline (paper Figure 3).
 
-:class:`DuplicateEliminator` wires the two phases together:
+:class:`DuplicateEliminator` is the stable entry point for solving DE
+instances.  Since the staged-architecture refactor it is a thin facade:
+the constructor's knobs build a frozen
+:class:`~repro.run.config.RunConfig`, the live machinery lives on a
+:class:`~repro.run.context.RunContext`, and execution is delegated to
+the :class:`~repro.run.pipeline.StagedPipeline` — Phase 1, the optional
+NN-relation spill, the CSPairs join, partitioning, post-processing, and
+verification, each a :class:`~repro.run.stages.Stage`.
 
-1. **NN list computation** — build (or accept) a nearest-neighbor index
-   over the relation and materialize ``NN_Reln`` in breadth-first
-   lookup order;
-2. **Partitioning** — construct CSPairs and extract compact SN groups,
-   either directly in memory or through the storage engine (the paper's
-   SQL path), which produce identical results.
+The facade guarantees:
 
-Optional post-processing applies the minimality refinement
-(section 4.5.2) and constraining predicates (section 4.5.1).
+- the historical constructor signature keeps working (every kwarg maps
+  onto a ``RunConfig`` field or a context component);
+- ``run`` / ``run_from_nn`` return the same :class:`DEResult` with
+  bit-identical partitions to the pre-refactor pipeline on every
+  execution path (in-memory, engine Phase 2, spilled NN relation);
+- the former loose telemetry fields (``phase1``, ``phase2_seconds``,
+  ``n_cs_pairs``) survive as deprecated read-only properties over
+  ``DEResult.stats``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.cspairs import (
-    CSPair,
-    build_cs_pairs,
-    build_cs_pairs_engine,
-    cs_pairs_from_table,
-    materialize_nn_reln,
-)
+from repro.core.cspairs import CSPair
 from repro.core.formulation import DEParams
-from repro.core.minimality import enforce_minimality
 from repro.core.neighborhood import NNRelation
-from repro.core.nn_phase import LookupOrder, Phase1Stats, prepare_nn_lists
-from repro.core.partitioner import partition_records
-from repro.core.predicates import CannotLinkPredicate, apply_constraining_predicate
+from repro.core.nn_phase import LookupOrder, Phase1Stats
+from repro.core.predicates import CannotLinkPredicate
 from repro.core.result import Partition
 from repro.data.schema import Relation
-from repro.distances.base import CachedDistance, DistanceFunction
+from repro.distances.base import DistanceFunction
 from repro.index.base import NNIndex
-from repro.index.bruteforce import BruteForceIndex
+from repro.run.config import RunConfig
+from repro.run.stats import RunStats
 from repro.storage.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.run.context import RunContext
     from repro.verify.report import VerificationReport
 
 __all__ = ["DEResult", "DuplicateEliminator"]
@@ -52,15 +53,17 @@ class DEResult:
     The NN relation is part of the result because downstream consumers
     need it: the SN threshold heuristic reuses the NG values, and the
     ``thr`` baseline induces its threshold graph from the same NN lists
-    (as in the paper's experimental setup).
+    (as in the paper's experimental setup).  On a spilled run it is a
+    :class:`~repro.run.spill.SpilledNNRelation` — same interface,
+    answered through the storage engine's buffer pool.
     """
 
     partition: Partition
     nn_relation: NNRelation
     params: DEParams
-    phase1: Phase1Stats = field(default_factory=Phase1Stats)
-    phase2_seconds: float = 0.0
-    n_cs_pairs: int = 0
+    #: Unified run telemetry: per-stage wall times, Phase-1 counters,
+    #: distance-cache traffic, and (for engine runs) buffer statistics.
+    stats: RunStats = field(default_factory=RunStats)
     #: The Phase-2 CSPairs rows, kept when the solver is configured
     #: with ``keep_cs_pairs`` (or any ``verify`` mode) so the verifier
     #: can audit the actual rows instead of a reconstruction.
@@ -73,6 +76,26 @@ class DEResult:
     def duplicate_groups(self) -> list[tuple[int, ...]]:
         """The non-trivial groups (reported duplicates)."""
         return self.partition.non_trivial_groups()
+
+    # ------------------------------------------------------------------
+    # Deprecated telemetry accessors (pre-RunStats API)
+    # ------------------------------------------------------------------
+
+    @property
+    def phase1(self) -> Phase1Stats:
+        """Deprecated: use ``result.stats.phase1``."""
+        return self.stats.phase1
+
+    @property
+    def phase2_seconds(self) -> float:
+        """Deprecated: use ``result.stats.phase2_seconds`` (or the
+        per-stage ``result.stats.timings``)."""
+        return self.stats.phase2_seconds
+
+    @property
+    def n_cs_pairs(self) -> int:
+        """Deprecated: use ``result.stats.n_cs_pairs``."""
+        return self.stats.n_cs_pairs
 
 
 class DuplicateEliminator:
@@ -88,7 +111,7 @@ class DuplicateEliminator:
         index is (re)built per :meth:`run` call.  Approximate indexes
         (MinHash, q-gram, BK-tree, pivot) trade distance evaluations
         for recall — see ``docs/performance.md`` ("Choosing an index");
-        the result's ``phase1`` stats record the candidate counts and
+        the result's ``stats.phase1`` records the candidate counts and
         pruning each run actually achieved.
     engine:
         Optional storage engine.  When given (or ``use_engine=True``),
@@ -126,6 +149,16 @@ class DuplicateEliminator:
     keep_cs_pairs:
         Keep the Phase-2 CSPairs rows on the result (implied by any
         ``verify`` mode).
+    spill:
+        Stream the Phase-1 output into a storage-engine heap table
+        instead of materializing it in memory (implies an engine);
+        Phase 2 and partitioning read it back through the buffer pool.
+    buffer_pages, page_capacity:
+        Sizing for an engine the solver creates itself (ignored when an
+        ``engine`` instance is passed in).
+    config:
+        A prebuilt :class:`~repro.run.config.RunConfig`; wins over the
+        individual execution kwargs.
     """
 
     def __init__(
@@ -145,61 +178,112 @@ class DuplicateEliminator:
         chunk_size: int | None = None,
         verify: bool | str = False,
         keep_cs_pairs: bool = False,
+        spill: bool = False,
+        buffer_pages: int = 256,
+        page_capacity: int = 64,
+        config: RunConfig | None = None,
     ):
-        wrap = cache_distance and not isinstance(distance, CachedDistance)
-        self.distance: DistanceFunction = (
-            CachedDistance(distance) if wrap else distance
-        )
-        self.index: NNIndex = index if index is not None else BruteForceIndex()
-        self.engine = engine if engine is not None else (Engine() if use_engine else None)
-        self.order: LookupOrder = order
-        self.order_seed = order_seed
-        self.minimal = minimal
-        self.cannot_link = cannot_link
-        #: Optional RadiusFunction generalizing the p*nn(v) neighborhood
-        #: (paper section 2's non-linear remark); None = linear.
-        self.radius_fn = radius_fn
-        self.n_workers = n_workers
-        self.pool = pool
-        self.chunk_size = chunk_size
-        if verify not in (False, True, "report", "strict"):
-            raise ValueError(
-                f"verify must be False, True, 'report', or 'strict'; "
-                f"got {verify!r}"
+        if config is None:
+            config = RunConfig(
+                order=order,
+                order_seed=order_seed,
+                n_workers=n_workers,
+                pool=pool,
+                chunk_size=chunk_size,
+                use_engine=use_engine or engine is not None or spill,
+                spill=spill,
+                buffer_pages=buffer_pages,
+                page_capacity=page_capacity,
+                minimal=minimal,
+                cache_distance=cache_distance,
+                verify=verify,
+                keep_cs_pairs=keep_cs_pairs,
             )
-        self.verify = verify
-        self.keep_cs_pairs = keep_cs_pairs or bool(verify)
+        # Imported lazily: repro.run.context sits above this module in
+        # the import graph (it pulls in core submodules at load time).
+        from repro.run.context import RunContext
+
+        self.context: RunContext = RunContext.create(
+            config,
+            distance=distance,
+            index=index,
+            engine=engine,
+            radius_fn=radius_fn,
+            cannot_link=cannot_link,
+        )
+
+    # ------------------------------------------------------------------
+    # Facade attributes (historical API)
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> RunConfig:
+        return self.context.config
+
+    @property
+    def distance(self) -> DistanceFunction:
+        return self.context.distance
+
+    @property
+    def index(self) -> NNIndex:
+        return self.context.index
+
+    @property
+    def engine(self) -> Engine | None:
+        return self.context.engine
+
+    @property
+    def radius_fn(self):
+        return self.context.radius_fn
+
+    @property
+    def cannot_link(self) -> CannotLinkPredicate | None:
+        return self.context.cannot_link
+
+    @property
+    def order(self) -> LookupOrder:
+        return self.context.config.order  # type: ignore[return-value]
+
+    @property
+    def order_seed(self) -> int:
+        return self.context.config.order_seed
+
+    @property
+    def minimal(self) -> bool:
+        return self.context.config.minimal
+
+    @property
+    def n_workers(self) -> int:
+        return self.context.config.n_workers
+
+    @property
+    def pool(self) -> str:
+        return self.context.config.pool
+
+    @property
+    def chunk_size(self) -> int | None:
+        return self.context.config.chunk_size
+
+    @property
+    def verify(self) -> bool | str:
+        return self.context.config.verify
+
+    @property
+    def keep_cs_pairs(self) -> bool:
+        config = self.context.config
+        return config.keep_cs_pairs or bool(config.verify)
 
     # ------------------------------------------------------------------
 
+    def _pipeline(self):
+        # Imported lazily: repro.run.pipeline imports this module.
+        from repro.run.pipeline import StagedPipeline
+
+        return StagedPipeline(self.context)
+
     def run(self, relation: Relation, params: DEParams) -> DEResult:
         """Solve the DE instance over ``relation``."""
-        stats = Phase1Stats()
-        self.index.build(relation, self.distance)
-        nn_relation = prepare_nn_lists(
-            relation,
-            self.index,
-            params,
-            order=self.order,
-            order_seed=self.order_seed,
-            stats=stats,
-            radius_fn=self.radius_fn,
-            n_workers=self.n_workers,
-            pool=self.pool,
-            chunk_size=self.chunk_size,
-        )
-        partition, phase2_seconds, pairs = self._phase2(relation, nn_relation, params)
-        result = DEResult(
-            partition=partition,
-            nn_relation=nn_relation,
-            params=params,
-            phase1=stats,
-            phase2_seconds=phase2_seconds,
-            n_cs_pairs=len(pairs),
-            cs_pairs=pairs if self.keep_cs_pairs else None,
-        )
-        self._maybe_verify(result, relation)
-        return result
+        return self._pipeline().run(relation, params)
 
     def run_from_nn(
         self, relation: Relation, nn_relation: NNRelation, params: DEParams
@@ -210,54 +294,4 @@ class DuplicateEliminator:
         the paper notes the SN threshold is not needed until Phase 2,
         and the quality benchmarks sweep ``c``/``AGG``/``K`` this way.
         """
-        partition, phase2_seconds, pairs = self._phase2(relation, nn_relation, params)
-        result = DEResult(
-            partition=partition,
-            nn_relation=nn_relation,
-            params=params,
-            phase2_seconds=phase2_seconds,
-            n_cs_pairs=len(pairs),
-            cs_pairs=pairs if self.keep_cs_pairs else None,
-        )
-        self._maybe_verify(result, relation)
-        return result
-
-    # ------------------------------------------------------------------
-
-    def _phase2(
-        self, relation: Relation, nn_relation: NNRelation, params: DEParams
-    ) -> tuple[Partition, float, list]:
-        started = time.perf_counter()
-        if self.engine is not None:
-            materialize_nn_reln(self.engine, nn_relation)
-            table = build_cs_pairs_engine(self.engine, params)
-            pairs = cs_pairs_from_table(table)
-        else:
-            pairs = build_cs_pairs(nn_relation, params)
-        partition = partition_records(relation.ids(), pairs, params)
-        if self.minimal:
-            partition = enforce_minimality(partition, nn_relation)
-        if self.cannot_link is not None:
-            partition = apply_constraining_predicate(
-                partition, relation, self.cannot_link
-            )
-        return partition, time.perf_counter() - started, pairs
-
-    def _maybe_verify(self, result: DEResult, relation: Relation) -> None:
-        """Attach (and in strict mode enforce) the verification report."""
-        if not self.verify:
-            return
-        # Imported lazily: repro.verify depends on this module.
-        from repro.verify.verifier import verify_result
-
-        postprocessed = self.minimal or self.cannot_link is not None
-        checks = ("partition", "cut-spec", "nn-parity") if postprocessed else None
-        result.verification = verify_result(
-            result,
-            relation,
-            self.distance,
-            cs_pairs=result.cs_pairs,
-            checks=checks,
-            radius_fn=self.radius_fn,
-            strict=self.verify == "strict",
-        )
+        return self._pipeline().run_from_nn(relation, nn_relation, params)

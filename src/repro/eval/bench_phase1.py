@@ -349,9 +349,15 @@ def _self_check(
     duplicate_fraction: float,
     seed: int,
 ) -> dict:
-    """Run the full pipeline under the verifier; return its summary."""
+    """Run the full pipeline under the verifier; return its summary.
+
+    The check runs through the storage engine so the payload also
+    captures the engine telemetry — notably the buffer hit ratio (the
+    paper's Figure 8 quantity) — alongside the invariant summary.
+    """
     # Imported lazily: the verifier sits above the pipeline layer.
     from repro.core.pipeline import DuplicateEliminator
+    from repro.run.config import RunConfig
     from repro.verify.report import summarize
 
     relation = load_dataset(
@@ -360,9 +366,12 @@ def _self_check(
         duplicate_fraction=duplicate_fraction,
         seed=seed,
     ).relation
-    solver = DuplicateEliminator(distance_cls(), verify="report")
+    config = RunConfig(verify="report", use_engine=True)
+    solver = DuplicateEliminator(distance_cls(), config=config)
     result = solver.run(relation, params)
-    return summarize(result.verification)
+    summary = summarize(result.verification)
+    summary["stats"] = result.stats.to_dict()
+    return summary
 
 
 def phase1_table(payload: Mapping) -> str:

@@ -21,7 +21,6 @@ from repro.cluster.single_linkage import single_linkage_from_nn
 from repro.core.formulation import DEParams
 from repro.core.neighborhood import NNEntry, NNRelation
 from repro.core.nn_phase import prepare_nn_lists
-from repro.core.pipeline import DuplicateEliminator
 from repro.data.duplicates import DirtyDataset
 from repro.distances.base import CachedDistance, DistanceFunction
 from repro.eval.metrics import PRScore, pairwise_scores
@@ -125,14 +124,33 @@ class QualitySweeper:
         theta_max: float = 0.6,
         verify: bool = False,
     ):
+        from repro.run.config import RunConfig
+        from repro.run.context import RunContext
+
         self.dataset = dataset
         self.distance = CachedDistance(distance)
         self.index = index if index is not None else BruteForceIndex()
         self.k_max = k_max
         self.theta_max = theta_max
         self.verify = verify
+        #: One shared config; every sweep derives its run from it via
+        #: ``replace(...)`` so all points execute under identical knobs.
+        self.base_config = RunConfig(keep_cs_pairs=bool(verify))
+        self._context = RunContext.create(
+            self.base_config, distance=self.distance, index=self.index
+        )
         self._size_nn: NNRelation | None = None
         self._radius_nn: NNRelation | None = None
+
+    def _pipeline(self, **overrides):
+        """A staged pipeline over the shared context, optionally under a
+        ``base_config.replace(...)`` variant."""
+        from repro.run.pipeline import StagedPipeline
+
+        context = self._context
+        if overrides:
+            context = context.with_config(self.base_config.replace(**overrides))
+        return StagedPipeline(context)
 
     def _self_check(self, result) -> None:
         """Verify one sweep point's result (strict) when enabled."""
@@ -144,6 +162,7 @@ class QualitySweeper:
             result,
             self.dataset.relation,
             self.distance,
+            cs_pairs=result.cs_pairs,
             sample=4,
             strict=True,
         )
@@ -190,14 +209,14 @@ class QualitySweeper:
     ) -> PRSweep:
         """``DE_S(K)`` across K at a fixed SN threshold ``c``."""
         nn_relation = self.size_nn()
-        solver = DuplicateEliminator(self.distance, index=self.index)
+        pipeline = self._pipeline()
         method = f"DE_S(c={c:g},{agg})"
         points = []
         for k in ks:
             if k > self.k_max:
                 raise ValueError(f"K {k} exceeds k_max {self.k_max}")
             params = DEParams.size(k, agg=agg, c=c)
-            result = solver.run_from_nn(
+            result = pipeline.run_from_nn(
                 self.dataset.relation, truncate_to_k(nn_relation, k), params
             )
             self._self_check(result)
@@ -210,14 +229,14 @@ class QualitySweeper:
     ) -> PRSweep:
         """``DE_D(θ)`` across θ at a fixed SN threshold ``c``."""
         nn_relation = self.radius_nn()
-        solver = DuplicateEliminator(self.distance, index=self.index)
+        pipeline = self._pipeline()
         method = f"DE_D(c={c:g},{agg})"
         points = []
         for theta in thetas:
             if theta > self.theta_max:
                 raise ValueError(f"theta {theta} exceeds theta_max {self.theta_max}")
             params = DEParams.diameter(theta, agg=agg, c=c)
-            result = solver.run_from_nn(
+            result = pipeline.run_from_nn(
                 self.dataset.relation, truncate_to_radius(nn_relation, theta), params
             )
             self._self_check(result)

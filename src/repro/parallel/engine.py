@@ -196,7 +196,7 @@ class ParallelNNEngine:
             return relation.ids()
         raise ValueError(f"unknown lookup order {order!r}")
 
-    def run(
+    def iter_chunk_results(
         self,
         relation: Relation,
         index: NNIndex,
@@ -205,12 +205,15 @@ class ParallelNNEngine:
         order_seed: int = 0,
         stats=None,
         radius_fn=None,
-    ) -> NNRelation:
-        """Materialize the NN relation, identically to ``prepare_nn_lists``.
+    ):
+        """Yield :class:`ChunkResult` objects in chunk order.
 
-        ``stats`` (a :class:`~repro.core.nn_phase.Phase1Stats`) is
-        extended with per-chunk timings and pair-cache hit counts on top
-        of the sequential path's lookup/second accounting.
+        The streaming core of :meth:`run`: results are yielded as soon
+        as each chunk (in plan order) completes, so a consumer can
+        spill entries out of core without the whole NN relation ever
+        being resident.  ``stats`` accounting (lookups, wall time,
+        counter deltas) is finalized when the iterator is exhausted;
+        an abandoned iterator records nothing.
         """
         if index.relation is not relation:
             raise ValueError("index was not built over the given relation")
@@ -219,32 +222,11 @@ class ParallelNNEngine:
         chunks = self.plan(rids)
         started = time.perf_counter()
         ev0, hit0, miss0, cand0, pruned0 = _counters(index)
+        results: list[ChunkResult] = []
 
-        if self.n_workers == 1 or len(chunks) <= 1:
-            results = [_run_chunk(index, params, chunk, radius_fn) for chunk in chunks]
-        elif self.pool == "thread":
-            with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
-                results = list(
-                    executor.map(
-                        lambda chunk: _run_chunk(index, params, chunk, radius_fn),
-                        chunks,
-                    )
-                )
-        else:
-            with ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                initializer=_init_process_worker,
-                initargs=(index, params, radius_fn),
-            ) as executor:
-                results = list(executor.map(_run_chunk_in_process, chunks))
-
-        results.sort(key=lambda r: r.chunk_index)
-        nn_relation = NNRelation()
-        for result in results:
-            for entry in result.entries:
-                nn_relation.add(entry)
-
-        if stats is not None:
+        def finalize() -> None:
+            if stats is None:
+                return
             lookups = sum(r.lookups for r in results)
             stats.lookups += lookups
             stats.seconds += time.perf_counter() - started
@@ -279,4 +261,59 @@ class ParallelNNEngine:
                 candidates_generated=candidates,
                 evaluations_pruned=pruned,
             )
+
+        # ``Executor.map`` yields in submission order — chunk order —
+        # regardless of completion order, so no sort is needed.
+        if self.n_workers == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                result = _run_chunk(index, params, chunk, radius_fn)
+                results.append(result)
+                yield result
+        elif self.pool == "thread":
+            with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
+                for result in executor.map(
+                    lambda chunk: _run_chunk(index, params, chunk, radius_fn),
+                    chunks,
+                ):
+                    results.append(result)
+                    yield result
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_process_worker,
+                initargs=(index, params, radius_fn),
+            ) as executor:
+                for result in executor.map(_run_chunk_in_process, chunks):
+                    results.append(result)
+                    yield result
+        finalize()
+
+    def run(
+        self,
+        relation: Relation,
+        index: NNIndex,
+        params: DEParams,
+        order: str = "bf",
+        order_seed: int = 0,
+        stats=None,
+        radius_fn=None,
+    ) -> NNRelation:
+        """Materialize the NN relation, identically to ``prepare_nn_lists``.
+
+        ``stats`` (a :class:`~repro.core.nn_phase.Phase1Stats`) is
+        extended with per-chunk timings and pair-cache hit counts on top
+        of the sequential path's lookup/second accounting.
+        """
+        nn_relation = NNRelation()
+        for result in self.iter_chunk_results(
+            relation,
+            index,
+            params,
+            order=order,
+            order_seed=order_seed,
+            stats=stats,
+            radius_fn=radius_fn,
+        ):
+            for entry in result.entries:
+                nn_relation.add(entry)
         return nn_relation

@@ -1,0 +1,50 @@
+"""Staged run architecture: config, context, stages, telemetry.
+
+- :class:`~repro.run.config.RunConfig` — frozen, validated description
+  of how a run executes (distance/index names, parallelism, engine
+  sizing, spill, verification);
+- :class:`~repro.run.context.RunContext` — the live machinery (cached
+  distance, built index, storage engine, stats registry);
+- :mod:`~repro.run.stages` / :class:`~repro.run.pipeline.StagedPipeline`
+  — the composable execution model;
+- :class:`~repro.run.stats.RunStats` — unified run telemetry;
+- :class:`~repro.run.spill.SpilledNNRelation` — the out-of-core NN
+  relation view.
+
+``stages`` and ``pipeline`` are loaded lazily: they import the core
+pipeline modules, which themselves import this package's config and
+stats — eager imports here would close that cycle.
+"""
+
+from __future__ import annotations
+
+from repro.run.config import ConfigError, RunConfig
+from repro.run.context import RunContext
+from repro.run.registry import DISTANCES, INDEXES, make_distance, make_index
+from repro.run.spill import SpilledNNRelation
+from repro.run.stats import RunStats, StageTiming
+
+__all__ = [
+    "ConfigError",
+    "RunConfig",
+    "RunContext",
+    "RunStats",
+    "StageTiming",
+    "SpilledNNRelation",
+    "StagedPipeline",
+    "DISTANCES",
+    "INDEXES",
+    "make_distance",
+    "make_index",
+]
+
+_LAZY = {"StagedPipeline": "repro.run.pipeline"}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

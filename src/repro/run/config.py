@@ -1,0 +1,180 @@
+"""Declarative run configuration (the former 15-kwarg constructor).
+
+:class:`RunConfig` is a frozen, validated, serializable description of
+*how* a DE instance should be executed: which index and distance (by
+registry name), the Phase-1 lookup order and worker pool, whether
+Phase 2 goes through the storage engine, whether the NN relation is
+spilled out of core, and which post-processing and verification steps
+run.  It deliberately excludes the *problem* (relation, ``DEParams``)
+and any live machinery (built indexes, engines, caches) — those live on
+:class:`~repro.run.context.RunContext`.
+
+Configurations round-trip: ``RunConfig.from_cli_args(args)`` builds one
+from the CLI namespace, ``to_dict`` / ``from_dict`` serialize it, and
+``replace`` derives validated variants — the cross-path parity checks
+construct all execution paths from one base config this way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from typing import Any, Mapping
+
+__all__ = ["ConfigError", "RunConfig", "VERIFY_MODES"]
+
+#: Accepted values of :attr:`RunConfig.verify` (see the facade docs).
+VERIFY_MODES = (False, True, "report", "strict")
+
+_ORDERS = ("bf", "random", "sequential")
+_POOLS = ("thread", "process")
+
+
+class ConfigError(ValueError):
+    """An invalid run configuration (bad value or combination)."""
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Validated, serializable execution knobs for one DE run.
+
+    Parameters
+    ----------
+    distance, index:
+        Registry names (see :mod:`repro.run.registry`).  A
+        :class:`~repro.run.context.RunContext` built with explicit
+        instances keeps these as labels only.
+    order, order_seed:
+        Phase-1 lookup order (``bf`` / ``random`` / ``sequential``) and
+        the seed for the random order.
+    n_workers, pool, chunk_size:
+        Phase-1 parallelism: worker count, pool kind, and optional
+        fixed chunk length (see
+        :class:`~repro.parallel.engine.ParallelNNEngine`).
+    use_engine:
+        Run Phase 2 through the storage engine (the paper's SQL path).
+    spill:
+        Stream the Phase-1 output (``NN_Reln``) chunk-by-chunk into a
+        storage-engine heap table instead of materializing it in
+        memory; Phase 2 and partitioning then read it back through the
+        buffer pool.  Requires ``use_engine``.
+    buffer_pages, page_capacity:
+        Storage-engine sizing (pages resident in the buffer pool, rows
+        per page) for engine/spill runs.
+    minimal:
+        Apply the minimality refinement (paper section 4.5.2).
+    cache_distance:
+        Wrap the distance function in a memo cache.
+    verify:
+        ``False`` / ``True`` / ``"report"`` / ``"strict"`` — runtime
+        invariant verification of the result (see ``repro.verify``).
+    keep_cs_pairs:
+        Keep the Phase-2 CSPairs rows on the result (implied by any
+        ``verify`` mode).
+    """
+
+    distance: str = "fms"
+    index: str = "brute"
+    order: str = "bf"
+    order_seed: int = 0
+    n_workers: int = 1
+    pool: str = "thread"
+    chunk_size: int | None = None
+    use_engine: bool = False
+    spill: bool = False
+    buffer_pages: int = 256
+    page_capacity: int = 64
+    minimal: bool = False
+    cache_distance: bool = True
+    verify: bool | str = False
+    keep_cs_pairs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.order not in _ORDERS:
+            raise ConfigError(
+                f"unknown lookup order {self.order!r}; expected one of {_ORDERS}"
+            )
+        if self.pool not in _POOLS:
+            raise ConfigError(
+                f"unknown pool kind {self.pool!r}; expected one of {_POOLS}"
+            )
+        if self.n_workers < 1:
+            raise ConfigError("n_workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError("chunk_size must be at least 1 (or None)")
+        if self.buffer_pages < 1:
+            raise ConfigError("buffer_pages must be at least 1")
+        if self.page_capacity < 1:
+            raise ConfigError("page_capacity must be at least 1")
+        if self.verify not in VERIFY_MODES:
+            raise ConfigError(
+                f"verify must be False, True, 'report', or 'strict'; "
+                f"got {self.verify!r}"
+            )
+        if self.spill and not self.use_engine:
+            raise ConfigError(
+                "spill requires the storage engine (pass use_engine=True / "
+                "--engine): the NN relation is spilled into an engine table"
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation and round-tripping
+    # ------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "RunConfig":
+        """A validated variant of this config (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Render as a JSON-serializable dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are rejected — a config that silently dropped a
+        knob would run something other than what was asked for.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigError(f"unknown RunConfig keys {unknown}")
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_cli_args(cls, args: Any) -> "RunConfig":
+        """Build a config from an ``argparse`` namespace.
+
+        Reads the flags the ``dedup`` subcommand defines; attributes a
+        subcommand does not define fall back to the field defaults, so
+        the same constructor serves every subcommand.
+        """
+        verify: bool | str = False
+        if getattr(args, "verify", False):
+            verify = "report"
+        return cls(
+            distance=getattr(args, "distance", cls.distance),
+            index=getattr(args, "index", cls.index),
+            order=getattr(args, "order", cls.order),
+            order_seed=getattr(args, "order_seed", cls.order_seed),
+            n_workers=getattr(args, "workers", cls.n_workers),
+            pool=getattr(args, "pool", cls.pool),
+            chunk_size=getattr(args, "chunk_size", None),
+            use_engine=getattr(args, "engine", False) or getattr(args, "spill", False),
+            spill=getattr(args, "spill", False),
+            buffer_pages=getattr(args, "buffer_pages", cls.buffer_pages),
+            page_capacity=getattr(args, "page_capacity", cls.page_capacity),
+            minimal=getattr(args, "minimal", False),
+            verify=verify,
+        )
+
+    def describe(self) -> str:
+        """A compact human-readable rendering of the non-default knobs."""
+        defaults = RunConfig()
+        parts = [
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(defaults, f.name)
+        ]
+        return f"RunConfig({', '.join(parts)})" if parts else "RunConfig()"

@@ -1,0 +1,129 @@
+"""The shared mutable machinery behind a pipeline run.
+
+Where :class:`~repro.run.config.RunConfig` is a frozen description,
+:class:`RunContext` owns the live objects a run needs: the (cached)
+distance function, the built NN index, the storage engine with its
+buffer pool, the optional neighborhood-radius override and constraining
+predicate, and the registry of :class:`~repro.run.stats.RunStats` the
+pipeline fills — one per run, so a context reused across several runs
+(parameter sweeps, cross-path checks) keeps each run's telemetry
+separate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.predicates import CannotLinkPredicate
+from repro.distances.base import CachedDistance, DistanceFunction
+from repro.index.base import NNIndex
+from repro.run.config import ConfigError, RunConfig
+from repro.run.registry import make_distance, make_index
+from repro.run.stats import RunStats
+from repro.storage.engine import Engine
+
+__all__ = ["RunContext"]
+
+
+class RunContext:
+    """Live machinery for executing runs under one :class:`RunConfig`.
+
+    Build one with :meth:`create`, which resolves registry names into
+    instances and applies the config's caching and engine sizing; or
+    construct directly when the caller already owns every component.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        distance: DistanceFunction,
+        index: NNIndex,
+        engine: Engine | None = None,
+        radius_fn: Callable[[float], float] | None = None,
+        cannot_link: CannotLinkPredicate | None = None,
+    ):
+        if config.spill and engine is None:
+            raise ConfigError("spill runs require a storage engine")
+        self.config = config
+        self.distance = distance
+        self.index = index
+        self.engine = engine
+        self.radius_fn = radius_fn
+        self.cannot_link = cannot_link
+        #: Stats registry: one RunStats per pipeline run, newest last.
+        self.runs: list[RunStats] = []
+
+    @classmethod
+    def create(
+        cls,
+        config: RunConfig,
+        distance: DistanceFunction | None = None,
+        *,
+        index: NNIndex | None = None,
+        engine: Engine | None = None,
+        radius_fn: Callable[[float], float] | None = None,
+        cannot_link: CannotLinkPredicate | None = None,
+    ) -> "RunContext":
+        """Resolve a config into live machinery.
+
+        Explicit ``distance`` / ``index`` / ``engine`` instances win
+        over the config's registry names; missing ones are built from
+        the config (including an :class:`Engine` sized by
+        ``buffer_pages`` / ``page_capacity`` when the config wants
+        one).
+        """
+        if distance is None:
+            distance = make_distance(config.distance)
+        if config.cache_distance and not isinstance(distance, CachedDistance):
+            distance = CachedDistance(distance)
+        if index is None:
+            index = make_index(config.index)
+        if engine is None and (config.use_engine or config.spill):
+            engine = Engine(
+                buffer_pages=config.buffer_pages,
+                page_capacity=config.page_capacity,
+            )
+        return cls(
+            config,
+            distance,
+            index,
+            engine=engine,
+            radius_fn=radius_fn,
+            cannot_link=cannot_link,
+        )
+
+    # ------------------------------------------------------------------
+
+    def new_stats(self) -> RunStats:
+        """Open a fresh stats record for one run and register it."""
+        stats = RunStats()
+        self.runs.append(stats)
+        return stats
+
+    @property
+    def last_stats(self) -> RunStats | None:
+        """The most recent run's stats (``None`` before any run)."""
+        return self.runs[-1] if self.runs else None
+
+    def with_config(self, config: RunConfig) -> "RunContext":
+        """A sibling context sharing this one's machinery under a new
+        config (the engine is re-created when sizing differs)."""
+        engine = self.engine
+        needs_engine = config.use_engine or config.spill
+        if needs_engine and (
+            engine is None
+            or engine.buffer.capacity != config.buffer_pages
+            or engine.disk.page_capacity != config.page_capacity
+        ):
+            engine = Engine(
+                buffer_pages=config.buffer_pages,
+                page_capacity=config.page_capacity,
+            )
+        return RunContext(
+            config,
+            self.distance,
+            self.index,
+            engine=engine if needs_engine else None,
+            radius_fn=self.radius_fn,
+            cannot_link=self.cannot_link,
+        )

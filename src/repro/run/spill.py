@@ -1,0 +1,112 @@
+"""Out-of-core NN relation: a table-backed view over a spilled NN_Reln.
+
+The spill path streams Phase-1 chunk results straight into a storage-
+engine heap table (``(id, nn_list, dists, ng)`` rows, see
+:data:`repro.core.cspairs.NN_RELN_SCHEMA`), so the NN relation never
+needs to be resident in memory.  Downstream consumers that expect an
+:class:`~repro.core.neighborhood.NNRelation` — the partitioner's id
+universe, the SN threshold heuristic, the verifier — get a
+:class:`SpilledNNRelation`: the same interface, answered by streaming
+rows back through the buffer pool.
+
+Only the record ids (Python ints) are kept resident, plus a small
+bounded entry memo for point lookups; iteration and the bulk accessors
+re-read pages through the buffer pool, so their cost shows up in the
+engine's :class:`~repro.storage.buffer.BufferStats` like any other
+database workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.neighborhood import NNEntry, NNRelation, entry_from_row
+from repro.index.base import Neighbor
+from repro.storage.table import HeapTable
+
+__all__ = ["SpilledNNRelation"]
+
+#: Point-lookup memo capacity (entries).  Large enough for the verifier
+#: samples and minimality checks to be cheap, small enough that the
+#: out-of-core property holds.
+_MEMO_CAPACITY = 256
+
+
+class SpilledNNRelation(NNRelation):
+    """An :class:`NNRelation` backed by a spilled ``NN_Reln`` heap table.
+
+    Rows must have been appended in ascending-rid order (the spill
+    stage's chunk plan guarantees this for the ``bf`` / ``sequential``
+    lookup orders; the random order is sorted at spill time), so
+    iteration can stream without a sort.
+    """
+
+    def __init__(self, table: HeapTable):
+        super().__init__()
+        self._table = table
+        self._rids: list[int] = [row[0] for row in table.scan()]
+        if any(a >= b for a, b in zip(self._rids, self._rids[1:])):
+            raise ValueError(
+                "spilled NN_Reln rows must be in strictly ascending rid order"
+            )
+        self._rid_set = set(self._rids)
+        self._memo: dict[int, NNEntry] = {}
+
+    # ------------------------------------------------------------------
+    # NNRelation interface, answered from the table
+    # ------------------------------------------------------------------
+
+    @property
+    def table(self) -> HeapTable:
+        """The backing heap table."""
+        return self._table
+
+    def add(self, entry: NNEntry) -> None:
+        raise TypeError("a spilled NN relation is read-only")
+
+    def get(self, rid: int) -> NNEntry:
+        cached = self._memo.get(rid)
+        if cached is not None:
+            return cached
+        if rid not in self._rid_set:
+            raise KeyError(rid)
+        for row in self._table.scan():
+            if row[0] == rid:
+                entry = entry_from_row(row)
+                if len(self._memo) >= _MEMO_CAPACITY:
+                    self._memo.pop(next(iter(self._memo)))
+                self._memo[rid] = entry
+                return entry
+        raise KeyError(rid)  # pragma: no cover - rid set tracks the table
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._rid_set
+
+    def __len__(self) -> int:
+        return len(self._rids)
+
+    def __iter__(self) -> Iterator[NNEntry]:
+        """Stream entries in ascending rid order through the buffer pool."""
+        return (entry_from_row(row) for row in self._table.scan())
+
+    def ids(self) -> list[int]:
+        return list(self._rids)
+
+    def ng_values(self) -> list[int]:
+        return [row[3] for row in self._table.scan()]
+
+    def nn_lists(self) -> dict[int, tuple[Neighbor, ...]]:
+        """id -> neighbor list mapping.
+
+        Materializes every list in memory — this accessor exists for
+        consumers (the ``thr`` baseline) that are themselves in-memory.
+        """
+        return {
+            row[0]: tuple(
+                Neighbor(distance=d, rid=r) for r, d in zip(row[1], row[2])
+            )
+            for row in self._table.scan()
+        }
+
+    def as_rows(self) -> list[tuple[int, tuple[int, ...], tuple[float, ...], int]]:
+        return list(self._table.scan())

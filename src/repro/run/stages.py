@@ -1,0 +1,259 @@
+"""Composable pipeline stages (the staged-execution model).
+
+The DE pipeline is a short program over a mutable :class:`RunState`:
+
+- :class:`Phase1Stage` — build the NN index and (unless spilling)
+  materialize the NN relation in memory;
+- :class:`SpillStage` — materialize ``NN_Reln`` into a storage-engine
+  heap table; in spill mode this *is* where the Phase-1 lookups run,
+  streamed chunk-by-chunk so the NN relation never lives fully in
+  memory;
+- :class:`CSPairsStage` — the Phase-2 self-join (engine or in-memory);
+- :class:`PartitionStage` — compact SN group extraction;
+- :class:`PostprocessStage` — minimality refinement and constraining
+  predicates;
+- :class:`VerifyStage` — runtime invariant verification of the
+  assembled result.
+
+Every stage reads its knobs from the context's
+:class:`~repro.run.config.RunConfig` and its machinery from the
+:class:`~repro.run.context.RunContext`; each is individually testable
+and the :class:`~repro.run.pipeline.StagedPipeline` times each one into
+:class:`~repro.run.stats.RunStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.cspairs import (
+    NN_RELN_SCHEMA,
+    build_cs_pairs,
+    build_cs_pairs_engine,
+    cs_pairs_from_table,
+)
+from repro.core.formulation import DEParams
+from repro.core.minimality import enforce_minimality
+from repro.core.neighborhood import NNRelation, entry_to_row
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.partitioner import partition_records
+from repro.core.predicates import apply_constraining_predicate
+from repro.core.result import Partition
+from repro.data.schema import Relation
+from repro.parallel.engine import ParallelNNEngine
+from repro.run.context import RunContext
+from repro.run.spill import SpilledNNRelation
+from repro.run.stats import RunStats
+from repro.storage.table import HeapTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.cspairs import CSPair
+    from repro.core.pipeline import DEResult
+
+__all__ = [
+    "RunState",
+    "Stage",
+    "Phase1Stage",
+    "SpillStage",
+    "CSPairsStage",
+    "PartitionStage",
+    "PostprocessStage",
+    "VerifyStage",
+]
+
+
+@dataclass
+class RunState:
+    """Everything a run accumulates while flowing through the stages."""
+
+    relation: Relation
+    params: DEParams
+    stats: RunStats
+    nn_relation: NNRelation | None = None
+    nn_table: HeapTable | None = None
+    cs_pairs: "list[CSPair] | None" = None
+    partition: Partition | None = None
+    #: Assembled by the pipeline before :class:`VerifyStage` runs.
+    result: "DEResult | None" = field(default=None, repr=False)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One step of the staged pipeline."""
+
+    #: Stage name, used as the timing key in :class:`RunStats`.
+    name: str
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        """Advance ``state``; read knobs from ``ctx.config``."""
+        ...  # pragma: no cover - protocol
+
+
+class Phase1Stage:
+    """Build the index; materialize the NN relation unless spilling.
+
+    In spill mode the lookups themselves run inside
+    :class:`SpillStage` (streamed into the engine table), so this
+    stage's wall time is the index build alone.
+    """
+
+    name = "phase1"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        config = ctx.config
+        ctx.index.build(state.relation, ctx.distance)
+        if config.spill:
+            return
+        state.nn_relation = prepare_nn_lists(
+            state.relation,
+            ctx.index,
+            state.params,
+            order=config.order,  # type: ignore[arg-type]
+            order_seed=config.order_seed,
+            stats=state.stats.phase1,
+            radius_fn=ctx.radius_fn,
+            n_workers=config.n_workers,
+            pool=config.pool,
+            chunk_size=config.chunk_size,
+        )
+
+
+class SpillStage:
+    """Materialize ``NN_Reln`` into a storage-engine heap table.
+
+    Two modes:
+
+    - an in-memory NN relation already exists (plain engine path, or
+      Phase 2 over a precomputed relation): write its rows out — the
+      classic ``materialize_nn_reln``;
+    - spill mode: no NN relation exists yet; run Phase 1 chunk-by-chunk
+      through :meth:`~repro.parallel.engine.ParallelNNEngine
+      .iter_chunk_results` and append each chunk's rows immediately, so
+      peak memory holds one chunk, not the relation.  ``state
+      .nn_relation`` becomes a :class:`~repro.run.spill
+      .SpilledNNRelation` view that reads back through the buffer pool.
+    """
+
+    name = "spill"
+    table_name = "NN_Reln"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        engine = ctx.engine
+        assert engine is not None, "SpillStage requires a storage engine"
+        if state.nn_relation is not None:
+            table = engine.create_table(
+                self.table_name, NN_RELN_SCHEMA, replace=True
+            )
+            table.insert_many(state.nn_relation.as_rows())
+            state.nn_table = table
+            return
+
+        config = ctx.config
+        table = engine.create_table(self.table_name, NN_RELN_SCHEMA, replace=True)
+        parallel = ParallelNNEngine(
+            n_workers=config.n_workers,
+            pool=config.pool,
+            chunk_size=config.chunk_size,
+        )
+        ascending = True
+        previous = None
+        for chunk in parallel.iter_chunk_results(
+            state.relation,
+            ctx.index,
+            state.params,
+            order=config.order,
+            order_seed=config.order_seed,
+            stats=state.stats.phase1,
+            radius_fn=ctx.radius_fn,
+        ):
+            for entry in chunk.entries:
+                if previous is not None and entry.rid <= previous:
+                    ascending = False
+                previous = entry.rid
+                table.insert(entry_to_row(entry))
+        if not ascending:
+            # Random lookup order appends out of id order; restore the
+            # ascending-rid invariant with a bounded external sort so
+            # the resort stays out of core too.
+            unsorted_name = f"{self.table_name}_unsorted"
+            engine.catalog.rename_table(self.table_name, unsorted_name)
+            table = engine.order_by(
+                self.table_name,
+                engine.table(unsorted_name),
+                key=lambda row: row[0],
+                external_run_rows=max(64, engine.disk.page_capacity * 4),
+            )
+            engine.catalog.drop_table(unsorted_name)
+        state.nn_table = table
+        state.nn_relation = SpilledNNRelation(table)
+        state.stats.spilled = True
+
+
+class CSPairsStage:
+    """Build the CSPairs rows — through the engine when one is in play."""
+
+    name = "cspairs"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        assert state.nn_relation is not None, "Phase 1 must run first"
+        if ctx.engine is not None and state.nn_table is not None:
+            table = build_cs_pairs_engine(ctx.engine, state.params)
+            state.cs_pairs = cs_pairs_from_table(table)
+        else:
+            state.cs_pairs = build_cs_pairs(state.nn_relation, state.params)
+        state.stats.n_cs_pairs = len(state.cs_pairs)
+
+
+class PartitionStage:
+    """Extract the compact SN groups from the CSPairs rows."""
+
+    name = "partition"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        assert state.cs_pairs is not None, "CSPairs must be built first"
+        state.partition = partition_records(
+            state.relation.ids(), state.cs_pairs, state.params
+        )
+
+
+class PostprocessStage:
+    """Minimality refinement and constraining predicates (section 4.5)."""
+
+    name = "postprocess"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        assert state.partition is not None, "partitioning must run first"
+        if ctx.config.minimal:
+            assert state.nn_relation is not None
+            state.partition = enforce_minimality(
+                state.partition, state.nn_relation
+            )
+        if ctx.cannot_link is not None:
+            state.partition = apply_constraining_predicate(
+                state.partition, state.relation, ctx.cannot_link
+            )
+
+
+class VerifyStage:
+    """Attach (and in strict mode enforce) the verification report."""
+
+    name = "verify"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        result = state.result
+        assert result is not None, "the result must be assembled first"
+        # Imported lazily: repro.verify depends on the pipeline modules.
+        from repro.verify.verifier import verify_result
+
+        postprocessed = ctx.config.minimal or ctx.cannot_link is not None
+        checks = ("partition", "cut-spec", "nn-parity") if postprocessed else None
+        result.verification = verify_result(
+            result,
+            state.relation,
+            ctx.distance,
+            cs_pairs=result.cs_pairs,
+            checks=checks,
+            radius_fn=ctx.radius_fn,
+            strict=ctx.config.verify == "strict",
+        )

@@ -1,0 +1,145 @@
+"""Unified run telemetry.
+
+One DE run produces cost accounting in several subsystems: Phase-1
+lookup counters (:class:`~repro.core.nn_phase.Phase1Stats`), the
+distance memo cache, per-stage wall times, and — when the storage
+engine is in play — the buffer pool's hit/miss counters (the paper's
+Figure 8 quantity).  :class:`RunStats` gathers all of them into one
+structure attached to ``DEResult.stats``; the former loose fields
+(``phase1``, ``phase2_seconds``, ``n_cs_pairs``) survive as deprecated
+properties on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.nn_phase import Phase1Stats
+from repro.storage.buffer import BufferStats
+
+__all__ = ["StageTiming", "RunStats"]
+
+#: Stage names whose wall time constitutes "Phase 2" in the legacy
+#: accounting (everything between the NN computation and the result).
+PHASE2_STAGES = ("spill", "cspairs", "partition", "postprocess")
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock time of one pipeline stage."""
+
+    stage: str
+    seconds: float
+
+
+@dataclass
+class RunStats:
+    """All telemetry of one DE run, in one structure.
+
+    Parameters
+    ----------
+    phase1:
+        Phase-1 cost accounting (lookups, evaluations, pruning,
+        pair-cache hits).
+    timings:
+        Per-stage wall times, in execution order.
+    n_cs_pairs:
+        Number of CSPairs rows Phase 2 built.
+    spilled:
+        Whether the NN relation was streamed into a storage-engine
+        table instead of being materialized in memory.
+    distance_cache_calls, distance_cache_hits:
+        Distance memo-cache traffic during the run (zero when the run
+        used an uncached distance).
+    buffer:
+        Buffer-pool counter deltas for the run, when a storage engine
+        was in play; ``None`` otherwise.
+    """
+
+    phase1: Phase1Stats = field(default_factory=Phase1Stats)
+    timings: list[StageTiming] = field(default_factory=list)
+    n_cs_pairs: int = 0
+    spilled: bool = False
+    distance_cache_calls: int = 0
+    distance_cache_hits: int = 0
+    buffer: BufferStats | None = None
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Append one stage's wall time."""
+        self.timings.append(StageTiming(stage=stage, seconds=seconds))
+
+    def stage_seconds(self, stage: str) -> float:
+        """Total wall time recorded under ``stage`` (0.0 if it never ran)."""
+        return sum(t.seconds for t in self.timings if t.stage == stage)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time across all recorded stages."""
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def phase2_seconds(self) -> float:
+        """Legacy Phase-2 accounting: spill + CSPairs + partition +
+        post-processing wall time."""
+        return sum(
+            t.seconds for t in self.timings if t.stage in PHASE2_STAGES
+        )
+
+    @property
+    def distance_cache_hit_rate(self) -> float:
+        """Fraction of distance calls served by the memo cache."""
+        if self.distance_cache_calls == 0:
+            return 0.0
+        return self.distance_cache_hits / self.distance_cache_calls
+
+    @property
+    def buffer_hit_ratio(self) -> float | None:
+        """The engine's buffer hit ratio for this run (``None`` without
+        an engine) — the paper's Figure 8 quantity."""
+        if self.buffer is None:
+            return None
+        return self.buffer.hit_ratio
+
+    def to_dict(self) -> dict[str, Any]:
+        """Render as a JSON-serializable dict."""
+        payload: dict[str, Any] = {
+            "stages": [
+                {"stage": t.stage, "seconds": t.seconds} for t in self.timings
+            ],
+            "total_seconds": self.total_seconds,
+            "phase2_seconds": self.phase2_seconds,
+            "n_cs_pairs": self.n_cs_pairs,
+            "spilled": self.spilled,
+            "phase1": {
+                "lookups": self.phase1.lookups,
+                "seconds": self.phase1.seconds,
+                "evaluations": self.phase1.evaluations,
+                "candidates_generated": self.phase1.candidates_generated,
+                "evaluations_pruned": self.phase1.evaluations_pruned,
+                "prune_rate": self.phase1.prune_rate,
+                "cache_hit_rate": self.phase1.cache_hit_rate,
+                "n_chunks": self.phase1.n_chunks,
+            },
+            "distance_cache": {
+                "calls": self.distance_cache_calls,
+                "hits": self.distance_cache_hits,
+                "hit_rate": self.distance_cache_hit_rate,
+            },
+        }
+        if self.buffer is not None:
+            payload["buffer"] = {
+                "hits": self.buffer.hits,
+                "misses": self.buffer.misses,
+                "evictions": self.buffer.evictions,
+                "hit_ratio": self.buffer.hit_ratio,
+            }
+        return payload

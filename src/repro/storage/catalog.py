@@ -32,6 +32,17 @@ class Catalog:
             raise KeyError(f"table {name!r} does not exist")
         del self._tables[name]
 
+    def rename_table(self, name: str, new_name: str) -> HeapTable:
+        """Rename a table; its pages and stats are untouched."""
+        if name not in self._tables:
+            raise KeyError(f"table {name!r} does not exist")
+        if new_name in self._tables:
+            raise ValueError(f"table {new_name!r} already exists")
+        table = self._tables.pop(name)
+        table.name = new_name
+        self._tables[new_name] = table
+        return table
+
     def table(self, name: str) -> HeapTable:
         try:
             return self._tables[name]

@@ -1,8 +1,12 @@
-"""Cross-path parity: the four execution paths must agree exactly.
+"""Cross-path parity: every execution path must agree exactly.
 
-The repository now has four ways to run the same DE instance —
+The repository has several ways to run the same DE instance — the
+legacy :class:`~repro.core.pipeline.DuplicateEliminator` facade,
 sequential vs. parallel Phase 1 (``n_workers``) crossed with in-memory
-vs. storage-engine Phase 2 — all defined to produce identical output.
+vs. storage-engine Phase 2, and the out-of-core spill path that streams
+``NN_Reln`` through the buffer pool — all defined to produce identical
+output.  Every path is derived from one shared
+:class:`~repro.run.config.RunConfig` via ``replace(...)`` variants.
 :func:`verify_paths` executes every path, checks the invariants on the
 canonical (sequential, in-memory) result, and appends a ``cross-path``
 check asserting that every other path reproduced the same NN relation
@@ -12,7 +16,7 @@ and partition.
 from __future__ import annotations
 
 import random
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.formulation import DEParams
 from repro.core.neighborhood import NNRelation
@@ -21,7 +25,8 @@ from repro.data.schema import Relation
 from repro.distances.base import CachedDistance, DistanceFunction
 from repro.index.base import NNIndex
 from repro.index.bruteforce import BruteForceIndex
-from repro.storage.engine import Engine
+from repro.run.config import RunConfig
+from repro.run.context import RunContext
 from repro.verify.report import CheckResult, VerificationReport, Violation
 from repro.verify.verifier import verify_result
 
@@ -34,12 +39,18 @@ __all__ = [
     "sampled_nn_recall",
 ]
 
-#: The four execution paths: (name, parallel Phase 1?, engine Phase 2?).
-EXECUTION_PATHS: tuple[tuple[str, bool, bool], ...] = (
-    ("seq-mem", False, False),
-    ("par-mem", True, False),
-    ("seq-eng", False, True),
-    ("par-eng", True, True),
+#: The execution paths as ``(name, RunConfig.replace overrides)``.
+#: ``None`` marks the legacy facade path, which goes through the
+#: ``DuplicateEliminator`` kwargs constructor instead of a config —
+#: exercising the kwargs → RunConfig mapping itself.  A truthy
+#: ``n_workers`` override is replaced by ``run_paths``'s worker count.
+EXECUTION_PATHS: tuple[tuple[str, Mapping | None], ...] = (
+    ("facade", None),
+    ("seq-mem", {}),
+    ("par-mem", {"n_workers": 2}),
+    ("seq-eng", {"use_engine": True}),
+    ("par-eng", {"n_workers": 2, "use_engine": True}),
+    ("spill", {"use_engine": True, "spill": True, "buffer_pages": 8}),
 )
 
 
@@ -60,27 +71,44 @@ def run_paths(
     index_factory: Callable[[], NNIndex] = BruteForceIndex,
     n_workers: int = 2,
     pool: str = "thread",
-    paths: Sequence[tuple[str, bool, bool]] = EXECUTION_PATHS,
+    base_config: RunConfig | None = None,
+    paths: Sequence[tuple[str, Mapping | None]] = EXECUTION_PATHS,
 ) -> dict[str, DEResult]:
     """Run the DE instance once per execution path.
 
-    Each path gets a fresh index (and engine, where applicable); the
-    distance function is shared through one memo cache so repeated
-    paths do not redo distance work.
+    All staged paths derive from one shared base config via
+    ``replace(...)``; the facade path re-enters through the historical
+    kwargs constructor.  Each path gets a fresh index (and engine,
+    where applicable); the distance function is shared through one
+    memo cache so repeated paths do not redo distance work.
     """
     if not isinstance(distance, CachedDistance):
         distance = CachedDistance(distance)
+    if base_config is None:
+        base_config = RunConfig(pool=pool, keep_cs_pairs=True)
     results: dict[str, DEResult] = {}
-    for name, parallel, engine in paths:
-        solver = DuplicateEliminator(
-            distance,
+    for name, overrides in paths:
+        if overrides is None:
+            solver = DuplicateEliminator(
+                distance,
+                index=index_factory(),
+                pool=pool,
+                keep_cs_pairs=True,
+            )
+            results[name] = solver.run(relation, params)
+            continue
+        changes = dict(overrides)
+        if changes.get("n_workers"):
+            changes["n_workers"] = n_workers
+        context = RunContext.create(
+            base_config.replace(**changes),
+            distance=distance,
             index=index_factory(),
-            engine=Engine() if engine else None,
-            n_workers=n_workers if parallel else 1,
-            pool=pool,
-            keep_cs_pairs=True,
         )
-        results[name] = solver.run(relation, params)
+        # Imported lazily: keeps verify importable without run.pipeline.
+        from repro.run.pipeline import StagedPipeline
+
+        results[name] = StagedPipeline(context).run(relation, params)
     return results
 
 

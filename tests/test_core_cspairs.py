@@ -164,5 +164,5 @@ class TestEnginePath:
         engine = Engine()
         nn = make_nn([(0, [1], 2), (1, [0], 2)])
         table = materialize_nn_reln(engine, nn)
-        assert table.schema == ("id", "nn_list", "ng")
+        assert table.schema == ("id", "nn_list", "dists", "ng")
         assert table.n_rows == 2

@@ -125,3 +125,49 @@ class TestBehaviour:
         inc.add(("3",))
         # Interior records now have ng >= 3; c=3 dissolves the clump.
         assert inc.partition().non_trivial_groups() == []
+
+
+class TestZeroDistanceDuplicates:
+    """Regression: a third exact duplicate must mark the first two as
+    NG-affected.
+
+    With ``old_nn == 0.0`` the affected test ``d < p * old_nn`` can
+    never fire for a co-located newcomer (``d == 0.0``), even though
+    ``_compute_ng`` counts zero-distance records into the degenerate
+    zero-radius neighborhood — the maintained NG froze at 2 while a
+    from-scratch batch run reports 3.
+    """
+
+    def run_batch(self, values, params):
+        relation = numbers_relation(values)
+        solver = DuplicateEliminator(absdiff_distance(), cache_distance=False)
+        return solver.run(relation, params)
+
+    def check_matches_batch(self, values, params):
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        for value in values:
+            inc.add((str(value),))
+        batch = self.run_batch(values, params)
+        inc_nn = inc.nn_relation()
+        for entry in batch.nn_relation:
+            assert inc_nn.get(entry.rid).ng == entry.ng, entry.rid
+        assert inc.partition() == batch.partition
+
+    def test_triple_exact_duplicate_diameter_cut(self):
+        self.check_matches_batch(
+            [7, 7, 7, 500], DEParams.diameter(0.05, c=2.5)
+        )
+
+    def test_triple_exact_duplicate_size_cut(self):
+        self.check_matches_batch([7, 7, 7, 500], DEParams.size(3, c=2.5))
+
+    def test_ng_refreshes_on_each_colocated_insert(self):
+        params = DEParams.diameter(0.05, c=2.5)
+        inc = IncrementalDeduplicator(absdiff_distance(), params)
+        inc.add(("7",))
+        inc.add(("7",))
+        for expected_ng in (3, 4):
+            inc.add(("7",))
+            nn = inc.nn_relation()
+            assert nn.get(0).ng == expected_ng
+            assert nn.get(1).ng == expected_ng

@@ -88,7 +88,13 @@ class TestNNRelation:
     def test_as_rows(self):
         nn = NNRelation()
         nn.add(entry(0, [2, 1], ng=3))
-        assert nn.as_rows() == [(0, (2, 1), 3)]
+        assert nn.as_rows() == [(0, (2, 1), (pytest.approx(0.1), pytest.approx(0.2)), 3)]
+
+    def test_rows_round_trip(self):
+        from repro.core.neighborhood import entry_from_row
+
+        original = entry(0, [2, 1], ng=3)
+        assert entry_from_row(NNRelation({0: original}).as_rows()[0]) == original
 
     def test_contains_and_len(self):
         nn = NNRelation()
