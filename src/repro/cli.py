@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the adoption path:
+Six subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
   ``--verify`` self-checks the run against the paper's invariants;
@@ -13,7 +13,10 @@ Five subcommands cover the adoption path:
   parallel Phase 1 × in-memory vs. engine Phase 2), over the embedded
   datasets, a generated dataset, or a CSV;
 - ``bench-phase1`` — run the Phase-1 batch/parallel scalability matrix
-  and write ``BENCH_phase1.json`` (see ``docs/performance.md``).
+  and write ``BENCH_phase1.json`` (see ``docs/performance.md``);
+- ``bench-phase2`` — run the Phase-2 partitioned self-join benchmark
+  (sequential vs. partitioned, in-memory/engine/spill sources) and
+  write ``BENCH_phase2.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.data.loaders import (
 )
 from repro.eval.bench_phase1 import (
     BENCH_DISTANCES,
+    INDEX_FACTORIES,
     index_matrix_table,
     phase1_table,
     run_phase1_bench,
@@ -81,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     dedup.add_argument(
         "--pool", choices=("thread", "process"), default="thread",
         help="worker pool kind for --workers > 1",
+    )
+    dedup.add_argument(
+        "--phase2-workers", type=int, default=RunConfig.phase2_workers,
+        help="Phase-2 worker count: partitions the CSPairs self-join "
+             "and shards group extraction over mutual-NN components "
+             "(output is identical for any worker count)",
+    )
+    dedup.add_argument(
+        "--phase2-pool", choices=("thread", "process"), default="thread",
+        help="worker pool kind for --phase2-workers > 1",
     )
     dedup.add_argument(
         "--engine", action="store_true",
@@ -242,6 +256,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="records sampled for the matrix NN-recall check",
     )
 
+    bench2 = sub.add_parser(
+        "bench-phase2",
+        help="run the Phase-2 partitioned self-join benchmark",
+    )
+    bench2.add_argument("--dataset", choices=dataset_names(), default="org")
+    bench2.add_argument(
+        "--distance", choices=sorted(BENCH_DISTANCES), default="cosine"
+    )
+    bench2.add_argument(
+        "--index", choices=sorted(INDEX_FACTORIES), default="brute",
+        help="candidate index for the one-off Phase-1 run whose NN "
+             "relation every Phase-2 mode consumes",
+    )
+    bench2.add_argument(
+        "--entities", type=int, default=2400,
+        help="entity count before duplicate injection (2400 ≈ 3000 "
+             "records)",
+    )
+    bench2.add_argument(
+        "--workers", default="1,2,4",
+        help="comma-separated worker counts for the partitioned runs",
+    )
+    bench2.add_argument("--pool", choices=("thread", "process"), default="thread")
+    bench2.add_argument("--k", type=int, default=5)
+    bench2.add_argument("--seed", type=int, default=0)
+    bench2.add_argument(
+        "--buffer-pages", type=int, default=256,
+        help="buffer-pool pages for the engine source",
+    )
+    bench2.add_argument(
+        "--spill-buffer-pages", type=int, default=8,
+        help="buffer-pool pages for the out-of-core spill source",
+    )
+    bench2.add_argument(
+        "--page-capacity", type=int, default=64,
+        help="rows per storage-engine page",
+    )
+    bench2.add_argument(
+        "--repeats", type=int, default=3,
+        help="repeats per timed configuration; best (fastest) counts",
+    )
+    bench2.add_argument(
+        "--output", default="BENCH_phase2.json",
+        help="where to write the JSON payload",
+    )
+    bench2.add_argument(
+        "--check", action="store_true",
+        help="fail (nonzero exit) on any checksum disagreement or when "
+             "a partitioned run's throughput drops below "
+             "--min-relative-throughput of the 1-worker partitioned run",
+    )
+    bench2.add_argument(
+        "--min-relative-throughput", type=float, default=0.5,
+        help="the --check throughput floor, relative to the 1-worker "
+             "partitioned run (lower it on noisy smoke-sized runs)",
+    )
+
     return parser
 
 
@@ -311,6 +382,38 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             file=out,
         )
         run_stats = result.stats
+        p2 = run_stats.phase2
+        if p2.join_workers:
+            print(
+                f"phase 2 join [{p2.join_workers} worker(s), {p2.join_pool}]: "
+                f"{p2.rows_probed} rows probed, {p2.probes} index probes, "
+                f"{p2.pairs_emitted} pairs in {p2.join_seconds:.3f}s "
+                f"(+{p2.merge_seconds:.3f}s merge, "
+                f"{p2.n_join_chunks} sorted runs, "
+                f"peak run {p2.peak_run_rows} rows)",
+                file=out,
+            )
+            for run in p2.worker_runs:
+                print(
+                    f"  run {run['chunk']}: {run['rows_probed']} rows, "
+                    f"{run['probes']} probes, "
+                    f"{run['pairs_emitted']} pairs, "
+                    f"{run['seconds']:.3f}s",
+                    file=out,
+                )
+            if p2.partition_shards:
+                print(
+                    f"partition: {p2.n_components} mutual-NN components "
+                    f"over {p2.partition_shards} shard(s), "
+                    f"peak anchor group {p2.peak_group_rows} rows",
+                    file=out,
+                )
+            elif p2.partition_streamed:
+                print(
+                    f"partition: streamed from the CSPairs table, "
+                    f"peak anchor group {p2.peak_group_rows} rows",
+                    file=out,
+                )
         stages = ", ".join(
             f"{timing.stage} {timing.seconds:.3f}s"
             for timing in run_stats.timings
@@ -517,6 +620,51 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench_phase2(args: argparse.Namespace, out) -> int:
+    from repro.eval.bench_phase2 import (
+        check_phase2_payload,
+        phase2_table,
+        run_phase2_bench,
+        write_phase2_json,
+    )
+
+    workers = tuple(int(part) for part in args.workers.split(",") if part)
+    payload = run_phase2_bench(
+        entities=args.entities,
+        workers=workers,
+        dataset=args.dataset,
+        distance=args.distance,
+        index=args.index,
+        k=args.k,
+        pool=args.pool,
+        seed=args.seed,
+        buffer_pages=args.buffer_pages,
+        page_capacity=args.page_capacity,
+        spill_buffer_pages=args.spill_buffer_pages,
+        repeats=args.repeats,
+    )
+    path = write_phase2_json(payload, args.output)
+    print(phase2_table(payload), file=out)
+    print(f"\nwrote {path}", file=out)
+    failures = check_phase2_payload(
+        payload, min_relative_throughput=args.min_relative_throughput
+    )
+    for failure in failures["checksum"]:
+        print(f"ERROR: {failure}", file=out)
+    if failures["checksum"]:
+        # Checksum disagreement is a correctness bug, not a perf
+        # regression: fail regardless of --check.
+        return 1
+    if args.check:
+        for failure in failures["throughput"]:
+            print(f"ERROR: {failure}", file=out)
+        if failures["throughput"]:
+            return 1
+        print("checksums agree; partitioned throughput within bounds",
+              file=out)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -531,4 +679,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_verify(args, out)
     if args.command == "bench-phase1":
         return _cmd_bench_phase1(args, out)
+    if args.command == "bench-phase2":
+        return _cmd_bench_phase2(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

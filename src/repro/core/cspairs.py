@@ -12,6 +12,7 @@ storage layer (self-join via an id hash index, then ``ORDER BY ID1``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.formulation import CombinedCut, DEParams, SizeCut
 from repro.core.neighborhood import NNRelation, entry_from_row
@@ -28,6 +29,7 @@ __all__ = [
     "nn_relation_from_table",
     "build_cs_pairs_engine",
     "cs_pairs_from_table",
+    "iter_cs_pairs",
 ]
 
 #: Schema of the materialized CSPairs relation.
@@ -214,9 +216,19 @@ def build_cs_pairs_engine(
     return engine.order_by(cs_table_name, unsorted, key=lambda row: (row[0], row[1]))
 
 
+def iter_cs_pairs(table: HeapTable) -> Iterator[CSPair]:
+    """Stream a materialized CSPairs table as row objects.
+
+    One page at a time through the buffer pool — the access path the
+    streaming partitioner uses, so a CSPairs relation larger than the
+    pool is consumed without ever being fully resident.
+    """
+    for row in table.scan():
+        yield CSPair(
+            id1=row[0], id2=row[1], ng1=row[2], ng2=row[3], flags=tuple(row[4])
+        )
+
+
 def cs_pairs_from_table(table: HeapTable) -> list[CSPair]:
     """Read a materialized CSPairs table back into row objects."""
-    return [
-        CSPair(id1=row[0], id2=row[1], ng1=row[2], ng2=row[3], flags=tuple(row[4]))
-        for row in table.scan()
-    ]
+    return list(iter_cs_pairs(table))

@@ -18,32 +18,71 @@ claimed by any group become singletons.  The correctness argument is
 the paper's: every compact SN set in the solution is grouped under its
 minimum id, because its members' m-neighbor sets all equal the set
 itself.
+
+Two scalability properties of the scan are exploited here:
+
+- **Streaming** — the CS-group query emits rows sorted by ``(id1,
+  id2)``, so :func:`partition_records` consumes them through a
+  :func:`itertools.groupby` over any sorted *iterator*: one anchor's
+  rows are resident at a time, never the whole relation.  A spilled
+  run feeds it straight from the ``CSPairs`` heap table through the
+  buffer pool.  (:func:`rows_by_anchor` still materializes the full
+  ``Q[ID = v]`` dict for the runtime verifier, which genuinely needs
+  random access.)
+- **Sharding** — groups never span connected components of the
+  mutual-NN graph (a compact set's members are pairwise mutual, so its
+  edges all lie inside one component), making component-wise group
+  extraction embarrassingly parallel and bit-identical to the global
+  scan: :func:`partition_records_sharded`.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 from itertools import groupby
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.criteria import aggregate
 from repro.core.cspairs import CSPair
 from repro.core.formulation import DEParams
 from repro.core.result import Partition
 
-__all__ = ["partition_records", "extract_group", "rows_by_anchor"]
+__all__ = [
+    "partition_records",
+    "partition_records_sharded",
+    "extract_group",
+    "iter_anchor_groups",
+    "mutual_components",
+    "rows_by_anchor",
+]
 
 
 def rows_by_anchor(cs_pairs: Sequence[CSPair]) -> dict[int, list[CSPair]]:
-    """Group sorted CSPairs rows by their anchor ``id1``.
+    """Group sorted CSPairs rows by their anchor ``id1``, as a dict.
 
-    This is the paper's ``Q[ID = v]`` access pattern; the partitioner
-    consumes it in anchor order, and the runtime verifier reuses it to
-    re-derive group support from the same rows.
+    This materialized form of the paper's ``Q[ID = v]`` access pattern
+    exists for the runtime verifier, which re-derives group support
+    from the same rows and needs random access by anchor.  The
+    partitioner itself streams through :func:`iter_anchor_groups`.
     """
     return {
         anchor: list(rows)
         for anchor, rows in groupby(cs_pairs, key=lambda row: row.id1)
     }
+
+
+def iter_anchor_groups(
+    cs_pairs: Iterable[CSPair],
+) -> Iterator[tuple[int, list[CSPair]]]:
+    """Stream ``(anchor, rows)`` groups from ``(id1, id2)``-sorted rows.
+
+    Only one anchor's rows are resident at a time, so a CSPairs
+    relation larger than memory can be consumed directly from its heap
+    table scan.
+    """
+    for anchor, rows in groupby(cs_pairs, key=lambda row: row.id1):
+        yield anchor, list(rows)
 
 
 def extract_group(
@@ -77,31 +116,166 @@ def extract_group(
     return None
 
 
-def partition_records(
-    ids: Iterable[int],
-    cs_pairs: Sequence[CSPair],
+def _scan_groups(
+    anchored: Iterable[tuple[int, list[CSPair]]],
     params: DEParams,
-) -> Partition:
-    """Partition the relation given its (sorted) CSPairs rows.
+    stats=None,
+) -> list[list[int]]:
+    """The paper's anchor scan over one stream of ``(anchor, rows)``.
 
-    ``cs_pairs`` must be sorted by ``(id1, id2)`` — the output order of
-    the CS-group query.  ``ids`` is the full id universe; records
-    claimed by no group become singletons.
+    ``anchored`` must arrive in ascending anchor order (the CS-group
+    query order); the ``assigned`` set only ever consults ids reachable
+    from earlier anchors of the *same* stream, which is what makes the
+    per-component sharding below exact.
     """
     assigned: set[int] = set()
     groups: list[list[int]] = []
-
-    for anchor, rows in rows_by_anchor(cs_pairs).items():
+    for anchor, rows in anchored:
+        if stats is not None:
+            stats.peak_group_rows = max(stats.peak_group_rows, len(rows))
         if anchor in assigned:
             continue
         group = extract_group(anchor, rows[0].ng1, rows, params, assigned)
         if group is not None:
             groups.append(group)
             assigned.update(group)
+    return groups
 
-    for rid in ids:
-        if rid not in assigned:
-            groups.append([rid])
-            assigned.add(rid)
 
-    return Partition.from_groups(groups)
+def partition_records(
+    ids: Iterable[int],
+    cs_pairs: Iterable[CSPair],
+    params: DEParams,
+    stats=None,
+) -> Partition:
+    """Partition the relation given its (sorted) CSPairs rows.
+
+    ``cs_pairs`` must be sorted by ``(id1, id2)`` — the output order of
+    the CS-group query — and may be any iterable, including a
+    streaming read of a spilled ``CSPairs`` table: consumption is a
+    streaming group-by, so peak residency is one anchor's rows.
+    ``ids`` is the full id universe; records claimed by no group become
+    singletons.  ``stats`` (a :class:`~repro.run.stats.Phase2Stats`,
+    duck-typed) records the peak anchor-group size.
+    """
+    groups = _scan_groups(iter_anchor_groups(cs_pairs), params, stats=stats)
+    return _with_singletons(groups, ids)
+
+
+# ----------------------------------------------------------------------
+# Component-sharded extraction (the parallel path)
+# ----------------------------------------------------------------------
+
+
+def mutual_components(cs_pairs: Sequence[CSPair]) -> list[list[CSPair]]:
+    """Split CSPairs rows into connected components of the mutual-NN
+    graph, preserving the global ``(id1, id2)`` row order within each.
+
+    Components never share a compact SN group: every group is a clique
+    of mutual pairs, so all of its CSPairs edges lie inside one
+    component.  That makes per-component extraction independent.
+    """
+    parent: dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(a: int, b: int) -> None:
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    for row in cs_pairs:
+        union(row.id1, row.id2)
+
+    components: dict[int, list[CSPair]] = {}
+    for row in cs_pairs:
+        components.setdefault(find(row.id1), []).append(row)
+    # Keyed by each component's minimum id; dict order follows first
+    # appearance, which is already ascending-minimum for sorted input.
+    return list(components.values())
+
+
+def _extract_shard_groups(
+    shard: list[list[CSPair]], params: DEParams
+) -> list[list[int]]:
+    """Extract groups for one shard of components (runs in a worker)."""
+    groups: list[list[int]] = []
+    for component in shard:
+        groups.extend(_scan_groups(iter_anchor_groups(component), params))
+    return groups
+
+
+def partition_records_sharded(
+    ids: Iterable[int],
+    cs_pairs: Iterable[CSPair],
+    params: DEParams,
+    n_workers: int = 2,
+    pool: str = "thread",
+    stats=None,
+) -> Partition:
+    """Partition via parallel per-component group extraction.
+
+    Bit-identical to :func:`partition_records` for any worker count or
+    pool kind: components are independent (see
+    :func:`mutual_components`) and the final
+    :meth:`~repro.core.result.Partition.from_groups` canonicalization
+    is order-insensitive.  Sharding materializes the rows to build the
+    component index, so this path trades the streaming bound for
+    parallelism — spill runs keep ``n_workers == 1`` when memory is the
+    constraint.
+    """
+    if pool not in ("thread", "process"):
+        raise ValueError(f"unknown pool kind {pool!r}")
+    rows = cs_pairs if isinstance(cs_pairs, list) else list(cs_pairs)
+    components = mutual_components(rows)
+    if stats is not None:
+        stats.n_components = len(components)
+        stats.peak_group_rows = max(
+            [stats.peak_group_rows]
+            + [len(list(g)) for c in components for _, g in groupby(c, key=lambda r: r.id1)]
+        )
+
+    # Deterministic balanced sharding: each component (in ascending
+    # minimum-id order) lands on the currently lightest shard.
+    n_shards = max(1, min(n_workers, len(components)))
+    shards: list[list[list[CSPair]]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    for component in components:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(component)
+        loads[lightest] += len(component)
+    if stats is not None:
+        stats.partition_shards = len(shards)
+
+    if n_shards <= 1 or n_workers <= 1:
+        shard_results = [_extract_shard_groups(shard, params) for shard in shards]
+    elif pool == "thread":
+        with ThreadPoolExecutor(max_workers=n_workers) as executor:
+            shard_results = list(
+                executor.map(partial(_extract_shard_groups, params=params), shards)
+            )
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            shard_results = list(
+                executor.map(partial(_extract_shard_groups, params=params), shards)
+            )
+
+    groups = [group for result in shard_results for group in result]
+    return _with_singletons(groups, ids)
+
+
+def _with_singletons(
+    groups: list[list[int]], ids: Iterable[int]
+) -> Partition:
+    """Close the partition: every unclaimed record is a singleton."""
+    assigned = {rid for group in groups for rid in group}
+    singles = [[rid] for rid in ids if rid not in assigned]
+    return Partition.from_groups(groups + singles)

@@ -1,0 +1,454 @@
+"""Phase-2 scalability benchmark: the partitioned CSPairs self-join.
+
+Produces the ``BENCH_phase2.json`` artifact the performance roadmap
+regresses against.  Phase 1 runs **once** (batched) over a generated
+dataset; its NN relation is then pushed through every Phase-2 execution
+mode:
+
+- ``sequential`` — the reference joins: the direct in-memory builder
+  (:func:`repro.core.cspairs.build_cs_pairs`) and the engine's
+  row-at-a-time index nested-loop join + ``ORDER BY`` pass
+  (:func:`repro.core.cspairs.build_cs_pairs_engine`);
+- ``partitioned`` with N workers — the hash-partitioned join
+  (:mod:`repro.parallel.join`): contiguous anchor-range chunks, batched
+  probes of one shared id index, locally sorted runs, k-way merge —
+  over three sources: in-memory rows, an engine-resident ``NN_Reln``,
+  and a small-buffer engine with the out-of-core spill path
+  (``spill_runs``, bounded scratch runs).
+
+Every CSPairs output is checksummed; the payload records whether all
+modes and sources agreed (they must — the partitioned join is defined
+to be bit-identical).  The partitioning scan is benchmarked the same
+way: the streaming single-scan extractor vs. the component-sharded
+parallel extractor, with partition checksums.  See
+``docs/performance.md`` ("Phase 2 at scale") for how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.cspairs import (
+    CSPair,
+    build_cs_pairs,
+    build_cs_pairs_engine,
+    iter_cs_pairs,
+    materialize_nn_reln,
+)
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNRelation
+from repro.core.nn_phase import Phase1Stats
+from repro.core.partitioner import partition_records, partition_records_sharded
+from repro.core.result import Partition
+from repro.data.loaders import load_dataset
+from repro.eval.bench_phase1 import BENCH_DISTANCES, INDEX_FACTORIES
+from repro.eval.report import format_table
+from repro.parallel.engine import ParallelNNEngine
+from repro.parallel.join import (
+    build_cs_pairs_engine_parallel,
+    build_cs_pairs_parallel,
+)
+from repro.run.stats import Phase2Stats
+from repro.storage.engine import Engine
+
+__all__ = [
+    "cs_pairs_checksum",
+    "partition_checksum",
+    "run_phase2_bench",
+    "check_phase2_payload",
+    "phase2_table",
+    "write_phase2_json",
+]
+
+#: Sources the partitioned join is exercised over.
+SOURCES = ("memory", "engine", "spill")
+
+
+def cs_pairs_checksum(pairs: Iterable[CSPair]) -> str:
+    """A deterministic digest of a CSPairs relation, order included.
+
+    Covers every field of every row, so two joins agree iff they
+    produced byte-identical relations in the same ``(id1, id2)`` order.
+    """
+    digest = hashlib.sha256()
+    for pair in pairs:
+        digest.update(
+            repr(
+                (pair.id1, pair.id2, pair.ng1, pair.ng2, tuple(pair.flags))
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def partition_checksum(partition: Partition) -> str:
+    """A deterministic digest of a partition's canonical groups."""
+    digest = hashlib.sha256()
+    for group in partition.groups:
+        digest.update(repr(tuple(group)).encode())
+    return digest.hexdigest()
+
+
+def _phase1_once(
+    relation, distance, params: DEParams, index_name: str
+) -> tuple[NNRelation, float]:
+    """Run batched Phase 1 once; every Phase-2 mode reuses its output."""
+    index = INDEX_FACTORIES[index_name]()
+    index.build(relation, distance)
+    stats = Phase1Stats()
+    engine = ParallelNNEngine(n_workers=1)
+    nn = engine.run(relation, index, params, order="sequential", stats=stats)
+    return nn, stats.seconds
+
+
+def _engine_with_nn(
+    nn_relation: NNRelation, buffer_pages: int, page_capacity: int
+) -> Engine:
+    """A fresh engine with ``NN_Reln`` materialized (setup, untimed)."""
+    engine = Engine(buffer_pages=buffer_pages, page_capacity=page_capacity)
+    materialize_nn_reln(engine, nn_relation)
+    return engine
+
+
+def _best_of(repeats: int, setup, timed) -> tuple[object, float, object]:
+    """Run ``timed`` ``repeats`` times, keeping the fastest run.
+
+    ``setup`` (may be ``None``) builds fresh per-repeat state — e.g. an
+    engine without a leftover ``CSPairs`` table — outside the timed
+    region.  Returns ``(result, seconds, state)`` of the best repeat, so
+    sub-10ms joins are judged on their floor rather than on scheduler
+    noise (the gate in :func:`check_phase2_payload` depends on this).
+    """
+    best_seconds: float | None = None
+    best_result: object = None
+    best_state: object = None
+    for _ in range(max(1, repeats)):
+        state = setup() if setup is not None else None
+        started = time.perf_counter()
+        result = timed(state)
+        elapsed = time.perf_counter() - started
+        if best_seconds is None or elapsed < best_seconds:
+            best_seconds, best_result, best_state = elapsed, result, state
+    return best_result, best_seconds, best_state
+
+
+def _row(source: str, mode: str, workers: int, seconds: float,
+         pairs: Sequence | int, checksum: str, stats: Phase2Stats | None = None,
+         ) -> dict:
+    n_pairs = pairs if isinstance(pairs, int) else len(pairs)
+    row = {
+        "source": source,
+        "mode": mode,
+        "workers": workers,
+        "seconds": seconds,
+        "pairs": n_pairs,
+        "throughput": (n_pairs / seconds) if seconds > 0 else 0.0,
+        "checksum": checksum,
+    }
+    if stats is not None:
+        row.update(
+            {
+                "join_seconds": stats.join_seconds,
+                "merge_seconds": stats.merge_seconds,
+                "n_join_chunks": stats.n_join_chunks,
+                "rows_probed": stats.rows_probed,
+                "probes": stats.probes,
+                "peak_run_rows": stats.peak_run_rows,
+            }
+        )
+    return row
+
+
+def run_phase2_bench(
+    entities: int = 2400,
+    workers: Sequence[int] = (1, 2, 4),
+    dataset: str = "org",
+    distance: str = "cosine",
+    index: str = "brute",
+    k: int = 5,
+    pool: str = "thread",
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+    buffer_pages: int = 256,
+    page_capacity: int = 64,
+    spill_buffer_pages: int = 8,
+    repeats: int = 3,
+) -> dict:
+    """Run the Phase-2 join/partition matrix and return the JSON payload.
+
+    ``entities`` counts entities before duplicate injection (2400 →
+    n ≈ 3000 records).  Phase 1 runs once; then, per source (in-memory
+    rows, engine-resident table, small-buffer spill engine), the
+    sequential reference join and the partitioned join per worker count
+    are each timed best-of-``repeats`` (fresh engine per repeat, setup
+    untimed), so smoke-sized joins aren't judged on one noisy sample.
+    The partitioning scan gets the same treatment: streaming
+    single-scan vs. component-sharded per worker count.
+    """
+    distance_cls = BENCH_DISTANCES[distance]
+    params = DEParams.size(k, c=4.0)
+    relation = load_dataset(
+        dataset,
+        n_entities=entities,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    ).relation
+    nn, phase1_seconds = _phase1_once(
+        relation, distance_cls(), params, index
+    )
+
+    runs: list[dict] = []
+    checksums: dict[str, set[str]] = {source: set() for source in SOURCES}
+
+    # --- source: in-memory rows -------------------------------------
+    reference, seconds, _ = _best_of(
+        repeats, None, lambda _state: build_cs_pairs(nn, params)
+    )
+    reference_checksum = cs_pairs_checksum(reference)
+    checksums["memory"].add(reference_checksum)
+    runs.append(_row("memory", "sequential", 1, seconds, reference,
+                     reference_checksum))
+    for n_workers in workers:
+        pairs, seconds, stats = _best_of(
+            repeats,
+            Phase2Stats,
+            lambda stats, n_workers=n_workers: build_cs_pairs_parallel(
+                nn, params, n_workers=n_workers, pool=pool, stats=stats
+            ),
+        )
+        checksum = cs_pairs_checksum(pairs)
+        checksums["memory"].add(checksum)
+        runs.append(_row("memory", "partitioned", n_workers, seconds,
+                         pairs, checksum, stats))
+
+    # --- source: engine-resident NN_Reln ----------------------------
+    table, seconds, _ = _best_of(
+        repeats,
+        lambda: _engine_with_nn(nn, buffer_pages, page_capacity),
+        lambda engine: build_cs_pairs_engine(engine, params),
+    )
+    checksum = cs_pairs_checksum(iter_cs_pairs(table))
+    checksums["engine"].add(checksum)
+    runs.append(_row("engine", "sequential", 1, seconds, table.n_rows,
+                     checksum))
+    for n_workers in workers:
+        table, seconds, state = _best_of(
+            repeats,
+            lambda: (
+                _engine_with_nn(nn, buffer_pages, page_capacity),
+                Phase2Stats(),
+            ),
+            lambda state, n_workers=n_workers: build_cs_pairs_engine_parallel(
+                state[0], params, n_workers=n_workers, pool=pool,
+                stats=state[1],
+            ),
+        )
+        checksum = cs_pairs_checksum(iter_cs_pairs(table))
+        checksums["engine"].add(checksum)
+        runs.append(_row("engine", "partitioned", n_workers, seconds,
+                         table.n_rows, checksum, state[1]))
+
+    # --- source: small-buffer engine, spilled runs ------------------
+    table, seconds, _ = _best_of(
+        repeats,
+        lambda: _engine_with_nn(nn, spill_buffer_pages, page_capacity),
+        lambda engine: build_cs_pairs_engine(engine, params),
+    )
+    checksum = cs_pairs_checksum(iter_cs_pairs(table))
+    checksums["spill"].add(checksum)
+    runs.append(_row("spill", "sequential", 1, seconds, table.n_rows,
+                     checksum))
+    for n_workers in workers:
+        table, seconds, state = _best_of(
+            repeats,
+            lambda: (
+                _engine_with_nn(nn, spill_buffer_pages, page_capacity),
+                Phase2Stats(),
+            ),
+            lambda state, n_workers=n_workers: build_cs_pairs_engine_parallel(
+                state[0], params, n_workers=n_workers, pool=pool,
+                stats=state[1], spill_runs=True,
+            ),
+        )
+        checksum = cs_pairs_checksum(iter_cs_pairs(table))
+        checksums["spill"].add(checksum)
+        runs.append(_row("spill", "partitioned", n_workers, seconds,
+                         table.n_rows, checksum, state[1]))
+
+    # --- partitioning scan: streaming vs. component-sharded ---------
+    ids = list(relation.ids())
+    base_partition, partition_baseline_seconds, _ = _best_of(
+        repeats, None,
+        lambda _state: partition_records(ids, reference, params),
+    )
+    base_partition_checksum = partition_checksum(base_partition)
+    partition_runs: list[dict] = []
+    partition_parity = True
+    for n_workers in workers:
+        sharded, seconds, stats = _best_of(
+            repeats,
+            Phase2Stats,
+            lambda stats, n_workers=n_workers: partition_records_sharded(
+                ids, reference, params,
+                n_workers=n_workers, pool=pool, stats=stats,
+            ),
+        )
+        checksum = partition_checksum(sharded)
+        partition_parity = partition_parity and (
+            checksum == base_partition_checksum
+        )
+        partition_runs.append(
+            {
+                "workers": n_workers,
+                "seconds": seconds,
+                "n_components": stats.n_components,
+                "shards": stats.partition_shards,
+                "checksum": checksum,
+            }
+        )
+
+    # --- derived views ----------------------------------------------
+    speedups: dict[str, dict[str, float]] = {}
+    for source in SOURCES:
+        sequential = next(
+            run for run in runs
+            if run["source"] == source and run["mode"] == "sequential"
+        )
+        speedups[source] = {
+            str(run["workers"]): (
+                run["throughput"] / sequential["throughput"]
+                if sequential["throughput"] > 0 else 0.0
+            )
+            for run in runs
+            if run["source"] == source and run["mode"] == "partitioned"
+        }
+    parity = {source: len(checksums[source]) == 1 for source in SOURCES}
+    parity["cross_source"] = (
+        len({checksum for seen in checksums.values() for checksum in seen})
+        == 1
+    )
+
+    return {
+        "benchmark": "phase2_partitioned_join",
+        "dataset": dataset,
+        "distance": distance,
+        "index": index,
+        "k": k,
+        "pool": pool,
+        "duplicate_fraction": duplicate_fraction,
+        "seed": seed,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "entities": entities,
+        "n": len(relation),
+        "n_cs_pairs": len(reference),
+        "phase1_seconds": phase1_seconds,
+        "buffer_pages": buffer_pages,
+        "spill_buffer_pages": spill_buffer_pages,
+        "page_capacity": page_capacity,
+        "repeats": repeats,
+        "workers": list(workers),
+        "runs": runs,
+        "speedup_partitioned_vs_sequential": speedups,
+        "parity": parity,
+        "partition": {
+            "baseline_seconds": partition_baseline_seconds,
+            "checksum": base_partition_checksum,
+            "parity": partition_parity,
+            "runs": partition_runs,
+        },
+    }
+
+
+def check_phase2_payload(
+    payload: Mapping, min_relative_throughput: float = 0.5
+) -> dict[str, list[str]]:
+    """The bench gates: failures in a payload, keyed by severity.
+
+    ``"checksum"`` failures (any disagreement within a source, across
+    sources, or in the partitioning scan) are correctness violations —
+    the CLI always fails on them.  ``"throughput"`` failures flag a
+    pathological parallel regression: a partitioned run below
+    ``min_relative_throughput`` of the same source's 1-worker
+    partitioned run (the default 0.5 means "more than 2× slower than
+    one worker"); the CLI enforces these only under ``--check``, since
+    worker counts beyond the host's cores legitimately pay overhead.
+    """
+    checksum_failures: list[str] = []
+    throughput_failures: list[str] = []
+    for source, agreed in payload["parity"].items():
+        if not agreed:
+            checksum_failures.append(f"CSPairs checksum mismatch: {source}")
+    if not payload["partition"]["parity"]:
+        checksum_failures.append(
+            "partition checksum mismatch: sharded vs. streaming"
+        )
+    for source in SOURCES:
+        partitioned = [
+            run for run in payload["runs"]
+            if run["source"] == source and run["mode"] == "partitioned"
+        ]
+        base = next(
+            (run for run in partitioned if run["workers"] == 1), None
+        )
+        if base is None or base["throughput"] <= 0:
+            continue
+        for run in partitioned:
+            relative = run["throughput"] / base["throughput"]
+            if relative < min_relative_throughput:
+                throughput_failures.append(
+                    f"{source} @ {run['workers']} workers: throughput "
+                    f"{relative:.2f}x of 1-worker (< "
+                    f"{min_relative_throughput:g}x)"
+                )
+    return {
+        "checksum": checksum_failures,
+        "throughput": throughput_failures,
+    }
+
+
+def phase2_table(payload: Mapping) -> str:
+    """Render a payload's run matrix as the repo's standard text table."""
+    rows = [
+        (
+            run["source"],
+            run["mode"],
+            run["workers"],
+            f"{run['seconds']:.2f}s",
+            f"{run.get('merge_seconds', 0.0):.2f}s",
+            run["pairs"],
+            f"{run['throughput']:.0f}/s",
+        )
+        for run in payload["runs"]
+    ]
+    table = format_table(
+        ("source", "mode", "workers", "seconds", "merge", "pairs", "pairs/s"),
+        rows,
+    )
+    partition = payload["partition"]
+    lines = [
+        f"phase2 join over n={payload['n']} "
+        f"({payload['n_cs_pairs']} CSPairs rows; "
+        f"phase 1 once in {payload['phase1_seconds']:.1f}s)",
+        table,
+        f"partition scan: streaming {partition['baseline_seconds']:.3f}s; "
+        + ", ".join(
+            f"{run['workers']}w {run['seconds']:.3f}s"
+            f" ({run['n_components']} components)"
+            for run in partition["runs"]
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def write_phase2_json(payload: Mapping, path: str | Path) -> Path:
+    """Write the payload (stable key order) and return the path."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,417 @@
+"""The partitioned, multi-worker Phase-2 CSPairs self-join.
+
+The paper's Phase 2 starts with a SQL self-join of ``NN_Reln``: every
+mutual pair ``(id1 < id2)`` becomes one CSPairs row carrying the
+prefix-set-equality flags.  :class:`ParallelCSJoinEngine` runs that
+join hash-partitioned by anchor id:
+
+- the *anchor order* (the ascending ids of ``NN_Reln``) is split into
+  contiguous chunks with the same planner Phase 1 uses
+  (:func:`repro.parallel.chunking.plan_chunks`);
+- each worker resolves its chunk against a shared
+  :class:`~repro.storage.engine.HashIndex` on ``id``, probing all join
+  keys of an outer row with one :meth:`~repro.storage.engine.HashIndex
+  .probe_batch` call, and emits a *locally sorted run* of CSPairs rows;
+- the runs are k-way merged into the final ``ORDER BY (id1, id2)``.
+
+Because every CSPairs row ``(id1, id2)`` has ``id2`` drawn from
+``id1``'s NN-list, partitioning the *outer* side by anchor id covers
+every output row exactly once, and because ``(id1, id2)`` is a key of
+the output, the merged result is **bit-identical to the sequential
+join for any worker count, pool kind, or chunk size** — the same
+contract the parallel Phase-1 engine gives.
+
+Pool choice mirrors :class:`~repro.parallel.engine.ParallelNNEngine`:
+``"thread"`` shares one index (no copies, GIL-serialized compute),
+``"process"`` ships the index buckets to each worker once via the pool
+initializer.  Unlike Phase 1, the join kernel needs no distance
+function — chunks, rows, and params all pickle — so the process pool
+works under any distance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+from repro.core.cspairs import (
+    CSPAIRS_SCHEMA,
+    CSPair,
+    max_pair_size,
+    nn_list_limit,
+    prefix_equal_flags,
+)
+from repro.core.formulation import DEParams
+from repro.core.neighborhood import NNRelation
+from repro.parallel.chunking import Chunk, plan_chunks
+from repro.storage.engine import HashIndex
+from repro.storage.table import HeapTable, Row
+
+__all__ = [
+    "JoinChunkResult",
+    "ParallelCSJoinEngine",
+    "merge_runs",
+    "build_cs_pairs_parallel",
+    "build_cs_pairs_engine_parallel",
+]
+
+PoolKind = Literal["thread", "process"]
+
+#: Chunks per worker (same smoothing rationale as Phase 1).
+CHUNKS_PER_WORKER = 4
+
+def _pair_key(row: Row) -> tuple[int, int]:
+    """Sort key of the CSPairs output — the paper's CS-group query order."""
+    return (row[0], row[1])
+
+
+@dataclass
+class JoinChunkResult:
+    """One worker's sorted run for one anchor-range chunk.
+
+    ``pairs_emitted`` is stored separately from ``pairs`` because the
+    out-of-core path clears the row list as soon as the run is spilled
+    to a scratch table, while the accounting must survive.
+    """
+
+    chunk_index: int
+    pairs: list[Row]
+    rows_probed: int
+    keys_probed: int
+    pairs_emitted: int
+    seconds: float
+
+    def release(self) -> None:
+        """Drop the row payload (the run now lives in a scratch table)."""
+        self.pairs = []
+
+
+def _join_chunk(
+    index: HashIndex, params: DEParams, chunk: Chunk
+) -> JoinChunkResult:
+    """Join one contiguous anchor-id range against the shared index.
+
+    Runs inside a worker.  Emits the chunk's CSPairs rows sorted by
+    ``(id1, id2)`` — a ready-to-merge run.
+    """
+    started = time.perf_counter()
+    rows_probed = 0
+    keys_probed = 0
+    pairs: list[Row] = []
+    probe_batch = index.probe_batch
+    for rid in chunk.rids:
+        bucket = index.get(rid)
+        if not bucket:
+            continue
+        left = bucket[0]
+        _, nn_list, _dists, left_ng = left
+        rows_probed += 1
+        limit = nn_list_limit(params, len(nn_list))
+        keys = [other for other in nn_list[:limit] if other > rid]
+        if not keys:
+            continue
+        keys_probed += len(keys)
+        for right_bucket in probe_batch(keys):
+            for right in right_bucket:
+                r_list = right[1]
+                if rid not in r_list[: nn_list_limit(params, len(r_list))]:
+                    continue  # not mutual
+                max_m = max_pair_size(len(nn_list), len(r_list), params)
+                pairs.append(
+                    (
+                        rid,
+                        right[0],
+                        left_ng,
+                        right[3],
+                        prefix_equal_flags(
+                            rid, nn_list, right[0], r_list, max_m
+                        ),
+                    )
+                )
+    pairs.sort(key=_pair_key)
+    return JoinChunkResult(
+        chunk_index=chunk.index,
+        pairs=pairs,
+        rows_probed=rows_probed,
+        keys_probed=keys_probed,
+        pairs_emitted=len(pairs),
+        seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing: ship the (index, params) payload to each
+# worker once via the initializer instead of once per chunk.
+# ----------------------------------------------------------------------
+
+_JOIN_PAYLOAD: dict = {}
+
+
+def _init_join_worker(index, params) -> None:
+    _JOIN_PAYLOAD["args"] = (index, params)
+
+
+def _join_chunk_in_process(chunk: Chunk) -> JoinChunkResult:
+    index, params = _JOIN_PAYLOAD["args"]
+    return _join_chunk(index, params, chunk)
+
+
+class ParallelCSJoinEngine:
+    """Chunked Phase-2 join executor over a ``concurrent.futures`` pool.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker count.  ``1`` runs the chunks inline — still through the
+        batched probe path, which is what the Phase-2 benchmark
+        measures against the row-at-a-time sequential join.
+    pool:
+        ``"thread"`` (default; shared index) or ``"process"`` (true
+        parallelism; buckets pickled to each worker once).
+    chunk_size:
+        Fixed anchors per chunk; default is a balanced split into
+        ``n_workers * CHUNKS_PER_WORKER`` chunks (minimum 2, so even a
+        single-worker run never materializes the whole join at once).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        pool: PoolKind = "thread",
+        chunk_size: int | None = None,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if pool not in ("thread", "process"):
+            raise ValueError(f"unknown pool kind {pool!r}")
+        self.n_workers = n_workers
+        self.pool: PoolKind = pool
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+
+    def plan(self, anchor_ids: Sequence[int]) -> list[Chunk]:
+        """The contiguous anchor-range partitioning for one join."""
+        if self.chunk_size is not None:
+            return plan_chunks(anchor_ids, chunk_size=self.chunk_size)
+        n_chunks = max(2, self.n_workers * CHUNKS_PER_WORKER)
+        return plan_chunks(anchor_ids, n_chunks=n_chunks)
+
+    def iter_chunk_results(
+        self,
+        anchor_ids: Sequence[int],
+        index: HashIndex,
+        params: DEParams,
+    ) -> Iterator[JoinChunkResult]:
+        """Yield each chunk's sorted run, in chunk (= anchor) order.
+
+        The streaming core: a consumer can spill each run out of core
+        as soon as it arrives, so peak memory holds one run, never the
+        whole CSPairs relation.
+        """
+        chunks = self.plan(anchor_ids)
+        if self.n_workers == 1 or len(chunks) <= 1:
+            for chunk in chunks:
+                yield _join_chunk(index, params, chunk)
+        elif self.pool == "thread":
+            with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
+                yield from executor.map(
+                    lambda chunk: _join_chunk(index, params, chunk), chunks
+                )
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                initializer=_init_join_worker,
+                initargs=(index, params),
+            ) as executor:
+                yield from executor.map(_join_chunk_in_process, chunks)
+
+    def join_rows(
+        self,
+        anchor_ids: Sequence[int],
+        index: HashIndex,
+        params: DEParams,
+        stats=None,
+    ) -> list[Row]:
+        """The merged, fully sorted CSPairs rows.
+
+        ``stats`` (a :class:`~repro.run.stats.Phase2Stats`, duck-typed)
+        accumulates the join accounting: per-worker run stats, probe
+        counts, and the split between parallel join time and the final
+        k-way merge.
+        """
+        started = time.perf_counter()
+        results = list(self.iter_chunk_results(anchor_ids, index, params))
+        join_seconds = time.perf_counter() - started
+
+        merge_started = time.perf_counter()
+        merged = list(merge_runs(result.pairs for result in results))
+        merge_seconds = time.perf_counter() - merge_started
+        if stats is not None:
+            record_join(stats, self, results, join_seconds, merge_seconds)
+        return merged
+
+    def describe(self) -> str:
+        return f"{self.n_workers} worker(s), {self.pool} pool"
+
+
+def merge_runs(runs) -> Iterator[Row]:
+    """K-way merge of sorted CSPairs runs into ``ORDER BY (id1, id2)``.
+
+    Contiguous anchor partitioning makes the runs' key ranges disjoint,
+    so this degenerates to concatenation — but the heap merge is
+    correct for *any* partitioning (including the pair-count-bounded
+    sub-runs the spill path writes), which keeps the output invariant
+    independent of the planning policy.
+    """
+    return heapq.merge(*runs, key=_pair_key)
+
+
+def record_join(
+    stats,
+    engine: ParallelCSJoinEngine,
+    results: Sequence[JoinChunkResult],
+    join_seconds: float,
+    merge_seconds: float,
+) -> None:
+    """Accumulate one join's accounting into a Phase-2 stats object."""
+    stats.join_workers = engine.n_workers
+    stats.join_pool = engine.pool
+    stats.join_seconds += join_seconds
+    stats.merge_seconds += merge_seconds
+    stats.n_join_chunks += len(results)
+    for result in results:
+        stats.rows_probed += result.rows_probed
+        stats.probes += result.keys_probed
+        stats.pairs_emitted += result.pairs_emitted
+        stats.peak_run_rows = max(stats.peak_run_rows, result.pairs_emitted)
+        stats.worker_runs.append(
+            {
+                "chunk": result.chunk_index,
+                "rows_probed": result.rows_probed,
+                "probes": result.keys_probed,
+                "pairs_emitted": result.pairs_emitted,
+                "seconds": result.seconds,
+            }
+        )
+
+
+def rows_to_cs_pairs(rows) -> list[CSPair]:
+    """Materialize sorted join rows as :class:`CSPair` objects."""
+    return [
+        CSPair(id1=row[0], id2=row[1], ng1=row[2], ng2=row[3],
+               flags=tuple(row[4]))
+        for row in rows
+    ]
+
+
+def build_cs_pairs_engine_parallel(
+    engine,
+    params: DEParams,
+    n_workers: int = 1,
+    pool: PoolKind = "thread",
+    chunk_size: int | None = None,
+    nn_table_name: str = "NN_Reln",
+    cs_table_name: str = "CSPairs",
+    stats=None,
+    spill_runs: bool = False,
+) -> HeapTable:
+    """CSPairs via the storage engine, hash-partitioned by anchor id.
+
+    The multi-core counterpart of :func:`repro.core.cspairs
+    .build_cs_pairs_engine`: same logical plan (id-index self-join of
+    ``NN_Reln``, then ``ORDER BY (id1, id2)``), executed as contiguous
+    anchor-range partitions probing one shared hash index with batched
+    keys.  Output table content and order are bit-identical to the
+    sequential builder for any worker count.
+
+    With ``spill_runs=True`` (the out-of-core mode), each worker run is
+    written to a scratch table as soon as it arrives — sliced into
+    sub-runs of at most one buffer pool's worth of rows — and the final
+    table is produced by a k-way merge of run *scans* through the
+    buffer pool, so the full CSPairs relation is never resident in
+    memory.  Inline (1-worker) execution pulls runs lazily, which makes
+    the peak resident footprint one bounded run; with a real pool the
+    workers may complete ahead of the writer, trading memory back for
+    speed.
+    """
+    nn_table = engine.table(nn_table_name)
+    id_index = engine.hash_index(nn_table, "id")
+    anchor_ids = sorted(id_index.keys())
+
+    pool_rows = max(1, engine.buffer.capacity * engine.disk.page_capacity)
+    if chunk_size is None and spill_runs:
+        # Bound each run's anchor count so a run's rows stay within a
+        # small multiple (the NN-list limit) of the buffer pool, while
+        # still splitting into enough chunks to feed every worker.
+        balanced = -(-len(anchor_ids) // max(2, n_workers * CHUNKS_PER_WORKER))
+        chunk_size = max(8, min(pool_rows, max(1, balanced)))
+    join = ParallelCSJoinEngine(
+        n_workers=n_workers, pool=pool, chunk_size=chunk_size
+    )
+    out = engine.create_table(cs_table_name, CSPAIRS_SCHEMA, replace=True)
+
+    if not spill_runs:
+        started = time.perf_counter()
+        results = list(join.iter_chunk_results(anchor_ids, id_index, params))
+        join_seconds = time.perf_counter() - started
+        merge_started = time.perf_counter()
+        out.insert_many(merge_runs(result.pairs for result in results))
+        merge_seconds = time.perf_counter() - merge_started
+        if stats is not None:
+            record_join(stats, join, results, join_seconds, merge_seconds)
+        return out
+
+    run_tables = []
+    results: list[JoinChunkResult] = []
+    started = time.perf_counter()
+    for result in join.iter_chunk_results(anchor_ids, id_index, params):
+        # Slices of a sorted run are themselves sorted runs; bounding
+        # them keeps every scratch table mergeable by streaming scans.
+        pairs = result.pairs
+        for low in range(0, len(pairs), pool_rows):
+            run = engine.create_table(
+                f"{cs_table_name}__run{len(run_tables)}",
+                CSPAIRS_SCHEMA,
+                replace=True,
+            )
+            run.insert_many(pairs[low : low + pool_rows])
+            run_tables.append(run)
+        result.release()
+        results.append(result)
+    join_seconds = time.perf_counter() - started
+
+    merge_started = time.perf_counter()
+    out.insert_many(merge_runs(run.scan() for run in run_tables))
+    for run in run_tables:
+        engine.catalog.drop_table(run.name)
+    merge_seconds = time.perf_counter() - merge_started
+    if stats is not None:
+        record_join(stats, join, results, join_seconds, merge_seconds)
+    return out
+
+
+def build_cs_pairs_parallel(
+    nn_relation: NNRelation,
+    params: DEParams,
+    n_workers: int = 1,
+    pool: PoolKind = "thread",
+    chunk_size: int | None = None,
+    stats=None,
+) -> list[CSPair]:
+    """In-memory CSPairs via the partitioned join.
+
+    Bit-identical to :func:`repro.core.cspairs.build_cs_pairs` for any
+    worker count — the in-memory leg of the Phase-2 parity suite.
+    """
+    rows = nn_relation.as_rows()
+    index = HashIndex({row[0]: [row] for row in rows})
+    engine = ParallelCSJoinEngine(
+        n_workers=n_workers, pool=pool, chunk_size=chunk_size
+    )
+    merged = engine.join_rows([row[0] for row in rows], index, params,
+                              stats=stats)
+    return rows_to_cs_pairs(merged)

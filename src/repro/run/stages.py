@@ -29,19 +29,22 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.cspairs import (
     NN_RELN_SCHEMA,
-    build_cs_pairs,
-    build_cs_pairs_engine,
     cs_pairs_from_table,
+    iter_cs_pairs,
 )
 from repro.core.formulation import DEParams
 from repro.core.minimality import enforce_minimality
 from repro.core.neighborhood import NNRelation, entry_to_row
 from repro.core.nn_phase import prepare_nn_lists
-from repro.core.partitioner import partition_records
+from repro.core.partitioner import partition_records, partition_records_sharded
 from repro.core.predicates import apply_constraining_predicate
 from repro.core.result import Partition
 from repro.data.schema import Relation
 from repro.parallel.engine import ParallelNNEngine
+from repro.parallel.join import (
+    build_cs_pairs_engine_parallel,
+    build_cs_pairs_parallel,
+)
 from repro.run.context import RunContext
 from repro.run.spill import SpilledNNRelation
 from repro.run.stats import RunStats
@@ -73,6 +76,9 @@ class RunState:
     nn_relation: NNRelation | None = None
     nn_table: HeapTable | None = None
     cs_pairs: "list[CSPair] | None" = None
+    #: The materialized ``CSPairs`` heap table on engine runs; the
+    #: partition stage streams from it when ``cs_pairs`` was not kept.
+    cs_table: HeapTable | None = None
     partition: Partition | None = None
     #: Assembled by the pipeline before :class:`VerifyStage` runs.
     result: "DEResult | None" = field(default=None, repr=False)
@@ -191,30 +197,83 @@ class SpillStage:
 
 
 class CSPairsStage:
-    """Build the CSPairs rows — through the engine when one is in play."""
+    """Build the CSPairs rows via the partitioned self-join.
+
+    Engine runs go through
+    :func:`~repro.parallel.join.build_cs_pairs_engine_parallel` (in
+    spill mode with bounded scratch runs) and keep the result as a heap
+    table on ``state.cs_table``; the in-memory row list is materialized
+    only when the config asks to keep it (``keep_cs_pairs`` or any
+    verify mode), so an out-of-core run never holds the full relation.
+    Output is bit-identical to the sequential builders for any worker
+    count.
+    """
 
     name = "cspairs"
 
     def run(self, ctx: RunContext, state: RunState) -> None:
         assert state.nn_relation is not None, "Phase 1 must run first"
+        config = ctx.config
+        keep = config.keep_cs_pairs or bool(config.verify)
         if ctx.engine is not None and state.nn_table is not None:
-            table = build_cs_pairs_engine(ctx.engine, state.params)
-            state.cs_pairs = cs_pairs_from_table(table)
+            table = build_cs_pairs_engine_parallel(
+                ctx.engine,
+                state.params,
+                n_workers=config.phase2_workers,
+                pool=config.phase2_pool,
+                stats=state.stats.phase2,
+                spill_runs=config.spill,
+            )
+            state.cs_table = table
+            state.stats.n_cs_pairs = table.n_rows
+            if keep:
+                state.cs_pairs = cs_pairs_from_table(table)
         else:
-            state.cs_pairs = build_cs_pairs(state.nn_relation, state.params)
-        state.stats.n_cs_pairs = len(state.cs_pairs)
+            state.cs_pairs = build_cs_pairs_parallel(
+                state.nn_relation,
+                state.params,
+                n_workers=config.phase2_workers,
+                pool=config.phase2_pool,
+                stats=state.stats.phase2,
+            )
+            state.stats.n_cs_pairs = len(state.cs_pairs)
 
 
 class PartitionStage:
-    """Extract the compact SN groups from the CSPairs rows."""
+    """Extract the compact SN groups from the CSPairs rows.
+
+    Consumes the in-memory row list when one exists; otherwise streams
+    straight from the ``CSPairs`` heap table through the buffer pool (a
+    spilled run's bounded-memory path).  With ``phase2_workers > 1``
+    extraction shards over connected components of the mutual-NN graph.
+    """
 
     name = "partition"
 
     def run(self, ctx: RunContext, state: RunState) -> None:
-        assert state.cs_pairs is not None, "CSPairs must be built first"
-        state.partition = partition_records(
-            state.relation.ids(), state.cs_pairs, state.params
-        )
+        config = ctx.config
+        if state.cs_pairs is not None:
+            source = state.cs_pairs
+        else:
+            assert state.cs_table is not None, "CSPairs must be built first"
+            source = iter_cs_pairs(state.cs_table)
+            state.stats.phase2.partition_streamed = True
+        if config.phase2_workers > 1:
+            state.partition = partition_records_sharded(
+                state.relation.ids(),
+                source,
+                state.params,
+                n_workers=config.phase2_workers,
+                pool=config.phase2_pool,
+                stats=state.stats.phase2,
+            )
+        else:
+            state.partition = partition_records(
+                state.relation.ids(),
+                source,
+                state.params,
+                stats=state.stats.phase2,
+            )
 
 
 class PostprocessStage:

@@ -18,7 +18,7 @@ from typing import Any
 from repro.core.nn_phase import Phase1Stats
 from repro.storage.buffer import BufferStats
 
-__all__ = ["StageTiming", "RunStats"]
+__all__ = ["StageTiming", "Phase2Stats", "RunStats"]
 
 #: Stage names whose wall time constitutes "Phase 2" in the legacy
 #: accounting (everything between the NN computation and the result).
@@ -34,6 +34,79 @@ class StageTiming:
 
 
 @dataclass
+class Phase2Stats:
+    """Cost accounting of the partitioned Phase-2 self-join and the
+    group-extraction scan.
+
+    Filled in by :func:`repro.parallel.join.record_join` (the join
+    side) and the partitioner (the extraction side); all fields stay at
+    their zero values on runs that bypass the partitioned path.
+
+    Parameters
+    ----------
+    join_workers, join_pool, n_join_chunks:
+        Execution shape of the partitioned self-join: worker count,
+        pool kind, and the number of anchor-range chunks it planned.
+    rows_probed, probes, pairs_emitted:
+        Outer rows consumed, hash-index keys looked up (batched), and
+        CSPairs rows produced — deterministic per-chunk sums, identical
+        for any worker count.
+    join_seconds, merge_seconds:
+        Wall time of the chunked probe phase and of the k-way merge of
+        locally sorted runs.
+    worker_runs:
+        Per-chunk accounting (chunk index, rows probed, probes, pairs
+        emitted, seconds) — the ``dedup --stats`` per-worker view.
+    peak_run_rows:
+        Largest locally sorted run held by any single chunk result; in
+        spill mode runs are bounded by one buffer pool's worth of rows.
+    partition_streamed:
+        Whether group extraction consumed CSPairs as a stream from its
+        heap table (never fully resident) instead of an in-memory list.
+    partition_shards, n_components:
+        Component-sharded extraction shape: shard count and the number
+        of connected components of the mutual-NN graph.
+    peak_group_rows:
+        Largest single-anchor row group the extraction scan held — the
+        streaming path's actual residency bound.
+    """
+
+    join_workers: int = 0
+    join_pool: str = ""
+    n_join_chunks: int = 0
+    rows_probed: int = 0
+    probes: int = 0
+    pairs_emitted: int = 0
+    join_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    worker_runs: list[dict[str, Any]] = field(default_factory=list)
+    peak_run_rows: int = 0
+    partition_streamed: bool = False
+    partition_shards: int = 0
+    n_components: int = 0
+    peak_group_rows: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Render as a JSON-serializable dict."""
+        return {
+            "join_workers": self.join_workers,
+            "join_pool": self.join_pool,
+            "n_join_chunks": self.n_join_chunks,
+            "rows_probed": self.rows_probed,
+            "probes": self.probes,
+            "pairs_emitted": self.pairs_emitted,
+            "join_seconds": self.join_seconds,
+            "merge_seconds": self.merge_seconds,
+            "worker_runs": list(self.worker_runs),
+            "peak_run_rows": self.peak_run_rows,
+            "partition_streamed": self.partition_streamed,
+            "partition_shards": self.partition_shards,
+            "n_components": self.n_components,
+            "peak_group_rows": self.peak_group_rows,
+        }
+
+
+@dataclass
 class RunStats:
     """All telemetry of one DE run, in one structure.
 
@@ -42,6 +115,9 @@ class RunStats:
     phase1:
         Phase-1 cost accounting (lookups, evaluations, pruning,
         pair-cache hits).
+    phase2:
+        Phase-2 cost accounting: the partitioned CSPairs self-join and
+        the group-extraction scan (see :class:`Phase2Stats`).
     timings:
         Per-stage wall times, in execution order.
     n_cs_pairs:
@@ -58,6 +134,7 @@ class RunStats:
     """
 
     phase1: Phase1Stats = field(default_factory=Phase1Stats)
+    phase2: Phase2Stats = field(default_factory=Phase2Stats)
     timings: list[StageTiming] = field(default_factory=list)
     n_cs_pairs: int = 0
     spilled: bool = False
@@ -129,6 +206,7 @@ class RunStats:
                 "cache_hit_rate": self.phase1.cache_hit_rate,
                 "n_chunks": self.phase1.n_chunks,
             },
+            "phase2": self.phase2.to_dict(),
             "distance_cache": {
                 "calls": self.distance_cache_calls,
                 "hits": self.distance_cache_hits,

@@ -8,7 +8,7 @@ DE algorithm issues as SQL.
 
 from repro.storage.buffer import BufferPool, BufferStats
 from repro.storage.catalog import Catalog
-from repro.storage.engine import Engine
+from repro.storage.engine import Engine, HashIndex
 from repro.storage.pages import DEFAULT_PAGE_CAPACITY, DiskManager, Page
 from repro.storage.table import HeapTable, Row
 
@@ -22,4 +22,5 @@ __all__ = [
     "Row",
     "Catalog",
     "Engine",
+    "HashIndex",
 ]

@@ -26,7 +26,56 @@ from repro.storage.catalog import Catalog
 from repro.storage.pages import DiskManager
 from repro.storage.table import HeapTable, Row
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "HashIndex"]
+
+
+class HashIndex:
+    """An in-memory hash index over one column of a heap table.
+
+    Built by one scan (:meth:`Engine.hash_index`); probed either one
+    key at a time (:meth:`probe`, the classic index nested-loop plan)
+    or in batches (:meth:`probe_batch`), which is how the partitioned
+    Phase-2 self-join amortizes the per-lookup overhead: each worker
+    resolves every join key of an outer row with a single call.  The
+    ``probes`` counter records how many keys were looked up, so join
+    plans account their index traffic like a real executor.
+    """
+
+    def __init__(self, buckets: dict[Any, list[Row]]):
+        self._buckets = buckets
+        self.probes = 0
+
+    def get(self, key: Any, default: Sequence[Row] = ()) -> Sequence[Row]:
+        """Dict-compatible lookup (uncounted; used by generic joins)."""
+        return self._buckets.get(key, default)
+
+    def probe(self, key: Any) -> Sequence[Row]:
+        """Look up one key, counting the probe."""
+        self.probes += 1
+        return self._buckets.get(key, ())
+
+    def probe_batch(self, keys: Sequence[Any]) -> list[Sequence[Row]]:
+        """Look up a batch of keys in one call.
+
+        Returns one (possibly empty) bucket per key, in key order.  A
+        single attribute fetch of the underlying dict's ``get`` serves
+        the whole batch, so the per-key cost is one dictionary lookup.
+        """
+        self.probes += len(keys)
+        get = self._buckets.get
+        return [get(key, ()) for key in keys]
+
+    def __getitem__(self, key: Any) -> list[Row]:
+        return self._buckets[key]
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def keys(self):
+        return self._buckets.keys()
 
 
 class Engine:
@@ -80,15 +129,13 @@ class Engine:
             out.insert(project(row) if project is not None else row)
         return out
 
-    def hash_index(
-        self, source: HeapTable, column: str
-    ) -> dict[Any, list[Row]]:
+    def hash_index(self, source: HeapTable, column: str) -> HashIndex:
         """Build an in-memory hash index on ``column`` (one scan)."""
         position = source.column_index(column)
-        index: dict[Any, list[Row]] = {}
+        buckets: dict[Any, list[Row]] = {}
         for row in source.scan():
-            index.setdefault(row[position], []).append(row)
-        return index
+            buckets.setdefault(row[position], []).append(row)
+        return HashIndex(buckets)
 
     def index_join(
         self,
@@ -96,7 +143,7 @@ class Engine:
         schema: Sequence[str],
         outer: HeapTable,
         probe_keys: Callable[[Row], Iterable[Any]],
-        index: dict[Any, list[Row]],
+        index: "HashIndex | dict[Any, list[Row]]",
         on: Callable[[Row, Row], bool],
         project: Callable[[Row, Row], Row],
     ) -> HeapTable:
@@ -124,12 +171,21 @@ class Engine:
     ) -> HeapTable:
         """Materialize ``source`` sorted by ``key`` into ``dest``.
 
-        By default the sort is in memory (rows still stream in and out
-        through the buffer).  With ``external_run_rows`` set, a classic
-        external merge sort runs instead: sorted runs of at most that
-        many rows are spilled to scratch tables and k-way merged — the
-        realistic plan for a CSPairs relation that outgrows memory.
+        Small sources sort in memory (rows still stream in and out
+        through the buffer).  With ``external_run_rows`` set — or
+        automatically, whenever the source holds more pages than the
+        buffer pool — a classic external merge sort runs instead:
+        sorted runs of bounded size are spilled to scratch tables and
+        k-way merged, the realistic plan for a CSPairs relation that
+        outgrows memory.  Both plans are stable, so they produce
+        identical output for any run size.
         """
+        if external_run_rows is None and source.n_pages > self.buffer.capacity:
+            # An in-memory sort of this table would hold more rows than
+            # the pool can cache; bound each run to one pool's worth.
+            external_run_rows = max(
+                1, self.buffer.capacity * self.disk.page_capacity
+            )
         if external_run_rows is not None:
             return self._external_sort(dest, source, key, external_run_rows)
         rows = sorted(source.scan(), key=key)

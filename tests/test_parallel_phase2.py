@@ -1,0 +1,532 @@
+"""Parity and bounded-memory tests for the partitioned Phase 2.
+
+The partitioned CSPairs self-join and the component-sharded partitioner
+are defined to be bit-identical to the sequential reference for any
+worker count, pool kind, or source (in-memory rows, engine-resident
+table, out-of-core spill).  These tests pin that contract, the
+streaming partitioner's bounded residency (the 2-page-buffer edge
+case), and the new ``HashIndex.probe_batch`` / auto-external
+``order_by`` storage primitives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cspairs import (
+    build_cs_pairs,
+    build_cs_pairs_engine,
+    cs_pairs_from_table,
+    iter_cs_pairs,
+    materialize_nn_reln,
+)
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import prepare_nn_lists
+from repro.core.partitioner import (
+    mutual_components,
+    partition_records,
+    partition_records_sharded,
+)
+from repro.index.bruteforce import BruteForceIndex
+from repro.parallel.join import (
+    ParallelCSJoinEngine,
+    build_cs_pairs_engine_parallel,
+    build_cs_pairs_parallel,
+    merge_runs,
+)
+from repro.run.config import ConfigError, RunConfig
+from repro.run.context import RunContext
+from repro.run.pipeline import StagedPipeline
+from repro.run.stats import Phase2Stats
+from repro.storage.engine import Engine
+
+from .helpers import absdiff_distance, numbers_relation
+
+WORKER_COUNTS = (1, 2, 4)
+POOLS = ("thread", "process")
+
+#: Clustered 1-D values: several duplicate groups of varying size plus
+#: isolated singletons, so Phase 2 produces a non-trivial CSPairs
+#: relation with several mutual-NN components.
+VALUES = [
+    10, 11, 12,
+    40, 41,
+    75,
+    100, 101, 102, 103,
+    160, 161,
+    220,
+    300, 301, 302,
+    360, 361,
+    430,
+    500, 501,
+    560, 561, 562,
+    640,
+    700, 701,
+    760, 761, 762, 763,
+    850,
+    900, 901,
+    960,
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    relation = numbers_relation(VALUES)
+    distance = absdiff_distance(scale=1000.0)
+    params = DEParams.size(4, c=4.0)
+    index = BruteForceIndex()
+    index.build(relation, distance)
+    nn = prepare_nn_lists(relation, index, params)
+    reference = build_cs_pairs(nn, params)
+    return relation, distance, params, nn, reference
+
+
+def _engine_with_nn(nn, buffer_pages=64, page_capacity=8) -> Engine:
+    engine = Engine(buffer_pages=buffer_pages, page_capacity=page_capacity)
+    materialize_nn_reln(engine, nn)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# HashIndex.probe_batch
+# ----------------------------------------------------------------------
+
+
+class TestHashIndexProbeBatch:
+    def test_batch_matches_single_probes(self, instance):
+        _, _, _, nn, _ = instance
+        engine = _engine_with_nn(nn)
+        index = engine.hash_index(engine.table("NN_Reln"), "id")
+        keys = [row[0] for row in nn.as_rows()[:5]] + [-1, 10_000]
+        assert index.probe_batch(keys) == [index.get(key) for key in keys]
+
+    def test_missing_keys_yield_empty_buckets(self, instance):
+        _, _, _, nn, _ = instance
+        engine = _engine_with_nn(nn)
+        index = engine.hash_index(engine.table("NN_Reln"), "id")
+        assert index.probe_batch([-5, -6]) == [(), ()]
+
+    def test_probe_counter_counts_batched_keys(self, instance):
+        _, _, _, nn, _ = instance
+        engine = _engine_with_nn(nn)
+        index = engine.hash_index(engine.table("NN_Reln"), "id")
+        assert index.probes == 0
+        index.probe_batch([1, 2, 3])
+        index.probe(1)
+        assert index.probes == 4
+
+
+# ----------------------------------------------------------------------
+# Join parity: every worker count × pool × source
+# ----------------------------------------------------------------------
+
+
+class TestJoinParity:
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_in_memory_matches_sequential(self, instance, n_workers, pool):
+        _, _, params, nn, reference = instance
+        pairs = build_cs_pairs_parallel(
+            nn, params, n_workers=n_workers, pool=pool
+        )
+        assert pairs == reference
+
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_engine_matches_sequential(self, instance, n_workers, pool):
+        _, _, params, nn, reference = instance
+        engine = _engine_with_nn(nn)
+        table = build_cs_pairs_engine_parallel(
+            engine, params, n_workers=n_workers, pool=pool
+        )
+        assert cs_pairs_from_table(table) == reference
+
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_spilled_runs_match_sequential(self, instance, n_workers, pool):
+        _, _, params, nn, reference = instance
+        engine = _engine_with_nn(nn, buffer_pages=3, page_capacity=4)
+        table = build_cs_pairs_engine_parallel(
+            engine, params, n_workers=n_workers, pool=pool, spill_runs=True
+        )
+        assert cs_pairs_from_table(table) == reference
+
+    def test_engine_table_matches_sequential_engine_builder(self, instance):
+        _, _, params, nn, reference = instance
+        sequential = _engine_with_nn(nn)
+        sequential_rows = list(
+            build_cs_pairs_engine(sequential, params).scan()
+        )
+        parallel = _engine_with_nn(nn)
+        parallel_rows = list(
+            build_cs_pairs_engine_parallel(parallel, params, n_workers=2).scan()
+        )
+        assert parallel_rows == sequential_rows
+
+    def test_odd_chunk_size_still_exact(self, instance):
+        _, _, params, nn, reference = instance
+        pairs = build_cs_pairs_parallel(
+            nn, params, n_workers=2, chunk_size=3
+        )
+        assert pairs == reference
+
+    def test_spill_drops_scratch_run_tables(self, instance):
+        _, _, params, nn, _ = instance
+        engine = _engine_with_nn(nn, buffer_pages=3, page_capacity=4)
+        build_cs_pairs_engine_parallel(
+            engine, params, n_workers=2, spill_runs=True
+        )
+        leftovers = [
+            name for name in engine.catalog.names()
+            if name.startswith("CSPairs__run")
+        ]
+        assert leftovers == []
+
+    def test_merge_runs_handles_overlapping_runs(self):
+        runs = [
+            [(1, 2, 0, 0, (True,)), (5, 6, 0, 0, (True,))],
+            [(1, 4, 0, 0, (True,)), (3, 4, 0, 0, (True,))],
+        ]
+        merged = list(merge_runs(runs))
+        assert [row[:2] for row in merged] == [(1, 2), (1, 4), (3, 4), (5, 6)]
+
+    def test_join_stats_accounting(self, instance):
+        _, _, params, nn, reference = instance
+        stats = Phase2Stats()
+        build_cs_pairs_parallel(nn, params, n_workers=2, stats=stats)
+        assert stats.join_workers == 2
+        assert stats.join_pool == "thread"
+        assert stats.pairs_emitted == len(reference)
+        assert stats.n_join_chunks == len(stats.worker_runs)
+        assert stats.rows_probed <= len(nn.as_rows())
+        assert stats.probes == sum(
+            run["probes"] for run in stats.worker_runs
+        )
+        assert stats.peak_run_rows == max(
+            run["pairs_emitted"] for run in stats.worker_runs
+        )
+
+    def test_rejects_bad_pool_and_workers(self):
+        with pytest.raises(ValueError):
+            ParallelCSJoinEngine(n_workers=0)
+        with pytest.raises(ValueError):
+            ParallelCSJoinEngine(pool="fibers")
+
+
+# ----------------------------------------------------------------------
+# Partitioner: streaming consumption and component sharding
+# ----------------------------------------------------------------------
+
+
+class TestPartitionerParity:
+    def test_streaming_iterator_matches_list_input(self, instance):
+        relation, _, params, _, reference = instance
+        from_list = partition_records(relation.ids(), reference, params)
+        from_iter = partition_records(
+            relation.ids(), iter(reference), params
+        )
+        assert from_list == from_iter
+
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_sharded_matches_sequential(self, instance, n_workers, pool):
+        relation, _, params, _, reference = instance
+        sequential = partition_records(relation.ids(), reference, params)
+        sharded = partition_records_sharded(
+            relation.ids(), reference, params,
+            n_workers=n_workers, pool=pool,
+        )
+        assert sharded == sequential
+
+    def test_components_partition_the_rows(self, instance):
+        _, _, _, _, reference = instance
+        components = mutual_components(reference)
+        flattened = [row for component in components for row in component]
+        assert sorted(flattened, key=lambda r: (r.id1, r.id2)) == reference
+        # Within a component, global row order is preserved.
+        for component in components:
+            assert component == sorted(
+                component, key=lambda r: (r.id1, r.id2)
+            )
+        # Components are vertex-disjoint.
+        seen: set[int] = set()
+        for component in components:
+            ids = {row.id1 for row in component} | {
+                row.id2 for row in component
+            }
+            assert not (ids & seen)
+            seen |= ids
+
+    def test_groups_never_span_components(self, instance):
+        relation, _, params, _, reference = instance
+        components = mutual_components(reference)
+        membership = {}
+        for index, component in enumerate(components):
+            for row in component:
+                membership[row.id1] = index
+                membership[row.id2] = index
+        partition = partition_records(relation.ids(), reference, params)
+        for group in partition.non_trivial_groups():
+            owners = {membership[rid] for rid in group}
+            assert len(owners) == 1
+
+    def test_sharded_records_stats(self, instance):
+        relation, _, params, _, reference = instance
+        stats = Phase2Stats()
+        partition_records_sharded(
+            relation.ids(), reference, params, n_workers=2, stats=stats
+        )
+        assert stats.n_components >= 2
+        assert stats.partition_shards == 2
+        assert stats.peak_group_rows >= 1
+
+    def test_sharded_rejects_bad_pool(self, instance):
+        relation, _, params, _, reference = instance
+        with pytest.raises(ValueError):
+            partition_records_sharded(
+                relation.ids(), reference, params, pool="fibers"
+            )
+
+    def test_empty_cs_pairs(self):
+        relation = numbers_relation([0, 500, 999])
+        params = DEParams.size(3, c=2.0)
+        assert partition_records(
+            relation.ids(), [], params
+        ) == partition_records_sharded(relation.ids(), [], params)
+
+
+# ----------------------------------------------------------------------
+# Full-pipeline parity + verification on every execution shape
+# ----------------------------------------------------------------------
+
+
+def _run_config(relation, distance, params, config: RunConfig):
+    index = BruteForceIndex()
+    context = RunContext.create(config, distance=distance, index=index)
+    return StagedPipeline(context).run(relation, params)
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("pool", POOLS)
+    @pytest.mark.parametrize("source", ("memory", "engine", "spill"))
+    def test_phase2_workers_verified_parity(
+        self, instance, n_workers, pool, source
+    ):
+        relation, distance, params, _, _ = instance
+        baseline = _run_config(
+            relation, distance, params, RunConfig(verify=False)
+        )
+        config = RunConfig(
+            phase2_workers=n_workers,
+            phase2_pool=pool,
+            use_engine=source in ("engine", "spill"),
+            spill=source == "spill",
+            buffer_pages=8 if source == "spill" else RunConfig.buffer_pages,
+            verify="report",
+        )
+        result = _run_config(relation, distance, params, config)
+        assert result.partition == baseline.partition
+        assert result.verification is not None and result.verification.ok
+
+    def test_phase2_stats_surface_in_run_stats(self, instance):
+        relation, distance, params, _, reference = instance
+        config = RunConfig(phase2_workers=2, use_engine=True)
+        result = _run_config(relation, distance, params, config)
+        phase2 = result.stats.phase2
+        assert phase2.join_workers == 2
+        assert phase2.pairs_emitted == len(reference)
+        assert result.stats.n_cs_pairs == len(reference)
+        payload = result.stats.to_dict()
+        assert payload["phase2"]["pairs_emitted"] == len(reference)
+        assert payload["phase2"]["partition_streamed"] is True
+
+
+# ----------------------------------------------------------------------
+# The 2-page-buffer edge case: bounded residency end to end
+# ----------------------------------------------------------------------
+
+
+class TestTwoPageBufferStreaming:
+    def test_spilled_run_streams_cs_pairs(self, instance):
+        relation, distance, params, _, reference = instance
+        baseline = _run_config(
+            relation, distance, params, RunConfig(verify=False)
+        )
+        config = RunConfig(
+            use_engine=True,
+            spill=True,
+            buffer_pages=2,
+            page_capacity=4,
+        )
+        index = BruteForceIndex()
+        context = RunContext.create(config, distance=distance, index=index)
+        result = StagedPipeline(context).run(relation, params)
+
+        # Same answer as the fully in-memory path.
+        assert result.partition == baseline.partition
+        # The CSPairs row list was never materialized...
+        assert result.cs_pairs is None
+        phase2 = result.stats.phase2
+        # ...the partitioner consumed the table as a stream...
+        assert phase2.partition_streamed is True
+        assert phase2.pairs_emitted == len(reference)
+        # ...holding at most one anchor's rows at a time, which is far
+        # smaller than the relation...
+        assert 1 <= phase2.peak_group_rows < len(reference)
+        assert phase2.peak_group_rows <= params.k
+        # ...and every in-memory join run stayed a bounded slice (one
+        # chunk's worth of anchors, each contributing < k pairs).
+        pool_rows = 2 * 4
+        chunk_anchors = max(8, pool_rows)
+        assert phase2.peak_run_rows <= chunk_anchors * params.k
+        # The tiny pool actually evicted: the table really lived on
+        # "disk", not in the pool.
+        assert result.stats.buffer is not None
+        assert result.stats.buffer.evictions > 0
+
+    def test_verifier_passes_on_two_page_run(self, instance):
+        relation, distance, params, _, _ = instance
+        config = RunConfig(
+            use_engine=True,
+            spill=True,
+            buffer_pages=2,
+            page_capacity=4,
+            verify="report",
+        )
+        result = _run_config(relation, distance, params, config)
+        assert result.verification is not None and result.verification.ok
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+
+
+class TestPhase2Config:
+    def test_round_trip(self):
+        config = RunConfig(phase2_workers=4, phase2_pool="process")
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RunConfig(phase2_workers=0)
+        with pytest.raises(ConfigError):
+            RunConfig(phase2_pool="fibers")
+
+    def test_from_cli_args_maps_phase2_flags(self):
+        import argparse
+
+        args = argparse.Namespace(phase2_workers=3, phase2_pool="process")
+        config = RunConfig.from_cli_args(args)
+        assert config.phase2_workers == 3
+        assert config.phase2_pool == "process"
+
+    def test_describe_mentions_non_default_phase2(self):
+        assert "phase2_workers=2" in RunConfig(phase2_workers=2).describe()
+
+
+# ----------------------------------------------------------------------
+# order_by: automatic external sort for oversized sources
+# ----------------------------------------------------------------------
+
+
+class TestOrderByAutoExternal:
+    def test_large_source_sorts_externally_and_correctly(self):
+        engine = Engine(buffer_pages=2, page_capacity=4)
+        table = engine.create_table("t", ("key", "payload"))
+        rows = [((37 * i) % 101, i) for i in range(80)]
+        table.insert_many(rows)
+        assert table.n_pages > engine.buffer.capacity
+        out = engine.order_by("sorted", table, key=lambda row: row[0])
+        assert list(out.scan()) == sorted(rows, key=lambda row: row[0])
+        leftovers = [
+            name for name in engine.catalog.names()
+            if name.startswith("sorted__run")
+        ]
+        assert leftovers == []
+
+    def test_small_source_still_sorts_in_memory(self):
+        engine = Engine(buffer_pages=8, page_capacity=8)
+        table = engine.create_table("t", ("key",))
+        table.insert_many([(3,), (1,), (2,)])
+        out = engine.order_by("sorted", table, key=lambda row: row[0])
+        assert list(out.scan()) == [(1,), (2,), (3,)]
+
+
+# ----------------------------------------------------------------------
+# iter_cs_pairs
+# ----------------------------------------------------------------------
+
+
+def test_iter_cs_pairs_streams_table(instance):
+    _, _, params, nn, reference = instance
+    engine = _engine_with_nn(nn)
+    table = build_cs_pairs_engine(engine, params)
+    iterator = iter_cs_pairs(table)
+    assert next(iterator) == reference[0]
+    assert [reference[0]] + list(iterator) == reference
+
+
+# ----------------------------------------------------------------------
+# the bench harness and its --check gate
+# ----------------------------------------------------------------------
+
+
+class TestBenchPhase2:
+    def test_payload_parity_and_clean_gate(self):
+        from repro.eval.bench_phase2 import (
+            check_phase2_payload,
+            phase2_table,
+            run_phase2_bench,
+        )
+
+        payload = run_phase2_bench(
+            entities=12, workers=(1, 2), repeats=1, distance="edit",
+            buffer_pages=16, page_capacity=8, spill_buffer_pages=2,
+        )
+        assert payload["repeats"] == 1
+        assert [run["pairs"] for run in payload["runs"]].count(
+            payload["runs"][0]["pairs"]
+        ) == len(payload["runs"])
+        for source in ("memory", "engine", "spill"):
+            assert payload["parity"][source] is True
+        assert payload["parity"]["cross_source"] is True
+        assert payload["partition"]["parity"] is True
+        failures = check_phase2_payload(payload)
+        assert failures["checksum"] == []
+        assert "phase2 join" in phase2_table(payload)
+
+    def test_gate_separates_checksum_from_throughput(self):
+        from repro.eval.bench_phase2 import check_phase2_payload
+
+        def run(source, mode, workers, throughput):
+            return {
+                "source": source, "mode": mode, "workers": workers,
+                "throughput": throughput,
+            }
+
+        payload = {
+            "parity": {
+                "memory": True, "engine": False,
+                "spill": True, "cross_source": False,
+            },
+            "partition": {"parity": True},
+            "runs": [
+                run("memory", "partitioned", 1, 100.0),
+                run("memory", "partitioned", 2, 20.0),
+                run("engine", "partitioned", 1, 100.0),
+                run("engine", "partitioned", 2, 90.0),
+                run("spill", "partitioned", 1, 0.0),
+            ],
+        }
+        failures = check_phase2_payload(payload)
+        assert sorted(failures["checksum"]) == [
+            "CSPairs checksum mismatch: cross_source",
+            "CSPairs checksum mismatch: engine",
+        ]
+        assert failures["throughput"] == [
+            "memory @ 2 workers: throughput 0.20x of 1-worker (< 0.5x)"
+        ]
+        relaxed = check_phase2_payload(payload, min_relative_throughput=0.1)
+        assert relaxed["throughput"] == []
