@@ -43,6 +43,7 @@ from repro.eval.bench_phase1 import (
     run_phase1_bench,
     write_phase1_json,
 )
+from repro.distances.kernels.compat import KernelUnavailable
 from repro.run.config import ConfigError, RunConfig
 from repro.run.registry import DISTANCES, INDEXES
 
@@ -114,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
     dedup.add_argument(
         "--page-capacity", type=int, default=RunConfig.page_capacity,
         help="rows per storage-engine page for --engine / --spill",
+    )
+    dedup.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default="auto",
+        help="Phase-1 distance backend: vectorized numpy batch kernels "
+             "when available (auto), required (numpy), or the scalar "
+             "per-pair baseline (python); results are bit-identical",
     )
     dedup.add_argument(
         "--verify", action="store_true",
@@ -211,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated worker counts for the batch runs",
     )
     bench.add_argument("--pool", choices=("thread", "process"), default="thread")
+    bench.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default="auto",
+        help="distance backend for the batch/parallel runs (the "
+             "per-query baseline always runs the scalar python path)",
+    )
     bench.add_argument("--k", type=int, default=5)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument(
@@ -349,7 +361,11 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
         index=INDEXES[args.index](),
         config=config,
     )
-    result = solver.run(relation, params)
+    try:
+        result = solver.run(relation, params)
+    except KernelUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     if args.output:
         with Path(args.output).open("w", newline="", encoding="utf-8") as handle:
@@ -375,6 +391,8 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             f"phase 1 [{args.index}]: {stats.lookups} lookups in "
             f"{stats.seconds:.2f}s ({stats.throughput:.0f}/s), "
             f"{stats.evaluations} distance evaluations, "
+            f"{stats.kernel_evaluations} kernel evaluations "
+            f"[{result.stats.kernel_backend} backend], "
             f"{stats.candidates_generated} candidates verified, "
             f"{stats.evaluations_pruned} pairs pruned "
             f"(prune rate {stats.prune_rate:.2f}, "
@@ -555,21 +573,26 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
         return 2
     sizes = tuple(int(part) for part in args.sizes.split(",") if part)
     workers = tuple(int(part) for part in args.workers.split(",") if part)
-    payload = run_phase1_bench(
-        sizes=sizes,
-        workers=workers,
-        dataset=args.dataset,
-        distance=args.distance,
-        k=args.k,
-        pool=args.pool,
-        seed=args.seed,
-        verify=args.verify,
-        indexes=args.indexes,
-        matrix_distance=args.matrix_distance,
-        matrix_entities=args.matrix_entities,
-        matrix_theta=args.matrix_theta if args.matrix_theta > 0 else None,
-        recall_sample=args.recall_sample,
-    )
+    try:
+        payload = run_phase1_bench(
+            sizes=sizes,
+            workers=workers,
+            dataset=args.dataset,
+            distance=args.distance,
+            k=args.k,
+            pool=args.pool,
+            seed=args.seed,
+            kernel=args.kernel,
+            verify=args.verify,
+            indexes=args.indexes,
+            matrix_distance=args.matrix_distance,
+            matrix_entities=args.matrix_entities,
+            matrix_theta=args.matrix_theta if args.matrix_theta > 0 else None,
+            recall_sample=args.recall_sample,
+        )
+    except KernelUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     path = write_phase1_json(payload, args.output)
     print(phase1_table(payload), file=out)
     for matrix in payload.get("index_matrix") or ():

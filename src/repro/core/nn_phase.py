@@ -50,6 +50,11 @@ class Phase1Stats:
     #: misses, q-gram count-filter rejects, triangle-inequality prunes,
     #: BK-tree subtree skips.  The sub-quadratic lever, made visible.
     evaluations_pruned: int = 0
+    #: Pairs evaluated inside a vectorized batch kernel (numpy path)
+    #: rather than one scalar ``distance()`` call at a time.  Disjoint
+    #: from ``evaluations``: a pair is counted in exactly one of the
+    #: two, so their sum is the total distance work.
+    kernel_evaluations: int = 0
     n_chunks: int = 0
     chunk_seconds: list[float] = field(default_factory=list)
     #: Per-index-name accumulation of {lookups, evaluations,
@@ -65,6 +70,7 @@ class Phase1Stats:
         evaluations: int = 0,
         candidates_generated: int = 0,
         evaluations_pruned: int = 0,
+        kernel_evaluations: int = 0,
     ) -> None:
         """Accumulate one run's costs under the index's name."""
         row = self.by_index.setdefault(
@@ -74,12 +80,14 @@ class Phase1Stats:
                 "evaluations": 0,
                 "candidates_generated": 0,
                 "evaluations_pruned": 0,
+                "kernel_evaluations": 0,
             },
         )
         row["lookups"] += lookups
         row["evaluations"] += evaluations
         row["candidates_generated"] += candidates_generated
         row["evaluations_pruned"] += evaluations_pruned
+        row["kernel_evaluations"] += kernel_evaluations
 
     @property
     def prune_rate(self) -> float:
@@ -88,7 +96,12 @@ class Phase1Stats:
         0.0 when nothing was pruned or nothing ran (brute force never
         prunes: it has no candidate-generation stage).
         """
-        total = self.evaluations_pruned + self.evaluations + self.cache_hits
+        total = (
+            self.evaluations_pruned
+            + self.evaluations
+            + self.kernel_evaluations
+            + self.cache_hits
+        )
         if total == 0:
             return 0.0
         return self.evaluations_pruned / total
@@ -203,6 +216,7 @@ def prepare_nn_lists(
     misses_before = getattr(index, "cache_misses", 0)
     candidates_before = getattr(index, "candidates_generated", 0)
     pruned_before = getattr(index, "evaluations_pruned", 0)
+    kernel_before = getattr(index, "kernel_evaluations", 0)
     lookups_before = stats.lookups if stats is not None else 0
 
     def lookup(rid: int) -> Sequence[Neighbor]:
@@ -239,17 +253,20 @@ def prepare_nn_lists(
         evaluations = index.evaluations - evaluations_before
         candidates = getattr(index, "candidates_generated", 0) - candidates_before
         pruned = getattr(index, "evaluations_pruned", 0) - pruned_before
+        kernel = getattr(index, "kernel_evaluations", 0) - kernel_before
         stats.seconds += time.perf_counter() - started
         stats.evaluations += evaluations
         stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
         stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
         stats.candidates_generated += candidates
         stats.evaluations_pruned += pruned
+        stats.kernel_evaluations += kernel
         stats.credit_index(
             index.name,
             lookups=stats.lookups - lookups_before,
             evaluations=evaluations,
             candidates_generated=candidates,
             evaluations_pruned=pruned,
+            kernel_evaluations=kernel,
         )
     return nn_relation

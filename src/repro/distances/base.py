@@ -49,6 +49,42 @@ class DistanceFunction(abc.ABC):
     def prepare(self, relation: Relation) -> None:
         """Collect corpus statistics from ``relation`` (optional hook)."""
 
+    def make_kernel(self, relation: Relation):
+        """Build a batch :class:`~repro.distances.kernels.DistanceKernel`.
+
+        Called after :meth:`prepare` by indexes running with a kernel
+        mode enabled.  The default raises
+        :class:`~repro.distances.kernels.KernelUnavailable`: distances
+        without a vectorized implementation simply keep the scalar
+        path.  Implementations must be bit-identical to ``distance``
+        for in-relation record pairs and should register the kernel via
+        :meth:`_register_kernel` so ``kernel_evaluations`` reconciles.
+        """
+        from repro.distances.kernels import KernelUnavailable
+
+        raise KernelUnavailable(
+            f"{type(self).__name__} has no vectorized kernel"
+        )
+
+    def _register_kernel(self, kernel):
+        """Track ``kernel`` so its work shows in ``kernel_evaluations``."""
+        kernels = getattr(self, "_kernels", None)
+        if kernels is None:
+            kernels = []
+            self._kernels = kernels
+        kernels.append(kernel)
+        return kernel
+
+    @property
+    def kernel_evaluations(self) -> int:
+        """Pair distances computed by kernels built from this function.
+
+        Kernel batches bypass the per-pair cache and the scalar
+        ``distance`` call counter; this is the matching ledger entry
+        that keeps evaluation totals reconcilable.
+        """
+        return sum(k.evaluations for k in getattr(self, "_kernels", ()))
+
     @abc.abstractmethod
     def distance(self, a: Record, b: Record) -> float:
         """Return the distance between two records, in [0, 1]."""
@@ -119,6 +155,17 @@ class CachedDistance(DistanceFunction):
     def prepare(self, relation: Relation) -> None:
         self._cache.clear()
         self.inner.prepare(relation)
+
+    def make_kernel(self, relation: Relation):
+        # Kernels are exact replicas of the inner distance; memoizing
+        # their batch output pair-by-pair would defeat the point, so
+        # the wrapper passes straight through (and kernel work is
+        # ledgered in ``kernel_evaluations``, not ``calls``).
+        return self.inner.make_kernel(relation)
+
+    @property
+    def kernel_evaluations(self) -> int:
+        return self.inner.kernel_evaluations
 
     def distance(self, a: Record, b: Record) -> float:
         self.calls += 1

@@ -5,6 +5,13 @@ literature and a building block the paper contrasts with ``fms``: cosine
 with IDF weights places "microsft corporation" close to "boeing
 corporation" because the shared token "corporation" carries (some)
 weight while the typo token "microsft" matches nothing.
+
+The scalar path evaluates each pair as a merge-join over per-record
+``(token, weight)`` lists *sorted by token string*, with norms
+precomputed in ``prepare``.  That fixes one canonical floating-point
+summation order — ascending token — which
+:class:`~repro.distances.kernels.cosine.CosineKernel` reproduces
+exactly, so batch and per-pair results are bit-identical.
 """
 
 from __future__ import annotations
@@ -32,6 +39,20 @@ def cosine_similarity(u: dict[str, float], v: dict[str, float]) -> float:
     return dot / (nu * nv)
 
 
+def _sorted_items(vector: dict[str, float]) -> tuple[list[str], list[float]]:
+    """Split a sparse vector into token/weight lists, ascending token."""
+    tokens = sorted(vector)
+    return tokens, [vector[t] for t in tokens]
+
+
+def _norm(weights: list[float]) -> float:
+    """Euclidean norm accumulated in the canonical (token) order."""
+    total = 0.0
+    for w in weights:
+        total += w * w
+    return math.sqrt(total)
+
+
 class CosineDistance(DistanceFunction):
     """``1 - cosine`` over tf-idf token vectors of whole records.
 
@@ -44,7 +65,8 @@ class CosineDistance(DistanceFunction):
 
     def __init__(self, idf: IdfTable | None = None):
         self._idf = idf
-        self._vectors: dict[int, dict[str, float]] = {}
+        # rid -> (tokens ascending, weights aligned, norm)
+        self._items: dict[int, tuple[list[str], list[float], float]] = {}
 
     @property
     def idf(self) -> IdfTable:
@@ -54,15 +76,51 @@ class CosineDistance(DistanceFunction):
 
     def prepare(self, relation: Relation) -> None:
         self._idf = IdfTable.from_relation(relation)
-        self._vectors = {
-            record.rid: self._idf.vector(record.text()) for record in relation
-        }
+        self._items = {}
+        for record in relation:
+            tokens, weights = _sorted_items(self._idf.vector(record.text()))
+            self._items[record.rid] = (tokens, weights, _norm(weights))
 
-    def _vector(self, record: Record) -> dict[str, float]:
-        vector = self._vectors.get(record.rid)
-        if vector is None:
-            vector = self.idf.vector(record.text())
-        return vector
+    def make_kernel(self, relation: Relation):
+        from repro.distances.kernels.columnar import ColumnarVectors
+        from repro.distances.kernels.cosine import CosineKernel
+
+        rows = sorted(
+            (record.rid for record in relation if record.rid in self._items)
+        )
+        tokens_per_record = [self._items[rid][0] for rid in rows]
+        weights_per_record = [self._items[rid][1] for rid in rows]
+        norms = [self._items[rid][2] for rid in rows]
+        vectors = ColumnarVectors(rows, tokens_per_record, weights_per_record)
+        return self._register_kernel(CosineKernel(vectors, norms))
+
+    def _record_items(
+        self, record: Record
+    ) -> tuple[list[str], list[float], float]:
+        items = self._items.get(record.rid)
+        if items is None:
+            tokens, weights = _sorted_items(self.idf.vector(record.text()))
+            items = (tokens, weights, _norm(weights))
+        return items
 
     def distance(self, a: Record, b: Record) -> float:
-        return clamp01(1.0 - cosine_similarity(self._vector(a), self._vector(b)))
+        tokens_a, weights_a, norm_a = self._record_items(a)
+        tokens_b, weights_b, norm_b = self._record_items(b)
+        if not tokens_a or not tokens_b:
+            return 1.0
+        dot = 0.0
+        i = j = 0
+        na, nb = len(tokens_a), len(tokens_b)
+        while i < na and j < nb:
+            ta, tb = tokens_a[i], tokens_b[j]
+            if ta == tb:
+                dot += weights_a[i] * weights_b[j]
+                i += 1
+                j += 1
+            elif ta < tb:
+                i += 1
+            else:
+                j += 1
+        if dot == 0.0:
+            return 1.0
+        return clamp01(1.0 - dot / (norm_a * norm_b))

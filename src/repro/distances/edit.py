@@ -133,6 +133,19 @@ class EditDistance(DistanceFunction):
         text = record.text()
         return normalize(text) if self.normalize_text else text
 
+    def make_kernel(self, relation):
+        from repro.distances.kernels import KernelUnavailable
+        from repro.distances.kernels.edit import EditKernel
+
+        if self.damerau:
+            raise KernelUnavailable(
+                "EditKernel covers plain Levenshtein only; the Damerau "
+                "variant keeps the scalar path"
+            )
+        rids = sorted(record.rid for record in relation)
+        texts = [self._render(relation.get(rid)) for rid in rids]
+        return self._register_kernel(EditKernel(rids, texts))
+
     def distance(self, a: Record, b: Record) -> float:
         sa, sb = self._render(a), self._render(b)
         if not sa and not sb:

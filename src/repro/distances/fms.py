@@ -31,11 +31,14 @@ from repro.distances.edit import levenshtein
 from repro.distances.idf import IdfTable
 from repro.distances.tokens import tokenize
 
+from repro.distances.kernels.compat import numpy_or_none
+
+_np = numpy_or_none()
 try:  # pragma: no cover - exercised implicitly
-    import numpy as _np
     from scipy.optimize import linear_sum_assignment as _lsa
 except ImportError:  # pragma: no cover
-    _np = None
+    _lsa = None
+if _np is None:  # scipy without numpy cannot happen, but keep the pair honest
     _lsa = None
 
 __all__ = ["FuzzyMatchDistance", "directed_fuzzy_match_distance"]

@@ -48,13 +48,44 @@ def weighted_jaccard_similarity(
 
 
 class TokenJaccardDistance(DistanceFunction):
-    """``1 - Jaccard`` over word-token sets of whole records."""
+    """``1 - Jaccard`` over word-token sets of whole records.
+
+    ``prepare`` caches each record's token set so repeated pair
+    evaluations and the vectorized kernel share one tokenization pass;
+    out-of-relation records are tokenized on the fly as before.
+    """
 
     name = "jaccard"
 
+    def __init__(self) -> None:
+        self._token_sets: dict[int, set[str]] = {}
+
+    def prepare(self, relation: Relation) -> None:
+        self._token_sets = {
+            record.rid: set(tokenize(record.text())) for record in relation
+        }
+
+    def make_kernel(self, relation: Relation):
+        from repro.distances.kernels.columnar import ColumnarVectors
+        from repro.distances.kernels.jaccard import JaccardKernel
+
+        if not self._token_sets:
+            self.prepare(relation)
+        rows = sorted(
+            (record.rid for record in relation if record.rid in self._token_sets)
+        )
+        tokens_per_record = [sorted(self._token_sets[rid]) for rid in rows]
+        vectors = ColumnarVectors(rows, tokens_per_record)
+        return self._register_kernel(JaccardKernel(vectors))
+
+    def _token_set(self, record: Record) -> set[str]:
+        tokens = self._token_sets.get(record.rid)
+        if tokens is None:
+            tokens = set(tokenize(record.text()))
+        return tokens
+
     def distance(self, a: Record, b: Record) -> float:
-        sa, sb = set(tokenize(a.text())), set(tokenize(b.text()))
-        return clamp01(1.0 - jaccard_similarity(sa, sb))
+        return clamp01(1.0 - jaccard_similarity(self._token_set(a), self._token_set(b)))
 
 
 class QgramJaccardDistance(DistanceFunction):

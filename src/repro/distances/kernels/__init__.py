@@ -1,0 +1,21 @@
+"""Vectorized batch distance kernels (optional numpy backend).
+
+Nothing in this package imports numpy at module import time; the
+concrete kernels call :func:`~repro.distances.kernels.compat.require_numpy`
+in their constructors and raise :class:`KernelUnavailable` when the
+``perf`` extra is not installed, letting callers fall back to the
+scalar per-pair path.
+"""
+
+from .base import DistanceKernel
+from .columnar import ColumnarVectors
+from .compat import KernelUnavailable, have_numpy, numpy_or_none, require_numpy
+
+__all__ = [
+    "DistanceKernel",
+    "ColumnarVectors",
+    "KernelUnavailable",
+    "have_numpy",
+    "numpy_or_none",
+    "require_numpy",
+]

@@ -1,0 +1,163 @@
+"""Columnar (CSR + CSC) token-vector storage for one relation chunk.
+
+``ColumnarVectors`` holds every record's sparse token vector in three
+contiguous arrays — ``indptr`` / ``indices`` / ``values`` — built once
+from per-record token lists.  Rows are ordered by ascending record id;
+the vocabulary is the *sorted* token universe, so ascending vocabulary
+index is exactly ascending token string.  That invariant is what makes
+the kernels bit-identical to the scalar merge-join paths:
+``similarity_row`` accumulates each dot product with ``np.bincount``,
+whose C loop adds contributions sequentially in concatenation order =
+ascending token order = the order the scalar merge-join uses.
+
+    rids:    [r0, r1, ...]                       (ascending)
+    indptr:  [0, nnz(r0), nnz(r0)+nnz(r1), ...]  row boundaries
+    indices: vocab indices, ascending inside each row
+    values:  tf-idf weights aligned with indices (None for set kernels)
+
+A CSC view (``postings``) is derived lazily for the column-gather step;
+within each posting, rows appear in ascending order (stable argsort of
+a row-major scan).
+
+Being plain numpy arrays, instances also cross process-pool boundaries
+as flat buffers instead of per-record dicts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .compat import require_numpy
+
+__all__ = ["ColumnarVectors"]
+
+
+class ColumnarVectors:
+    """CSR token matrix over a relation chunk, with lazy CSC postings."""
+
+    def __init__(
+        self,
+        rids: Sequence[int],
+        tokens_per_record: Sequence[Sequence[str]],
+        weights_per_record: Sequence[Sequence[float]] | None = None,
+    ) -> None:
+        np = require_numpy()
+        self._np = np
+        if list(rids) != sorted(rids):
+            raise ValueError("rids must be ascending")
+        self.rid_list = [int(r) for r in rids]
+        self.rids = np.asarray(self.rid_list, dtype=np.int64)
+        self.row_of = {rid: i for i, rid in enumerate(self.rid_list)}
+
+        vocab = sorted({t for tokens in tokens_per_record for t in tokens})
+        self.vocab_index = {t: i for i, t in enumerate(vocab)}
+        self.n_vocab = len(vocab)
+
+        indptr = np.zeros(len(self.rid_list) + 1, dtype=np.int64)
+        flat_indices: list[int] = []
+        flat_values: list[float] | None = (
+            [] if weights_per_record is not None else None
+        )
+        for i, tokens in enumerate(tokens_per_record):
+            cols = sorted(self.vocab_index[t] for t in tokens)
+            flat_indices.extend(cols)
+            indptr[i + 1] = len(flat_indices)
+            if flat_values is not None:
+                # Re-sort weights alongside their (string-sorted) tokens;
+                # vocab index order coincides with token string order.
+                pairs = sorted(
+                    zip(
+                        (self.vocab_index[t] for t in tokens),
+                        weights_per_record[i],
+                    )
+                )
+                flat_values.extend(w for _, w in pairs)
+        self.indptr = indptr
+        self.indices = np.asarray(flat_indices, dtype=np.int64)
+        self.values = (
+            np.asarray(flat_values, dtype=np.float64)
+            if flat_values is not None
+            else None
+        )
+        self.row_sizes = np.diff(indptr)
+        self._pindptr = None
+        self._prows = None
+        self._pvals = None
+
+    def __len__(self) -> int:
+        return len(self.rid_list)
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self.row_of
+
+    def postings(self):
+        """CSC view ``(pindptr, prows, pvals)``; built on first use."""
+        if self._pindptr is None:
+            np = self._np
+            pindptr = np.zeros(self.n_vocab + 1, dtype=np.int64)
+            if len(self.indices):
+                counts = np.bincount(self.indices, minlength=self.n_vocab)
+                np.cumsum(counts, out=pindptr[1:])
+                # Stable sort of a row-major scan: rows stay ascending
+                # inside every posting list.
+                order = np.argsort(self.indices, kind="stable")
+                rows = np.repeat(
+                    np.arange(len(self.rid_list), dtype=np.int64),
+                    self.row_sizes,
+                )
+                self._prows = rows[order]
+                self._pvals = (
+                    self.values[order] if self.values is not None else None
+                )
+            else:
+                self._prows = np.empty(0, dtype=np.int64)
+                self._pvals = (
+                    np.empty(0, dtype=np.float64)
+                    if self.values is not None
+                    else None
+                )
+            self._pindptr = pindptr
+        return self._pindptr, self._prows, self._pvals
+
+    def dot_row(self, i: int):
+        """Weighted dot products of row ``i`` against every row.
+
+        Gathers the posting segment of each query token in ascending
+        token order and accumulates with ``np.bincount`` — additions
+        land on each target row in the same order the scalar merge-join
+        would apply them.
+        """
+        np = self._np
+        pindptr, prows, pvals = self.postings()
+        start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+        if start == end:
+            return np.zeros(len(self.rid_list), dtype=np.float64)
+        cols = self.indices[start:end]
+        qw = self.values[start:end]
+        row_chunks = []
+        val_chunks = []
+        for k in range(len(cols)):
+            c = int(cols[k])
+            s, e = int(pindptr[c]), int(pindptr[c + 1])
+            row_chunks.append(prows[s:e])
+            val_chunks.append(pvals[s:e] * qw[k])
+        return np.bincount(
+            np.concatenate(row_chunks),
+            weights=np.concatenate(val_chunks),
+            minlength=len(self.rid_list),
+        )
+
+    def intersection_row(self, i: int):
+        """Integer set-intersection sizes of row ``i`` vs every row."""
+        np = self._np
+        pindptr, prows, _ = self.postings()
+        start, end = int(self.indptr[i]), int(self.indptr[i + 1])
+        if start == end:
+            return np.zeros(len(self.rid_list), dtype=np.int64)
+        cols = self.indices[start:end]
+        row_chunks = [
+            prows[int(pindptr[int(c)]) : int(pindptr[int(c) + 1])] for c in cols
+        ]
+        return np.bincount(
+            np.concatenate(row_chunks), minlength=len(self.rid_list)
+        )

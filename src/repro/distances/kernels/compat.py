@@ -1,0 +1,55 @@
+"""Lazy numpy access shared by every kernel (and ``fms.py``).
+
+numpy is an *optional* extra (``pip install repro[perf]``): the whole
+package must import and pass its tier-1 suite without it.  All kernel
+modules therefore go through :func:`numpy_or_none` /
+:func:`require_numpy` instead of a module-level ``import numpy`` —
+one helper, one failure mode (:class:`KernelUnavailable`), one place to
+stub in tests.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelUnavailable", "have_numpy", "numpy_or_none", "require_numpy"]
+
+_NUMPY = None
+_SEARCHED = False
+
+
+class KernelUnavailable(RuntimeError):
+    """A vectorized kernel cannot be built.
+
+    Raised when ``kernel="numpy"`` is forced without numpy installed,
+    or when a distance function has no kernel implementation.  Under
+    ``kernel="auto"`` callers catch it and fall back to the scalar
+    path.
+    """
+
+
+def numpy_or_none():
+    """Return the numpy module, or ``None`` when not installed."""
+    global _NUMPY, _SEARCHED
+    if not _SEARCHED:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _NUMPY = numpy
+        _SEARCHED = True
+    return _NUMPY
+
+
+def have_numpy() -> bool:
+    """Whether numpy is importable in this environment."""
+    return numpy_or_none() is not None
+
+
+def require_numpy():
+    """Return numpy or raise :class:`KernelUnavailable`."""
+    np = numpy_or_none()
+    if np is None:
+        raise KernelUnavailable(
+            "numpy is not installed; install the 'perf' extra "
+            "(pip install repro[perf]) or run with kernel='python'"
+        )
+    return np

@@ -1,0 +1,66 @@
+"""Vectorized token-set Jaccard distance.
+
+Exact by construction: intersection and union sizes are integers
+(``bincount`` counts), and the only float operation is the final
+``int / int`` division plus ``1 - sim`` — the same two IEEE ops the
+scalar ``jaccard_similarity`` performs — so kernel and scalar paths are
+bit-identical without any summation-order argument.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .base import DistanceKernel
+from .columnar import ColumnarVectors
+from .compat import require_numpy
+
+__all__ = ["JaccardKernel"]
+
+
+class JaccardKernel(DistanceKernel):
+    """Blocked ``1 - Jaccard`` over a binary columnar chunk."""
+
+    backend = "numpy"
+    pairs_min = 16  # pairs() computes a full row; skip tiny lists
+
+    def __init__(self, vectors: ColumnarVectors) -> None:
+        np = require_numpy()
+        self._np = np
+        self.evaluations = 0
+        self._v = vectors
+        self._sizes = vectors.row_sizes
+
+    @property
+    def rids(self) -> list[int]:
+        return self._v.rid_list
+
+    def __contains__(self, rid: int) -> bool:
+        return rid in self._v
+
+    def _distance_row(self, i: int):
+        np = self._np
+        size_q = int(self._sizes[i])
+        if size_q == 0:
+            # Scalar semantics: both-empty -> similarity 1.0 (distance
+            # 0), one-empty -> similarity 0.0 (distance 1).
+            return np.where(self._sizes == 0, 0.0, 1.0)
+        inter = self._v.intersection_row(i)
+        denom = self._sizes + (size_q - inter)
+        sim = inter / denom
+        return np.clip(1.0 - sim, 0.0, 1.0)
+
+    def block(self, query_rids: Sequence[int]):
+        np = self._np
+        n = len(self._v)
+        out = np.empty((len(query_rids), n), dtype=np.float64)
+        for r, rid in enumerate(query_rids):
+            out[r, :] = self._distance_row(self._v.row_of[rid])
+        self.evaluations += len(query_rids) * max(0, n - 1)
+        return out
+
+    def pairs(self, query_rid: int, rids: Sequence[int]) -> list[float]:
+        row = self._distance_row(self._v.row_of[query_rid])
+        row_of = self._v.row_of
+        self.evaluations += len(rids)
+        return [float(row[row_of[rid]]) for rid in rids]

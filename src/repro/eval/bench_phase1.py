@@ -96,9 +96,11 @@ def _run_mode(
     mode: str,
     n_workers: int,
     pool: str,
+    kernel: str = "python",
 ) -> dict:
     """Time one Phase-1 execution mode on a fresh index and distance."""
     index = BruteForceIndex()
+    index.enable_kernel(kernel)
     index.build(relation, distance_cls())
     stats = Phase1Stats()
     if mode == "per-query":
@@ -114,6 +116,8 @@ def _run_mode(
         "lookups": stats.lookups,
         "throughput": stats.throughput,
         "evaluations": stats.evaluations,
+        "kernel_evaluations": stats.kernel_evaluations,
+        "backend": index.kernel_backend,
         "cache_hit_rate": stats.cache_hit_rate,
         "n_chunks": stats.n_chunks,
         "checksum": nn_checksum(nn),
@@ -132,6 +136,7 @@ def run_index_matrix(
     duplicate_fraction: float = 0.3,
     seed: int = 0,
     recall_sample: int = 50,
+    kernel: str = "python",
 ) -> dict:
     """Compare candidate-generation indexes on one Phase-1 instance.
 
@@ -179,6 +184,7 @@ def run_index_matrix(
     for name in names:
         try:
             index = INDEX_FACTORIES[name]()
+            index.enable_kernel(kernel)
             index.build(relation, distance_cls())
         except (TypeError, ValueError) as exc:
             rows.append({"index": name, "skipped": str(exc)})
@@ -186,7 +192,12 @@ def run_index_matrix(
         stats = Phase1Stats()
         engine = ParallelNNEngine(n_workers=n_workers, pool=pool)
         nn = engine.run(relation, index, params, order="sequential", stats=stats)
-        total = stats.evaluations + index.build_evaluations
+        # Kernel-evaluated pairs are distance work all the same: keep
+        # the vs-brute ratio meaningful under every backend.
+        total = (
+            stats.evaluations + stats.kernel_evaluations
+            + index.build_evaluations
+        )
         if name == "brute":
             brute_total = total
         row = {
@@ -196,6 +207,8 @@ def run_index_matrix(
             "lookups": stats.lookups,
             "throughput": stats.throughput,
             "evaluations": stats.evaluations,
+            "kernel_evaluations": stats.kernel_evaluations,
+            "backend": index.kernel_backend,
             "build_evaluations": index.build_evaluations,
             "total_evaluations": total,
             "candidates_generated": stats.candidates_generated,
@@ -228,6 +241,7 @@ def run_index_matrix(
         "duplicate_fraction": duplicate_fraction,
         "seed": seed,
         "recall_sample": recall_sample,
+        "kernel": kernel,
         "rows": rows,
     }
 
@@ -241,6 +255,7 @@ def run_phase1_bench(
     pool: str = "thread",
     duplicate_fraction: float = 0.3,
     seed: int = 0,
+    kernel: str = "auto",
     verify: bool = False,
     indexes: Sequence[str] | None = None,
     matrix_distance: str | None = None,
@@ -253,7 +268,11 @@ def run_phase1_bench(
     ``sizes`` counts entities before duplicate injection; each row
     reports the actual relation size ``n``.  For every size the
     per-query baseline runs once and the batch path runs once per
-    worker count.
+    worker count.  ``kernel`` selects the distance backend for the
+    batch runs (and the index matrix); the per-query baseline always
+    runs the scalar python path, so the recorded speedups measure the
+    full blocked + vectorized pipeline against the honest sequential
+    baseline.  Checksums still must agree across all modes.
 
     With ``verify=True`` the smallest size additionally runs the full
     DE pipeline under the invariant verifier (``repro.verify``) and
@@ -280,12 +299,18 @@ def run_phase1_bench(
             duplicate_fraction=duplicate_fraction,
             seed=seed,
         ).relation
-        baseline = _run_mode(relation, distance_cls, params, "per-query", 1, pool)
+        baseline = _run_mode(
+            relation, distance_cls, params, "per-query", 1, pool,
+            kernel="python",
+        )
         runs.append(baseline)
         checksums = {baseline["checksum"]}
         batch_one = None
         for n_workers in workers:
-            row = _run_mode(relation, distance_cls, params, "batch", n_workers, pool)
+            row = _run_mode(
+                relation, distance_cls, params, "batch", n_workers, pool,
+                kernel=kernel,
+            )
             runs.append(row)
             checksums.add(row["checksum"])
             if n_workers == 1:
@@ -318,6 +343,7 @@ def run_phase1_bench(
                 duplicate_fraction=duplicate_fraction,
                 seed=seed,
                 recall_sample=recall_sample,
+                kernel=kernel,
             )
         ]
 
@@ -327,6 +353,7 @@ def run_phase1_bench(
         "distance": distance,
         "k": k,
         "pool": pool,
+        "kernel": kernel,
         "duplicate_fraction": duplicate_fraction,
         "seed": seed,
         "python": platform.python_version(),
@@ -380,16 +407,19 @@ def phase1_table(payload: Mapping) -> str:
         (
             run["n"],
             run["mode"],
+            run.get("backend", "python"),
             run["workers"],
             f"{run['seconds']:.2f}s",
             f"{run['throughput']:.0f}/s",
             run["evaluations"],
+            run.get("kernel_evaluations", 0),
             f"{run['cache_hit_rate']:.2f}",
         )
         for run in payload["runs"]
     ]
     table = format_table(
-        ("n", "mode", "workers", "seconds", "throughput", "evaluations", "hit_rate"),
+        ("n", "mode", "backend", "workers", "seconds", "throughput",
+         "evaluations", "kernel_evals", "hit_rate"),
         rows,
         title="BENCH_phase1: Phase-1 lookup throughput by mode and worker count",
     )

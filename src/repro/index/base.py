@@ -72,6 +72,16 @@ class NNIndex(abc.ABC):
         #: Shared pair-cache accounting, mirrored by ``Phase1Stats``.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Pair distances served by a vectorized batch kernel.  Kernel
+        #: batches bypass both ``evaluations`` and the pair cache, so
+        #: this is the separate ledger that keeps totals reconcilable.
+        self.kernel_evaluations = 0
+        #: Kernel selection: "python" (never), "auto" (numpy kernels
+        #: when available), "numpy" (required).  Scalar by default so a
+        #: bare ``build()`` keeps exact historical counter behavior;
+        #: the run layer opts in via :meth:`enable_kernel`.
+        self.kernel_mode = "python"
+        self._kernel = None
         #: Canonical-direction pair cache keyed by ``(min_rid, max_rid)``.
         #: Batch scopes fill it; per-query calls only consult it, so the
         #: plain sequential path stays the honest O(1)-memory baseline.
@@ -99,6 +109,43 @@ class NNIndex(abc.ABC):
         # another relation's distances.
         self._pair_cache.clear()
         self._build()
+        self._resolve_kernel()
+
+    def enable_kernel(self, mode: str) -> None:
+        """Select the batch-kernel mode (``python``/``auto``/``numpy``).
+
+        Takes effect immediately when the index is already built,
+        otherwise at the next :meth:`build`.  ``numpy`` raises
+        :class:`~repro.distances.kernels.KernelUnavailable` when numpy
+        is missing; a distance function without a kernel implementation
+        keeps the scalar path under every mode.
+        """
+        if mode not in ("python", "auto", "numpy"):
+            raise ValueError(f"unknown kernel mode: {mode!r}")
+        self.kernel_mode = mode
+        if self.relation is not None and self.distance is not None:
+            self._resolve_kernel()
+
+    def _resolve_kernel(self) -> None:
+        """(Re)build the batch kernel according to ``kernel_mode``."""
+        self._kernel = None
+        if self.kernel_mode == "python":
+            return
+        if self.relation is None or self.distance is None:
+            return
+        from repro.distances.kernels import KernelUnavailable, have_numpy
+
+        try:
+            self._kernel = self.distance.make_kernel(self.relation)
+        except KernelUnavailable:
+            if self.kernel_mode == "numpy" and not have_numpy():
+                raise
+            self._kernel = None
+
+    @property
+    def kernel_backend(self) -> str:
+        """Backend actually answering batch queries ("python" = scalar)."""
+        return self._kernel.backend if self._kernel is not None else "python"
 
     @abc.abstractmethod
     def _build(self) -> None:
@@ -291,3 +338,28 @@ class NNIndex(abc.ABC):
         if self._batch_depth:
             self._pair_cache[key] = d
         return d
+
+    def _candidate_distances(
+        self, record: Record, rids: "Sequence[int]"
+    ) -> list[float]:
+        """Verify a candidate list: distances from ``record`` to ``rids``.
+
+        The batch-kernel route (when enabled and when the whole list is
+        in-relation) answers all candidates in one vectorized pass,
+        ledgered under ``kernel_evaluations``; otherwise each pair goes
+        through :meth:`_pair_distance` exactly as before.  Both routes
+        return bit-identical values, so approximate indexes may take
+        either without affecting results.  Kernels whose row evaluation
+        is O(n) advertise ``pairs_min`` to skip tiny candidate lists.
+        """
+        kernel = self._kernel
+        if (
+            kernel is not None
+            and len(rids) >= getattr(kernel, "pairs_min", 1)
+            and record.rid in kernel
+            and all(rid in kernel for rid in rids)
+        ):
+            self.kernel_evaluations += len(rids)
+            return kernel.pairs(record.rid, rids)
+        relation, _ = self._checked()
+        return [self._pair_distance(record, relation.get(rid)) for rid in rids]

@@ -114,6 +114,22 @@ class BKTreeIndex(NNIndex):
         text = record.text()
         return normalize(text) if self._normalize_text else text
 
+    def _raw_distance(self, a: str, b: str) -> int:
+        """Exact raw Levenshtein for tree traversal.
+
+        With kernels enabled the bit-parallel Myers scan replaces the
+        two-row DP whenever either string fits one machine word; both
+        algorithms are exact, so traversal decisions are unchanged.
+        """
+        if self._kernel is not None:
+            from repro.distances.kernels.edit import myers_levenshtein
+
+            if 0 < len(a) <= 64:
+                return myers_levenshtein(a, b)
+            if 0 < len(b) <= 64:
+                return myers_levenshtein(b, a)
+        return levenshtein(a, b)
+
     def _insert(self, text: str, rid: int) -> None:
         if self._root is None:
             self._root = _Node(text, rid)
@@ -165,7 +181,7 @@ class BKTreeIndex(NNIndex):
                     self.cache_misses += 1
                     # The exact raw distance is needed to decide which
                     # child edges stay inside [raw - radius, raw + radius].
-                    raw = levenshtein(query, node.text)
+                    raw = self._raw_distance(query, node.text)
                     self.evaluations += 1
                     if key is not None and self._batch_depth:
                         pair_cache[key] = raw

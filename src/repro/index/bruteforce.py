@@ -70,12 +70,17 @@ class BruteForceIndex(NNIndex):
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        #: One-slot (rid, np, rids, row) memo for per-query kernel
+        #: lookups: Phase 1 probes each record twice in a row (NN list,
+        #: then NG count) and this spares the second row computation.
+        self._kernel_row_cache = None
 
     def _build(self) -> None:
         self._pair_cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        self._kernel_row_cache = None
 
     # ------------------------------------------------------------------
     # Pair cache
@@ -149,10 +154,32 @@ class BruteForceIndex(NNIndex):
     # Per-query scans
     # ------------------------------------------------------------------
 
+    def _kernel_row(self, record: Record):
+        """Masked kernel distance row for one query, or ``None``."""
+        kernel = self._usable_kernel((record,))
+        if kernel is None:
+            return None
+        from repro.distances.kernels.compat import require_numpy
+
+        np = require_numpy()
+        cached = self._kernel_row_cache
+        if cached is not None and cached[0] == record.rid:
+            return np, cached[1], cached[2]
+        rids_arr = np.asarray(kernel.rids, dtype=np.int64)
+        d = kernel.block([record.rid])[0]
+        d[int(np.searchsorted(rids_arr, record.rid))] = float("inf")
+        self.kernel_evaluations += max(0, len(rids_arr) - 1)
+        self._kernel_row_cache = (record.rid, rids_arr, d)
+        return np, rids_arr, d
+
     def knn(self, record: Record, k: int) -> list[Neighbor]:
         relation, _ = self._checked()
         if k <= 0:
             return []
+        row = self._kernel_row(record)
+        if row is not None:
+            np, rids_arr, d = row
+            return self._row_knn(np, d, rids_arr, k)
         heap: list[Neighbor] = []
         for other in relation:
             if other.rid == record.rid:
@@ -169,6 +196,10 @@ class BruteForceIndex(NNIndex):
         self, record: Record, radius: float, inclusive: bool = False
     ) -> list[Neighbor]:
         relation, _ = self._checked()
+        row = self._kernel_row(record)
+        if row is not None:
+            np, rids_arr, d = row
+            return self._row_within(np, d, rids_arr, radius, inclusive)
         hits = []
         cache = self._pair_cache
         if cache:
@@ -205,6 +236,84 @@ class BruteForceIndex(NNIndex):
         return hits
 
     # ------------------------------------------------------------------
+    # Vectorized kernel batch evaluation
+    # ------------------------------------------------------------------
+    #
+    # When a batch kernel is resolved (``enable_kernel``), the batch
+    # methods compute whole distance rows at once: queries are processed
+    # in sub-blocks of ``_KERNEL_BLOCK`` rows to cap the dense block at
+    # a few MB, and per-row selection (k smallest, range filter, NG
+    # count) runs on the row arrays.  Kernel distances are bit-identical
+    # to the scalar canonical-direction evaluation, so answers match
+    # the scalar batch/per-query paths exactly; the work is ledgered in
+    # ``kernel_evaluations`` and never touches the pair cache.
+
+    _KERNEL_BLOCK = 64
+
+    def _usable_kernel(self, records: Sequence[Record]):
+        kernel = self._kernel
+        if kernel is None:
+            return None
+        relation = self.relation
+        if relation is None or len(kernel.rids) != len(relation):
+            return None
+        if any(record.rid not in kernel for record in records):
+            return None
+        return kernel
+
+    def _kernel_scan(self, kernel, records: Sequence[Record]):
+        """Set up a blocked row scan: returns ``(np, rids_arr, rows)``.
+
+        ``rows`` yields one masked (self = inf) float64 distance row per
+        query record, in batch order.
+        """
+        from repro.distances.kernels.compat import require_numpy
+
+        np = require_numpy()
+        rids_arr = np.asarray(kernel.rids, dtype=np.int64)
+
+        def rows():
+            inf = float("inf")
+            block = self._KERNEL_BLOCK
+            n = len(rids_arr)
+            for start in range(0, len(records), block):
+                chunk = [record.rid for record in records[start : start + block]]
+                dense = kernel.block(chunk)
+                self.kernel_evaluations += len(chunk) * max(0, n - 1)
+                for r, rid in enumerate(chunk):
+                    d = dense[r]
+                    d[int(np.searchsorted(rids_arr, rid))] = inf
+                    yield d
+
+        return np, rids_arr, rows()
+
+    @staticmethod
+    def _row_knn(np, d, rids_arr, k: int) -> list[Neighbor]:
+        """The k lexicographically smallest ``(d, rid)`` pairs of a row."""
+        if k <= 0:
+            return []
+        m = d.shape[0] - 1  # self is masked to inf
+        if m <= 0:
+            return []
+        if k < m:
+            kth = np.partition(d, k - 1)[k - 1]
+            idx = np.flatnonzero(d <= kth)
+        else:
+            idx = np.flatnonzero(d < np.inf)
+        sub_d = d[idx]
+        sub_r = rids_arr[idx]
+        order = np.lexsort((sub_r, sub_d))[:k]
+        return [Neighbor(float(sub_d[o]), int(sub_r[o])) for o in order]
+
+    @staticmethod
+    def _row_within(np, d, rids_arr, radius: float, inclusive: bool) -> list[Neighbor]:
+        idx = np.flatnonzero(d <= radius if inclusive else d < radius)
+        sub_d = d[idx]
+        sub_r = rids_arr[idx]
+        order = np.lexsort((sub_r, sub_d))
+        return [Neighbor(float(sub_d[o]), int(sub_r[o])) for o in order]
+
+    # ------------------------------------------------------------------
     # Blocked batch evaluation
     # ------------------------------------------------------------------
     #
@@ -217,6 +326,10 @@ class BruteForceIndex(NNIndex):
     def knn_batch(self, records: Sequence[Record], k: int) -> list[list[Neighbor]]:
         if k <= 0:
             return [[] for _ in records]
+        kernel = self._usable_kernel(records)
+        if kernel is not None:
+            np, rids_arr, rows = self._kernel_scan(kernel, records)
+            return [self._row_knn(np, d, rids_arr, k) for d in rows]
         if not self.cache_pairs:
             return [self.knn(record, k) for record in records]
         relation, _ = self._checked()
@@ -267,6 +380,12 @@ class BruteForceIndex(NNIndex):
     def within_batch(
         self, records: Sequence[Record], radius: float, inclusive: bool = False
     ) -> list[list[Neighbor]]:
+        kernel = self._usable_kernel(records)
+        if kernel is not None:
+            np, rids_arr, rows = self._kernel_scan(kernel, records)
+            return [
+                self._row_within(np, d, rids_arr, radius, inclusive) for d in rows
+            ]
         if not self.cache_pairs:
             return [self.within(record, radius, inclusive) for record in records]
         relation, _ = self._checked()
@@ -326,8 +445,38 @@ class BruteForceIndex(NNIndex):
 
         The monotonicity argument needs the linear ``p * nn`` radius, so
         a custom ``radius_fn`` (and the cacheless configuration) falls
-        back to the generic per-record path.
+        back to the generic per-record path.  The kernel route needs
+        neither restriction: every query already holds its full distance
+        row, so the NG count (including a custom ``radius_fn``) is read
+        straight off the row.
         """
+        if k is None and theta is None:
+            raise ValueError("phase1_batch needs k, theta, or both")
+        kernel = self._usable_kernel(records)
+        if kernel is not None:
+            np, rids_arr, rows = self._kernel_scan(kernel, records)
+            inf = float("inf")
+            results: list[tuple[list[Neighbor], int]] = []
+            for d in rows:
+                if theta is not None:
+                    neighbors = self._row_within(np, d, rids_arr, theta, False)
+                    if k is not None:
+                        neighbors = neighbors[:k]
+                else:
+                    assert k is not None
+                    neighbors = self._row_knn(np, d, rids_arr, k)
+                nn_d = float(d.min()) if d.size else inf
+                if nn_d == inf:
+                    ng = 1
+                elif nn_d == 0.0:
+                    # Exact duplicates: the zero-distance records are the
+                    # neighborhood (see NNIndex.neighborhood_growth).
+                    ng = 1 + int((d == 0.0).sum())
+                else:
+                    radius = radius_fn(nn_d) if radius_fn is not None else p * nn_d
+                    ng = 1 + int((d < radius).sum())
+                results.append((neighbors, ng))
+            return results
         if (
             radius_fn is not None
             or not self.cache_pairs
@@ -336,8 +485,6 @@ class BruteForceIndex(NNIndex):
             return super().phase1_batch(
                 records, k=k, theta=theta, p=p, radius_fn=radius_fn
             )
-        if k is None and theta is None:
-            raise ValueError("phase1_batch needs k, theta, or both")
         relation, _ = self._checked()
         cache = self._pair_cache
         get = cache.get

@@ -30,6 +30,7 @@ from collections import Counter
 from repro.data.schema import Record
 from repro.distances.base import CachedDistance
 from repro.distances.edit import EditDistance, levenshtein
+from repro.distances.kernels.edit import banded_levenshtein, myers_levenshtein
 from repro.distances.tokens import normalize, qgrams
 from repro.index.base import Neighbor, NNIndex
 from repro.index.cache import PagedPostingStore
@@ -246,12 +247,29 @@ class QgramInvertedIndex(NNIndex):
                 self.evaluations_pruned += 1
                 return None
         self.evaluations += 1
-        raw = levenshtein(query, other, max_distance=bound)
+        raw = self._bounded_raw(query, other, bound)
         if raw > bound:
             return None
         distance = raw / longest
         self._pair_cache[key] = distance
         return distance
+
+    def _bounded_raw(self, query: str, other: str, bound: int) -> int:
+        """Raw Levenshtein, exact when <= ``bound`` (any value beyond).
+
+        With kernels enabled the bit-parallel Myers scan replaces the
+        two-row DP for strings that fit one machine word, and the
+        Ukkonen band covers the long tail; both return the exact raw
+        distance whenever it is within ``bound``, so verified values
+        are identical to the scalar baseline's.
+        """
+        if self._kernel is not None:
+            if 0 < len(query) <= 64:
+                return myers_levenshtein(query, other)
+            if 0 < len(other) <= 64:
+                return myers_levenshtein(other, query)
+            return banded_levenshtein(query, other, bound)
+        return levenshtein(query, other, max_distance=bound)
 
     def knn(self, record: Record, k: int) -> list[Neighbor]:
         from bisect import insort
@@ -269,6 +287,17 @@ class QgramInvertedIndex(NNIndex):
                 (r.rid, 0) for r in relation if r.rid not in seen
             ]
         self._account_candidates(record, len(ranked))
+        if not self._edit_fast_path:
+            # No cutoff-based rejection without the edit fast path:
+            # every ranked candidate gets a full distance anyway, so
+            # verify the whole list in one (kernelizable) batch.
+            rids = [rid for rid, _ in ranked]
+            hits = [
+                Neighbor(d, rid)
+                for d, rid in zip(self._candidate_distances(record, rids), rids)
+            ]
+            hits.sort()
+            return hits[:k]
         hits: list[Neighbor] = []
         cutoff: float | None = None
         for rid, shared in ranked:
@@ -295,6 +324,15 @@ class QgramInvertedIndex(NNIndex):
         else:
             candidates = list(counts.items())
         self._account_candidates(record, len(candidates))
+        if not self._edit_fast_path:
+            rids = [rid for rid, _ in candidates]
+            hits = [
+                Neighbor(d, rid)
+                for d, rid in zip(self._candidate_distances(record, rids), rids)
+                if d < radius or (inclusive and d == radius)
+            ]
+            hits.sort()
+            return hits
         hits = []
         for rid, shared in candidates:
             d = self._verify(

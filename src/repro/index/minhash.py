@@ -169,9 +169,12 @@ class MinHashIndex(NNIndex):
         relation, _ = self._checked()
         if k <= 0 or len(relation) <= 1:
             return []
+        candidates = self._final_candidates(record, k)
         hits = [
-            Neighbor(self._pair_distance(record, relation.get(rid)), rid)
-            for rid in self._final_candidates(record, k)
+            Neighbor(d, rid)
+            for d, rid in zip(
+                self._candidate_distances(record, candidates), candidates
+            )
         ]
         hits.sort()
         return hits[:k]
@@ -180,10 +183,13 @@ class MinHashIndex(NNIndex):
         self, record: Record, radius: float, inclusive: bool = False
     ) -> list[Neighbor]:
         relation, _ = self._checked()
-        hits = []
-        for rid in self._final_candidates(record, None):
-            d = self._pair_distance(record, relation.get(rid))
-            if d < radius or (inclusive and d == radius):
-                hits.append(Neighbor(d, rid))
+        candidates = self._final_candidates(record, None)
+        hits = [
+            Neighbor(d, rid)
+            for d, rid in zip(
+                self._candidate_distances(record, candidates), candidates
+            )
+            if d < radius or (inclusive and d == radius)
+        ]
         hits.sort()
         return hits

@@ -145,7 +145,9 @@ class PivotIndex(NNIndex):
                 self.evaluations_pruned += len(ordered) - position
                 break
             self.candidates_generated += 1
-            d = self._pair_distance(record, relation.get(rid))
+            # One-at-a-time verification (the cutoff depends on earlier
+            # results); the edit kernel still accelerates single pairs.
+            d = self._candidate_distances(record, [rid])[0]
             insort(hits, Neighbor(d, rid))
             if len(hits) >= k:
                 cutoff = hits[k - 1].distance
@@ -156,7 +158,7 @@ class PivotIndex(NNIndex):
     ) -> list[Neighbor]:
         relation, _ = self._checked()
         query_vector = self._query_vector(record)
-        hits: list[Neighbor] = []
+        survivors: list[int] = []
         for rid in self._table:
             if rid == record.rid:
                 continue
@@ -164,8 +166,13 @@ class PivotIndex(NNIndex):
                 self.evaluations_pruned += 1
                 continue
             self.candidates_generated += 1
-            d = self._pair_distance(record, relation.get(rid))
-            if d < radius or (inclusive and d == radius):
-                hits.append(Neighbor(d, rid))
-        hits.sort()
-        return hits
+            survivors.append(rid)
+        verified = [
+            Neighbor(d, rid)
+            for d, rid in zip(
+                self._candidate_distances(record, survivors), survivors
+            )
+            if d < radius or (inclusive and d == radius)
+        ]
+        verified.sort()
+        return verified

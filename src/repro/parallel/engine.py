@@ -69,6 +69,7 @@ class ChunkResult:
     cache_misses: int
     candidates_generated: int = 0
     evaluations_pruned: int = 0
+    kernel_evaluations: int = 0
 
 
 def _cut_shape(params: DEParams) -> tuple[int | None, float | None]:
@@ -81,13 +82,14 @@ def _cut_shape(params: DEParams) -> tuple[int | None, float | None]:
     return None, params.theta
 
 
-def _counters(index: NNIndex) -> tuple[int, int, int, int, int]:
+def _counters(index: NNIndex) -> tuple[int, int, int, int, int, int]:
     return (
         index.evaluations,
         getattr(index, "cache_hits", 0),
         getattr(index, "cache_misses", 0),
         getattr(index, "candidates_generated", 0),
         getattr(index, "evaluations_pruned", 0),
+        getattr(index, "kernel_evaluations", 0),
     )
 
 
@@ -98,7 +100,7 @@ def _run_chunk(
     relation = index.relation
     assert relation is not None
     started = time.perf_counter()
-    ev0, hit0, miss0, cand0, pruned0 = _counters(index)
+    ev0, hit0, miss0, cand0, pruned0, kern0 = _counters(index)
     records = [relation.get(rid) for rid in chunk.rids]
     k, theta = _cut_shape(params)
     answers = index.phase1_batch(
@@ -108,7 +110,7 @@ def _run_chunk(
         NNEntry(rid=record.rid, neighbors=tuple(neighbors), ng=ng)
         for record, (neighbors, ng) in zip(records, answers)
     ]
-    ev1, hit1, miss1, cand1, pruned1 = _counters(index)
+    ev1, hit1, miss1, cand1, pruned1, kern1 = _counters(index)
     return ChunkResult(
         chunk_index=chunk.index,
         entries=entries,
@@ -119,6 +121,7 @@ def _run_chunk(
         cache_misses=miss1 - miss0,
         candidates_generated=cand1 - cand0,
         evaluations_pruned=pruned1 - pruned0,
+        kernel_evaluations=kern1 - kern0,
     )
 
 
@@ -221,7 +224,7 @@ class ParallelNNEngine:
         rids = self._resolve_order(relation, order, order_seed)
         chunks = self.plan(rids)
         started = time.perf_counter()
-        ev0, hit0, miss0, cand0, pruned0 = _counters(index)
+        ev0, hit0, miss0, cand0, pruned0, kern0 = _counters(index)
         results: list[ChunkResult] = []
 
         def finalize() -> None:
@@ -240,26 +243,30 @@ class ParallelNNEngine:
                 cache_misses = sum(r.cache_misses for r in results)
                 candidates = sum(r.candidates_generated for r in results)
                 pruned = sum(r.evaluations_pruned for r in results)
+                kernel = sum(r.kernel_evaluations for r in results)
             else:
                 # Shared index: per-chunk deltas interleave across
                 # threads, but the global delta is exact.
-                ev1, hit1, miss1, cand1, pruned1 = _counters(index)
+                ev1, hit1, miss1, cand1, pruned1, kern1 = _counters(index)
                 evaluations = ev1 - ev0
                 cache_hits = hit1 - hit0
                 cache_misses = miss1 - miss0
                 candidates = cand1 - cand0
                 pruned = pruned1 - pruned0
+                kernel = kern1 - kern0
             stats.evaluations += evaluations
             stats.cache_hits += cache_hits
             stats.cache_misses += cache_misses
             stats.candidates_generated += candidates
             stats.evaluations_pruned += pruned
+            stats.kernel_evaluations += kernel
             stats.credit_index(
                 index.name,
                 lookups=lookups,
                 evaluations=evaluations,
                 candidates_generated=candidates,
                 evaluations_pruned=pruned,
+                kernel_evaluations=kernel,
             )
 
         # ``Executor.map`` yields in submission order — chunk order —

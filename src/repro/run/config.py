@@ -28,6 +28,7 @@ VERIFY_MODES = (False, True, "report", "strict")
 
 _ORDERS = ("bf", "random", "sequential")
 _POOLS = ("thread", "process")
+_KERNELS = ("auto", "numpy", "python")
 
 
 class ConfigError(ValueError):
@@ -77,6 +78,14 @@ class RunConfig:
     keep_cs_pairs:
         Keep the Phase-2 CSPairs rows on the result (implied by any
         ``verify`` mode).
+    kernel:
+        Batch-kernel selection for Phase-1 distance evaluation:
+        ``auto`` (vectorized numpy kernels when numpy is installed and
+        the distance provides one, scalar otherwise), ``numpy``
+        (require numpy; raises
+        :class:`~repro.distances.kernels.KernelUnavailable` without
+        it), ``python`` (always the scalar per-pair baseline).  Kernel
+        and scalar paths produce bit-identical results.
     """
 
     distance: str = "fms"
@@ -96,6 +105,7 @@ class RunConfig:
     cache_distance: bool = True
     verify: bool | str = False
     keep_cs_pairs: bool = False
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -130,6 +140,10 @@ class RunConfig:
             raise ConfigError(
                 "spill requires the storage engine (pass use_engine=True / "
                 "--engine): the NN relation is spilled into an engine table"
+            )
+        if self.kernel not in _KERNELS:
+            raise ConfigError(
+                f"unknown kernel mode {self.kernel!r}; expected one of {_KERNELS}"
             )
 
     # ------------------------------------------------------------------
@@ -184,6 +198,7 @@ class RunConfig:
             page_capacity=getattr(args, "page_capacity", cls.page_capacity),
             minimal=getattr(args, "minimal", False),
             verify=verify,
+            kernel=getattr(args, "kernel", cls.kernel),
         )
 
     def describe(self) -> str:

@@ -47,6 +47,11 @@ class RunContext:
         self.config = config
         self.distance = distance
         self.index = index
+        # Every construction path (create, with_config, direct) funnels
+        # through here, so the config's kernel mode always reaches the
+        # index — resolved immediately if it is already built, at the
+        # next build() otherwise.
+        index.enable_kernel(config.kernel)
         self.engine = engine
         self.radius_fn = radius_fn
         self.cannot_link = cannot_link

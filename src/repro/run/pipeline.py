@@ -106,6 +106,9 @@ class StagedPipeline:
             started = time.perf_counter()
             stage.run(ctx, state)
             stats.record_stage(stage.name, time.perf_counter() - started)
+        # Recorded after the stages ran: Phase1Stage builds the index,
+        # which is when the kernel mode resolves to a backend.
+        stats.kernel_backend = getattr(ctx.index, "kernel_backend", "python")
 
         if cache is not None:
             stats.distance_cache_calls = cache.calls - calls_before

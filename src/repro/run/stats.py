@@ -131,6 +131,10 @@ class RunStats:
     buffer:
         Buffer-pool counter deltas for the run, when a storage engine
         was in play; ``None`` otherwise.
+    kernel_backend:
+        The distance-evaluation backend Phase 1 ran on: ``"numpy"``
+        when the index resolved a vectorized batch kernel, ``"python"``
+        for the scalar path.
     """
 
     phase1: Phase1Stats = field(default_factory=Phase1Stats)
@@ -141,6 +145,7 @@ class RunStats:
     distance_cache_calls: int = 0
     distance_cache_hits: int = 0
     buffer: BufferStats | None = None
+    kernel_backend: str = "python"
 
     # ------------------------------------------------------------------
     # Recording
@@ -202,10 +207,12 @@ class RunStats:
                 "evaluations": self.phase1.evaluations,
                 "candidates_generated": self.phase1.candidates_generated,
                 "evaluations_pruned": self.phase1.evaluations_pruned,
+                "kernel_evaluations": self.phase1.kernel_evaluations,
                 "prune_rate": self.phase1.prune_rate,
                 "cache_hit_rate": self.phase1.cache_hit_rate,
                 "n_chunks": self.phase1.n_chunks,
             },
+            "kernel_backend": self.kernel_backend,
             "phase2": self.phase2.to_dict(),
             "distance_cache": {
                 "calls": self.distance_cache_calls,

@@ -4,9 +4,10 @@ The repository has several ways to run the same DE instance — the
 legacy :class:`~repro.core.pipeline.DuplicateEliminator` facade,
 sequential vs. parallel Phase 1 (``n_workers``) crossed with in-memory
 vs. storage-engine Phase 2, the partitioned Phase-2 self-join and
-component-sharded partitioner (``phase2_workers``), and the out-of-core
-spill path that streams ``NN_Reln`` through the buffer pool — all
-defined to produce identical output.  Every path is derived from one shared
+component-sharded partitioner (``phase2_workers``), the out-of-core
+spill path that streams ``NN_Reln`` through the buffer pool, and the
+vectorized-kernel vs. scalar Phase-1 distance backends (``kernel``) —
+all defined to produce identical output.  Every path is derived from one shared
 :class:`~repro.run.config.RunConfig` via ``replace(...)`` variants.
 :func:`verify_paths` executes every path, checks the invariants on the
 canonical (sequential, in-memory) result, and appends a ``cross-path``
@@ -59,6 +60,11 @@ EXECUTION_PATHS: tuple[tuple[str, Mapping | None], ...] = (
         "use_engine": True, "spill": True, "buffer_pages": 8,
         "phase2_workers": 2,
     }),
+    # Scalar Phase 1: forces the pure-python per-pair distance path
+    # while every other path runs under the default ``kernel="auto"``.
+    # With numpy present this asserts the vectorized kernels are
+    # bit-identical to the scalar baseline on every verify run.
+    ("scalar", {"kernel": "python"}),
 )
 
 

@@ -1,0 +1,333 @@
+"""Vectorized-kernel parity: numpy batch kernels vs. the scalar path.
+
+The kernels (``repro.distances.kernels``) are pure accelerations: every
+query answered through a kernel must be *bit-identical* — same neighbor
+ids, same float distances, same NG counts, same partitions — to the
+scalar per-pair baseline.  These tests drive random relations through
+both backends across the three batch entry points and the per-query
+path, check the bit-parallel Myers and banded DP against the reference
+Levenshtein, and pin down the accounting split (``kernel_evaluations``
+vs. ``evaluations``) and the no-numpy fallback contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import DEParams
+from repro.core.nn_phase import Phase1Stats, prepare_nn_lists
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.loaders import load_dataset
+from repro.data.schema import Relation
+from repro.distances.cosine import CosineDistance
+from repro.distances.edit import EditDistance, levenshtein
+from repro.distances.fms import FuzzyMatchDistance
+from repro.distances.jaccard import TokenJaccardDistance
+from repro.distances.kernels import KernelUnavailable, have_numpy
+from repro.distances.kernels.edit import banded_levenshtein, myers_levenshtein
+from repro.index.bruteforce import BruteForceIndex
+from repro.run.config import ConfigError, RunConfig
+from repro.verify.parity import nn_signature
+
+needs_numpy = pytest.mark.skipif(
+    not have_numpy(), reason="numpy not installed (the perf extra)"
+)
+
+DISTANCES = {
+    "cosine": CosineDistance,
+    "jaccard": TokenJaccardDistance,
+    "edit": EditDistance,
+}
+
+#: Tokenizable text so cosine/jaccard see multi-token vectors; repeated
+#: letters and spaces produce empty-token and identical-record edges.
+texts = st.lists(
+    st.text(alphabet="abc d", min_size=0, max_size=16),
+    min_size=2,
+    max_size=12,
+    unique=True,
+)
+
+
+def build_pair(words, distance_name):
+    """The same brute-force index on the kernel and scalar backends."""
+    relation = Relation.from_strings("r", words)
+    scalar = BruteForceIndex()
+    scalar.build(relation, DISTANCES[distance_name]())
+    kernel = BruteForceIndex()
+    kernel.enable_kernel("numpy")
+    kernel.build(relation, DISTANCES[distance_name]())
+    assert kernel.kernel_backend == "numpy"
+    return relation, scalar, kernel
+
+
+def exact(neighbor_lists):
+    """Render neighbor lists for bit-exact comparison (no approx)."""
+    return [[(n.rid, n.distance) for n in row] for row in neighbor_lists]
+
+
+@needs_numpy
+class TestBatchParity:
+    @pytest.mark.parametrize("distance_name", sorted(DISTANCES))
+    @settings(max_examples=25, deadline=None)
+    @given(words=texts, k=st.integers(1, 4))
+    def test_knn_batch(self, distance_name, words, k):
+        relation, scalar, kernel = build_pair(words, distance_name)
+        records = list(relation)
+        assert exact(kernel.knn_batch(records, k)) == exact(
+            scalar.knn_batch(records, k)
+        )
+
+    @pytest.mark.parametrize("distance_name", sorted(DISTANCES))
+    @settings(max_examples=25, deadline=None)
+    @given(words=texts, radius=st.floats(0.0, 1.0))
+    def test_within_batch(self, distance_name, words, radius):
+        relation, scalar, kernel = build_pair(words, distance_name)
+        records = list(relation)
+        for inclusive in (False, True):
+            assert exact(
+                kernel.within_batch(records, radius, inclusive)
+            ) == exact(scalar.within_batch(records, radius, inclusive))
+
+    @pytest.mark.parametrize("distance_name", sorted(DISTANCES))
+    @pytest.mark.parametrize(
+        "shape", [{"k": 3}, {"theta": 0.4}, {"k": 2, "theta": 0.6}]
+    )
+    @settings(max_examples=20, deadline=None)
+    @given(words=texts)
+    def test_phase1_batch(self, distance_name, shape, words):
+        relation, scalar, kernel = build_pair(words, distance_name)
+        records = list(relation)
+        got = kernel.phase1_batch(records, p=2.0, **shape)
+        want = scalar.phase1_batch(records, p=2.0, **shape)
+        assert [(exact([n])[0], ng) for n, ng in got] == [
+            (exact([n])[0], ng) for n, ng in want
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(words=texts)
+    def test_phase1_batch_radius_fn(self, words):
+        relation, scalar, kernel = build_pair(words, "cosine")
+        records = list(relation)
+        radius_fn = lambda nn: min(1.0, 3.0 * nn + 0.05)  # noqa: E731
+        got = kernel.phase1_batch(records, k=3, radius_fn=radius_fn)
+        want = scalar.phase1_batch(records, k=3, radius_fn=radius_fn)
+        assert [(exact([n])[0], ng) for n, ng in got] == [
+            (exact([n])[0], ng) for n, ng in want
+        ]
+
+    @pytest.mark.parametrize("distance_name", sorted(DISTANCES))
+    @settings(max_examples=15, deadline=None)
+    @given(words=texts, k=st.integers(1, 3))
+    def test_per_query_knn_and_within(self, distance_name, words, k):
+        """The sequential (non-batch) path is kernelized per query too."""
+        relation, scalar, kernel = build_pair(words, distance_name)
+        for record in relation:
+            assert exact([kernel.knn(record, k)]) == exact(
+                [scalar.knn(record, k)]
+            )
+            assert exact([kernel.within(record, 0.5)]) == exact(
+                [scalar.within(record, 0.5)]
+            )
+            assert kernel.neighborhood_growth(
+                record
+            ) == scalar.neighborhood_growth(record)
+
+
+@needs_numpy
+class TestWorkerParity:
+    @pytest.mark.parametrize("distance_name", sorted(DISTANCES))
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_nn_relation_identical_across_backends(
+        self, distance_name, n_workers
+    ):
+        relation = load_dataset(
+            "org", n_entities=40, duplicate_fraction=0.4, seed=3
+        ).relation
+        params = DEParams.size(4, c=4.0)
+        signatures = []
+        for mode in ("python", "numpy"):
+            index = BruteForceIndex()
+            index.enable_kernel(mode)
+            index.build(relation, DISTANCES[distance_name]())
+            nn = prepare_nn_lists(
+                relation, index, params, order="sequential",
+                n_workers=n_workers,
+            )
+            signatures.append(nn_signature(nn))
+        assert signatures[0] == signatures[1]
+
+    def test_full_pipeline_partition_identical(self):
+        relation = load_dataset(
+            "org", n_entities=50, duplicate_fraction=0.4, seed=1
+        ).relation
+        params = DEParams.size(5, c=4.0)
+        results = {}
+        for mode in ("python", "numpy"):
+            solver = DuplicateEliminator(
+                CosineDistance(),
+                index=BruteForceIndex(),
+                config=RunConfig(kernel=mode),
+            )
+            results[mode] = solver.run(relation, params)
+        assert results["python"].partition == results["numpy"].partition
+        assert nn_signature(results["python"].nn_relation) == nn_signature(
+            results["numpy"].nn_relation
+        )
+
+
+class TestEditKernels:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.text(alphabet="abcde", min_size=1, max_size=64),
+        st.text(alphabet="abcdef", max_size=80),
+    )
+    def test_myers_matches_reference(self, pattern, text):
+        assert myers_levenshtein(pattern, text) == levenshtein(pattern, text)
+
+    def test_myers_rejects_long_pattern(self):
+        with pytest.raises(ValueError):
+            myers_levenshtein("a" * 65, "b")
+
+    def test_myers_empty_text(self):
+        assert myers_levenshtein("abc", "") == 3
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.text(alphabet="abc", max_size=20),
+        st.text(alphabet="abcd", max_size=20),
+        st.integers(0, 12),
+    )
+    def test_banded_exact_within_bound(self, a, b, bound):
+        raw = levenshtein(a, b)
+        got = banded_levenshtein(a, b, bound)
+        if raw <= bound:
+            assert got == raw
+        else:
+            assert got > bound
+
+    def test_banded_boundaries(self):
+        # Empty strings on both sides.
+        assert banded_levenshtein("", "", 0) == 0
+        assert banded_levenshtein("", "abc", 3) == 3
+        assert banded_levenshtein("abc", "", 2) > 2
+        # Distance exactly at the cutoff must come back exact.
+        assert banded_levenshtein("kitten", "sitting", 3) == 3
+        assert banded_levenshtein("kitten", "sitting", 2) > 2
+        # Negative bound: any value > bound.
+        assert banded_levenshtein("a", "a", -1) > -1
+        # Unicode (astral plane and combining forms are just code points).
+        assert banded_levenshtein("café", "cafe", 1) == 1
+        assert myers_levenshtein("\U0001f600ab", "ab") == 1
+
+
+@needs_numpy
+class TestAccounting:
+    def test_kernel_runs_count_kernel_evaluations_only(self):
+        relation = Relation.from_strings(
+            "r", [f"record alpha {i} beta {i % 7}" for i in range(40)]
+        )
+        index = BruteForceIndex()
+        index.enable_kernel("numpy")
+        index.build(relation, CosineDistance())
+        stats = Phase1Stats()
+        prepare_nn_lists(
+            relation, index, DEParams.size(3, c=4.0),
+            order="sequential", stats=stats, n_workers=2,
+        )
+        assert stats.kernel_evaluations > 0
+        # Every pair went through the kernel, none through scalar calls.
+        assert stats.evaluations == 0
+        assert index.kernel_evaluations == stats.kernel_evaluations
+
+    def test_scalar_runs_report_zero_kernel_evaluations(self):
+        relation = Relation.from_strings(
+            "r", [f"record alpha {i}" for i in range(12)]
+        )
+        index = BruteForceIndex()
+        index.build(relation, CosineDistance())
+        stats = Phase1Stats()
+        prepare_nn_lists(
+            relation, index, DEParams.size(3, c=4.0),
+            order="sequential", stats=stats,
+        )
+        assert stats.kernel_evaluations == 0
+        assert stats.evaluations > 0
+
+    def test_distance_reports_kernel_evaluations(self):
+        relation = Relation.from_strings(
+            "r", [f"token {i} word {i % 3}" for i in range(20)]
+        )
+        distance = CosineDistance()
+        index = BruteForceIndex()
+        index.enable_kernel("numpy")
+        index.build(relation, distance)
+        index.knn_batch(list(relation), 3)
+        assert distance.kernel_evaluations > 0
+
+    def test_run_stats_carry_backend_and_counter(self):
+        relation = load_dataset(
+            "org", n_entities=30, duplicate_fraction=0.3, seed=0
+        ).relation
+        solver = DuplicateEliminator(
+            CosineDistance(),
+            index=BruteForceIndex(),
+            config=RunConfig(kernel="numpy"),
+        )
+        result = solver.run(relation, DEParams.size(4, c=4.0))
+        payload = result.stats.to_dict()
+        assert payload["kernel_backend"] == "numpy"
+        assert payload["phase1"]["kernel_evaluations"] > 0
+
+
+class TestFallbacks:
+    def test_unknown_kernel_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BruteForceIndex().enable_kernel("cuda")
+        with pytest.raises(ConfigError):
+            RunConfig(kernel="cuda")
+
+    def test_auto_mode_without_kernel_support_stays_scalar(self):
+        """fms has no kernel implementation: auto degrades silently."""
+        relation = Relation.from_strings("r", ["alpha beta", "alpha bexa"])
+        index = BruteForceIndex()
+        index.enable_kernel("auto")
+        index.build(relation, FuzzyMatchDistance())
+        assert index.kernel_backend == "python"
+        assert len(index.knn(relation.get(0), 1)) == 1
+
+    @needs_numpy
+    def test_forced_numpy_with_unsupported_distance_stays_scalar(self):
+        """kernel='numpy' demands numpy, not that every distance has a
+        kernel: an unsupported distance still answers on the scalar
+        path instead of failing the run."""
+        relation = Relation.from_strings("r", ["alpha beta", "alpha bexa"])
+        index = BruteForceIndex()
+        index.enable_kernel("numpy")
+        index.build(relation, FuzzyMatchDistance())
+        assert index.kernel_backend == "python"
+
+    def test_forced_numpy_without_numpy_raises(self, monkeypatch):
+        import repro.distances.kernels.compat as compat
+
+        monkeypatch.setattr(compat, "_NUMPY", None)
+        monkeypatch.setattr(compat, "_SEARCHED", True)
+        relation = Relation.from_strings("r", ["alpha beta", "alpha bexa"])
+        index = BruteForceIndex()
+        index.enable_kernel("numpy")
+        with pytest.raises(KernelUnavailable):
+            index.build(relation, CosineDistance())
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        import repro.distances.kernels.compat as compat
+
+        monkeypatch.setattr(compat, "_NUMPY", None)
+        monkeypatch.setattr(compat, "_SEARCHED", True)
+        relation = Relation.from_strings("r", ["alpha beta", "alpha bexa"])
+        index = BruteForceIndex()
+        index.enable_kernel("auto")
+        index.build(relation, CosineDistance())
+        assert index.kernel_backend == "python"
+        assert len(index.knn(relation.get(0), 1)) == 1
