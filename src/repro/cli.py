@@ -1,9 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the adoption path:
+Eight subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
   ``--verify`` self-checks the run against the paper's invariants;
+- ``serve`` — stream an insert/delete trace (or a CSV) through the
+  online incremental deduplicator, emitting a canonical-vs-duplicate
+  decision per arrival; ``--verify`` diffs the final maintained state
+  against a from-scratch batch run (see ``docs/serving.md``);
 - ``generate`` — emit one of the synthetic evaluation datasets (with
   its gold standard) for experimentation;
 - ``estimate-c`` — run Phase 1 on a CSV and report the SN threshold
@@ -16,7 +20,10 @@ Six subcommands cover the adoption path:
   and write ``BENCH_phase1.json`` (see ``docs/performance.md``);
 - ``bench-phase2`` — run the Phase-2 partitioned self-join benchmark
   (sequential vs. partitioned, in-memory/engine/spill sources) and
-  write ``BENCH_phase2.json``.
+  write ``BENCH_phase2.json``;
+- ``bench-incremental`` — stream inserts (and optional removes)
+  through the online layer, checking batch parity and per-insert cost
+  at checkpoints, and write ``BENCH_incremental.json``.
 """
 
 from __future__ import annotations
@@ -132,6 +139,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="print run telemetry: per-stage wall times, Phase-1 cost "
              "accounting, distance-cache hit rate, and the buffer hit "
              "ratio when the engine is in play",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="stream insert/delete operations through the online "
+             "incremental deduplicator",
+    )
+    serve.add_argument(
+        "input",
+        help="trace file with one operation per line "
+             "('add,<field1>,...' / 'remove,<rid>'; '-' reads stdin), "
+             "or a header CSV of inserts with --from-csv",
+    )
+    serve.add_argument(
+        "--from-csv", action="store_true",
+        help="treat the input as a header CSV whose rows are all adds",
+    )
+    serve.add_argument(
+        "--remove-every", type=int, default=0, metavar="N",
+        help="synthesize a removal of the oldest live record after "
+             "every N adds (0 disables); exercises the delete path",
+    )
+    serve.add_argument("--distance", choices=sorted(DISTANCES), default="fms")
+    serve.add_argument("--k", type=int, default=5, help="max group size (DE_S)")
+    serve.add_argument(
+        "--theta", type=float, default=None,
+        help="diameter bound; switches to DE_D(theta)",
+    )
+    serve.add_argument("--c", type=float, default=4.0, help="SN threshold")
+    serve.add_argument(
+        "--agg", choices=("max", "avg", "max2"), default="max",
+        help="SN aggregation function",
+    )
+    serve.add_argument(
+        "--candidates", choices=("exact", "minhash"), default="exact",
+        help="candidate generation per arrival: exact scan (batch "
+             "parity) or the persistent MinHash postings index",
+    )
+    serve.add_argument(
+        "--store", default=None,
+        help="postings snapshot path (requires --candidates minhash): "
+             "loaded on startup when present (warm restart, no "
+             "re-hashing), written back on shutdown",
+    )
+    serve.add_argument(
+        "--refit-every", type=int, default=None, metavar="N",
+        help="re-prepare corpus statistics (IDF) on the live relation "
+             "every N operations; default freezes them at the first "
+             "arrival",
+    )
+    serve.add_argument(
+        "--max-cache-entries", type=int, default=None,
+        help="bound the distance pair cache (long-lived sessions; "
+             "default unbounded)",
+    )
+    serve.add_argument(
+        "--groups", default=None, metavar="PATH",
+        help="write the final rid,group_id CSV here (same format as "
+             "'dedup --output')",
+    )
+    serve.add_argument(
+        "--singletons", action="store_true",
+        help="include singleton groups in the --groups output",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-arrival decision lines",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="diff the final maintained state (NN lists, CSPairs rows, "
+             "partition checksum) against a from-scratch batch run "
+             "(nonzero exit on any disagreement)",
+    )
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print serving telemetry: per-op cost, refits, partition "
+             "repair reuse, cache and postings counters",
     )
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
@@ -325,6 +410,66 @@ def build_parser() -> argparse.ArgumentParser:
              "partitioned run (lower it on noisy smoke-sized runs)",
     )
 
+    benchi = sub.add_parser(
+        "bench-incremental",
+        help="run the online insert/delete serving benchmark",
+    )
+    benchi.add_argument("--dataset", choices=dataset_names(), default="org")
+    benchi.add_argument(
+        "--distance", choices=sorted(BENCH_DISTANCES), default="cosine"
+    )
+    benchi.add_argument(
+        "--entities", type=int, default=1600,
+        help="entity count before duplicate injection (1600 ≈ 2100 "
+             "records, reaching the n >= 2000 regime)",
+    )
+    benchi.add_argument(
+        "--remove-every", type=int, default=0, metavar="N",
+        help="interleave a removal of the oldest live record after "
+             "every N inserts (0 disables)",
+    )
+    benchi.add_argument(
+        "--checkpoints", default="500,1000,2000",
+        help="comma-separated live sizes at which to time a batch "
+             "rerun and compare partition checksums",
+    )
+    benchi.add_argument("--k", type=int, default=5)
+    benchi.add_argument("--c", type=float, default=4.0)
+    benchi.add_argument("--seed", type=int, default=0)
+    benchi.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default="auto",
+        help="distance backend for the batch reruns (the online path "
+             "is scalar by nature: one arrival against the relation)",
+    )
+    benchi.add_argument(
+        "--window", type=int, default=100,
+        help="trailing per-op window summarized at each checkpoint",
+    )
+    benchi.add_argument(
+        "--max-cache-entries", type=int, default=200_000,
+        help="distance pair-cache bound for the streamed session",
+    )
+    benchi.add_argument(
+        "--output", default="BENCH_incremental.json",
+        help="where to write the JSON payload",
+    )
+    benchi.add_argument(
+        "--check", action="store_true",
+        help="additionally fail (nonzero exit) when the per-op/batch "
+             "cost ratio violates the sublinearity gate at checkpoints "
+             ">= --min-check-n (checksum mismatches always fail)",
+    )
+    benchi.add_argument(
+        "--min-check-n", type=int, default=1000,
+        help="smallest checkpoint the --check scaling gate applies to "
+             "(smaller sizes are timing noise)",
+    )
+    benchi.add_argument(
+        "--max-op-ratio", type=float, default=0.5,
+        help="scaling gate: trailing per-op cost must stay below this "
+             "fraction of one batch rerun",
+    )
+
     return parser
 
 
@@ -456,6 +601,173 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
         print(result.verification.render(), file=out)
         if not result.verification.ok:
             return 1
+    return 0
+
+
+def _serve_trace(args: argparse.Namespace) -> tuple[list, tuple[str, ...]]:
+    """Resolve the serve subcommand's (trace, schema) pair."""
+    from repro.run.serve import parse_trace_line
+
+    if args.from_csv:
+        relation = relation_from_csv(args.input)
+        base = [("add", record.fields) for record in relation]
+        schema = relation.schema
+    else:
+        if args.input == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = Path(args.input).read_text(encoding="utf-8").splitlines()
+        base = [
+            parsed
+            for line in lines
+            if (parsed := parse_trace_line(line)) is not None
+        ]
+        n_fields = next(
+            (len(payload) for op, payload in base if op == "add"), 1
+        )
+        schema = tuple(f"f{i}" for i in range(n_fields))
+    if args.remove_every > 0:
+        trace: list = []
+        live: list[int] = []
+        next_rid = 0
+        adds = 0
+        for op, payload in base:
+            trace.append((op, payload))
+            if op == "add":
+                live.append(next_rid)
+                next_rid += 1
+                adds += 1
+                if adds % args.remove_every == 0 and len(live) > 1:
+                    trace.append(("remove", live.pop(0)))
+            else:
+                live.remove(payload)
+        return trace, schema
+    return base, schema
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.run.serve import ServeConfig, ServeSession
+
+    try:
+        config = ServeConfig.from_cli_args(args)
+        trace, schema = _serve_trace(args)
+    except (ConfigError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = ServeSession(config, schema=schema)
+    for decision in session.replay(trace):
+        if not args.quiet:
+            print(decision.render(), file=out)
+
+    partition = session.dedup.partition()
+    if args.groups:
+        with Path(args.groups).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("rid", "group_id"))
+            for group_id, group in enumerate(partition):
+                if len(group) == 1 and not args.singletons:
+                    continue
+                for rid in group:
+                    writer.writerow((rid, group_id))
+        print(f"wrote group assignments to {args.groups}", file=out)
+    print(
+        f"served {len(trace)} operation(s); {len(session.dedup)} live "
+        f"record(s) in {len(partition.non_trivial_groups())} duplicate "
+        f"group(s)",
+        file=out,
+    )
+    if args.stats:
+        dedup = session.dedup
+        repair = dedup.last_repair
+        cache = dedup.distance
+        print(
+            f"distance cache: {cache.calls} calls, "
+            f"hit rate {cache.hit_rate:.2f}, {len(cache)} entries, "
+            f"{cache.evictions} evictions; refits: {dedup.refits}",
+            file=out,
+        )
+        if repair is not None:
+            print(
+                f"partition repair: {repair.n_components} components, "
+                f"{repair.components_reused} reused / "
+                f"{repair.components_repaired} re-extracted "
+                f"({repair.n_pairs} CSPairs rows)",
+                file=out,
+            )
+        if session.postings is not None:
+            postings = session.postings
+            print(
+                f"postings: {len(postings)} live signatures "
+                f"({'restored' if postings.restored else 'cold'}, "
+                f"{postings.signatures_computed} hashed this session, "
+                f"{postings.log_rows_appended} log rows appended, "
+                f"{postings.tombstones} tombstones)",
+                file=out,
+            )
+    saved = session.save_store()
+    if saved is not None:
+        print(f"wrote postings snapshot to {saved}", file=out)
+    if args.verify:
+        report = session.verify(label=args.input)
+        print(file=out)
+        print(report.render(), file=out)
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_bench_incremental(args: argparse.Namespace, out) -> int:
+    from repro.eval.bench_incremental import (
+        check_incremental_payload,
+        incremental_table,
+        run_incremental_bench,
+        write_incremental_json,
+    )
+
+    checkpoints = tuple(
+        int(part) for part in args.checkpoints.split(",") if part
+    )
+    try:
+        payload = run_incremental_bench(
+            entities=args.entities,
+            dataset=args.dataset,
+            distance=args.distance,
+            k=args.k,
+            c=args.c,
+            remove_every=args.remove_every,
+            checkpoints=checkpoints,
+            seed=args.seed,
+            kernel=args.kernel,
+            window=args.window,
+            max_cache_entries=args.max_cache_entries,
+        )
+    except KernelUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    path = write_incremental_json(payload, args.output)
+    print(incremental_table(payload), file=out)
+    print(f"\nwrote {path}", file=out)
+    failures = check_incremental_payload(
+        payload,
+        min_check_n=args.min_check_n,
+        max_op_ratio=args.max_op_ratio,
+    )
+    for failure in failures["checksum"]:
+        print(f"ERROR: {failure}", file=out)
+    if failures["checksum"]:
+        # Parity breakage is a correctness bug, not a perf regression:
+        # fail regardless of --check.
+        return 1
+    if args.check:
+        for failure in failures["scaling"]:
+            print(f"ERROR: {failure}", file=out)
+        if failures["scaling"]:
+            return 1
+        print(
+            "checksums agree; per-insert cost within the sublinearity "
+            "gate",
+            file=out,
+        )
     return 0
 
 
@@ -694,6 +1006,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "dedup":
         return _cmd_dedup(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "bench-incremental":
+        return _cmd_bench_incremental(args, out)
     if args.command == "generate":
         return _cmd_generate(args, out)
     if args.command == "estimate-c":

@@ -52,6 +52,7 @@ __all__ = [
     "partition_records",
     "partition_records_sharded",
     "extract_group",
+    "extract_component_groups",
     "iter_anchor_groups",
     "mutual_components",
     "rows_by_anchor",
@@ -203,13 +204,27 @@ def mutual_components(cs_pairs: Sequence[CSPair]) -> list[list[CSPair]]:
     return list(components.values())
 
 
+def extract_component_groups(
+    component: Sequence[CSPair], params: DEParams
+) -> list[list[int]]:
+    """Run the anchor scan over one mutual-NN component's sorted rows.
+
+    Exactly the slice of the global scan that touches this component —
+    the sharding argument above makes the concatenation over components
+    equal the global result.  The incremental layer leans on this for
+    bounded repair: a component whose rows did not change yields the
+    same groups, so only touched components need re-extraction.
+    """
+    return _scan_groups(iter_anchor_groups(component), params)
+
+
 def _extract_shard_groups(
     shard: list[list[CSPair]], params: DEParams
 ) -> list[list[int]]:
     """Extract groups for one shard of components (runs in a worker)."""
     groups: list[list[int]] = []
     for component in shard:
-        groups.extend(_scan_groups(iter_anchor_groups(component), params))
+        groups.extend(extract_component_groups(component, params))
     return groups
 
 

@@ -10,6 +10,7 @@ structural.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -55,6 +56,18 @@ class Partition:
     def group_of(self, rid: int) -> tuple[int, ...]:
         """Return the group containing ``rid``."""
         return self.groups[self._owner[rid]]
+
+    def checksum(self) -> str:
+        """A deterministic digest of the canonical groups.
+
+        Two partitions share a checksum iff they are structurally equal
+        (the stored form is canonical), which is how the benchmarks and
+        the incremental-parity verify check phrase "bit-identical".
+        """
+        digest = hashlib.sha256()
+        for group in self.groups:
+            digest.update(repr(tuple(group)).encode())
+        return digest.hexdigest()
 
     def ids(self) -> list[int]:
         """All record ids covered by the partition."""

@@ -122,6 +122,17 @@ class Relation:
         self.records.append(record)
         self._by_id[record.rid] = record
 
+    def remove(self, rid: int) -> Record:
+        """Remove and return the record with identifier ``rid``.
+
+        Identifiers of removed records are never reassigned by the
+        incremental layer, so ``rid`` gaps after a removal are normal
+        (the partitioner and the CSPairs builders tolerate sparse ids).
+        """
+        record = self._by_id.pop(rid)
+        self.records.remove(record)
+        return record
+
     def get(self, rid: int) -> Record:
         """Return the record with identifier ``rid``."""
         return self._by_id[rid]

@@ -18,6 +18,7 @@ of this protocol.
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from typing import Callable
 
 from repro.data.schema import Record, Relation
@@ -120,10 +121,14 @@ class CachedDistance(DistanceFunction):
     implementation tractable at the sizes the benchmarks use.
 
     Without a bound the cache can grow to O(n²) entries on an n-record
-    relation; ``max_entries`` caps it with cheap FIFO eviction (dicts
-    preserve insertion order, so the oldest pair is dropped first).
-    Eviction only costs recomputation on a later probe of the evicted
-    pair — results never change.
+    relation; ``max_entries`` caps it with cheap FIFO eviction (the
+    oldest pair is dropped first).  Bounded caches store entries in an
+    :class:`~collections.OrderedDict`: ``popitem(last=False)`` evicts
+    in O(1), whereas popping ``next(iter(dict))`` from a plain dict
+    degrades linearly — deleted slots are never compacted while the
+    size stays pinned at the bound, so every eviction re-skips an
+    ever-growing tombstone prefix.  Eviction only costs recomputation
+    on a later probe of the evicted pair — results never change.
     """
 
     def __init__(self, inner: DistanceFunction, max_entries: int | None = None):
@@ -132,7 +137,9 @@ class CachedDistance(DistanceFunction):
         self.inner = inner
         self.name = f"cached({inner.name})"
         self.max_entries = max_entries
-        self._cache: dict[tuple[int, int], float] = {}
+        self._cache: dict[tuple[int, int], float] = (
+            {} if max_entries is None else OrderedDict()
+        )
         self.calls = 0
         self.misses = 0
         self.evictions = 0
@@ -163,6 +170,20 @@ class CachedDistance(DistanceFunction):
         # ledgered in ``kernel_evaluations``, not ``calls``).
         return self.inner.make_kernel(relation)
 
+    def invalidate_rid(self, rid: int) -> int:
+        """Drop every cached pair involving ``rid``; returns the count.
+
+        Record deletions make pairs with the removed id unreachable;
+        dropping them keeps an unbounded cache from accumulating dead
+        entries across a long-lived online session.  Costs one pass over
+        the cache — callers (the incremental layer) only pay it on
+        removals, which are already O(n).
+        """
+        stale = [key for key in self._cache if rid in key]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
     @property
     def kernel_evaluations(self) -> int:
         return self.inner.kernel_evaluations
@@ -183,8 +204,8 @@ class CachedDistance(DistanceFunction):
                 try:
                     # Thread-pool Phase-1 workers may share this cache;
                     # racing on the oldest key is harmless.
-                    self._cache.pop(next(iter(self._cache)))
-                except (StopIteration, KeyError):
+                    self._cache.popitem(last=False)
+                except KeyError:
                     pass
                 else:
                     self.evictions += 1

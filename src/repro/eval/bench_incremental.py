@@ -1,0 +1,304 @@
+"""Online-serving benchmark: per-insert cost vs. from-scratch reruns.
+
+Produces the ``BENCH_incremental.json`` artifact.  Records of a
+generated dataset are streamed one by one through an
+:class:`~repro.core.incremental.IncrementalDeduplicator` (optionally
+interleaving removals of the oldest live record), and after **every**
+operation the maintained partition is refreshed — exactly the serving
+pattern, where each arrival gets a decision.  At each checkpoint size
+the harness
+
+- times a from-scratch batch :class:`~repro.core.pipeline
+  .DuplicateEliminator` run over the live relation,
+- compares its partition checksum against the maintained one (must be
+  bit-identical — the incremental layer's contract), and
+- records the mean/median per-operation serving cost over the trailing
+  window next to the batch cost.
+
+The point of the artifact is the scaling *shape*: one batch rerun costs
+Θ(n²) distance evaluations while one insert costs Θ(n), so the
+per-insert / batch-rerun ratio must shrink as n grows — serving an
+arrival is asymptotically free relative to recomputing.  The corpus
+statistics are prepared once on the full dataset and frozen
+(:class:`~repro.verify.incremental.FrozenDistance` on both sides), so
+both paths score the same distance and the checksums are comparable.
+
+:func:`check_incremental_payload` turns the payload into gate failures:
+checksum mismatches always fail; the scaling gate (ratio bound +
+non-increasing ratio across checkpoints) applies only to checkpoints at
+or above ``min_check_n``, so smoke-sized CI runs check correctness
+without flaking on timing noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.formulation import DEParams
+from repro.core.incremental import IncrementalDeduplicator
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.loaders import load_dataset
+from repro.data.schema import Record, Relation
+from repro.eval.bench_phase1 import BENCH_DISTANCES
+from repro.eval.report import format_table
+from repro.run.config import RunConfig
+from repro.verify.incremental import FrozenDistance
+
+__all__ = [
+    "run_incremental_bench",
+    "check_incremental_payload",
+    "incremental_table",
+    "write_incremental_json",
+]
+
+
+def _batch_rerun(
+    dedup: IncrementalDeduplicator, inner, params: DEParams, kernel: str
+) -> tuple[float, str]:
+    """Time one from-scratch batch run over the live relation."""
+    relation = Relation(name="live", schema=dedup.relation.schema)
+    for record in dedup.relation:
+        relation.add(Record(record.rid, record.fields))
+    solver = DuplicateEliminator(
+        FrozenDistance(inner), config=RunConfig(kernel=kernel)
+    )
+    started = time.perf_counter()
+    result = solver.run(relation, params)
+    seconds = time.perf_counter() - started
+    return seconds, result.partition.checksum()
+
+
+def run_incremental_bench(
+    entities: int = 1600,
+    dataset: str = "org",
+    distance: str = "cosine",
+    k: int = 5,
+    c: float = 4.0,
+    remove_every: int = 0,
+    checkpoints: Sequence[int] = (500, 1000, 2000),
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+    kernel: str = "auto",
+    window: int = 100,
+    max_cache_entries: int | None = 200_000,
+) -> dict:
+    """Stream the dataset through the online layer; return the payload.
+
+    ``entities`` counts entities before duplicate injection (1600 →
+    n ≈ 2100 records, so the default checkpoints reach the n ≥ 2000
+    regime).  ``remove_every`` interleaves a removal of the oldest live
+    record after every that-many inserts (0 disables), exercising the
+    bounded-recomputation delete path inside the measured stream.  A
+    checkpoint fires the first time the live size reaches its value.
+    """
+    params = DEParams.size(k, c=c)
+    relation = load_dataset(
+        dataset,
+        n_entities=entities,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    ).relation
+    # Corpus statistics are prepared once, up front, and frozen on both
+    # the online and the batch side: parity is defined under one
+    # distance, and a serving deployment knows its corpus the same way.
+    inner = BENCH_DISTANCES[distance]()
+    inner.prepare(relation)
+    dedup = IncrementalDeduplicator(
+        FrozenDistance(inner),
+        params,
+        schema=relation.schema,
+        max_cache_entries=max_cache_entries,
+    )
+
+    pending = sorted(set(checkpoints))
+    checkpoint_rows: list[dict] = []
+    op_seconds: list[float] = []  # serving cost: mutation + partition
+    insert_seconds: list[float] = []
+    remove_seconds: list[float] = []
+    n_removes = 0
+    oldest_live = 0
+
+    def serve_checkpoint() -> None:
+        n = len(dedup)
+        recent = op_seconds[-window:]
+        batch_seconds, batch_sum = _batch_rerun(dedup, inner, params, kernel)
+        ours = dedup.partition().checksum()
+        repair = dedup.last_repair
+        mean_op = statistics.fmean(recent) if recent else 0.0
+        checkpoint_rows.append(
+            {
+                "n": n,
+                "ops": len(op_seconds),
+                "mean_op_seconds": mean_op,
+                "median_op_seconds": (
+                    statistics.median(recent) if recent else 0.0
+                ),
+                "batch_seconds": batch_seconds,
+                "ratio_op_vs_batch": (
+                    mean_op / batch_seconds if batch_seconds > 0 else 0.0
+                ),
+                "incremental_checksum": ours,
+                "batch_checksum": batch_sum,
+                "checksum_match": ours == batch_sum,
+                "components": (
+                    repair.n_components if repair is not None else 0
+                ),
+                "components_reused": (
+                    repair.components_reused if repair is not None else 0
+                ),
+            }
+        )
+
+    for arrival, record in enumerate(relation, start=1):
+        started = time.perf_counter()
+        dedup.add(record.fields)
+        dedup.partition()
+        elapsed = time.perf_counter() - started
+        op_seconds.append(elapsed)
+        insert_seconds.append(elapsed)
+        if remove_every > 0 and arrival % remove_every == 0:
+            while oldest_live not in dedup.relation:
+                oldest_live += 1
+            started = time.perf_counter()
+            dedup.remove(oldest_live)
+            dedup.partition()
+            elapsed = time.perf_counter() - started
+            op_seconds.append(elapsed)
+            remove_seconds.append(elapsed)
+            n_removes += 1
+        while pending and len(dedup) >= pending[0]:
+            serve_checkpoint()
+            pending.pop(0)
+
+    return {
+        "benchmark": "incremental_serving",
+        "dataset": dataset,
+        "distance": distance,
+        "k": k,
+        "c": c,
+        "kernel": kernel,
+        "duplicate_fraction": duplicate_fraction,
+        "seed": seed,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "entities": entities,
+        "n_streamed": len(relation),
+        "n_final": len(dedup),
+        "remove_every": remove_every,
+        "n_removes": n_removes,
+        "window": window,
+        "max_cache_entries": max_cache_entries,
+        "total_insert_seconds": sum(insert_seconds),
+        "total_remove_seconds": sum(remove_seconds),
+        "mean_insert_seconds": (
+            statistics.fmean(insert_seconds) if insert_seconds else 0.0
+        ),
+        "mean_remove_seconds": (
+            statistics.fmean(remove_seconds) if remove_seconds else 0.0
+        ),
+        "checkpoints": checkpoint_rows,
+    }
+
+
+def check_incremental_payload(
+    payload: Mapping,
+    min_check_n: int = 1000,
+    max_op_ratio: float = 0.5,
+    ratio_growth_tolerance: float = 1.5,
+) -> dict[str, list[str]]:
+    """The bench gates: failures in a payload, keyed by severity.
+
+    ``"checksum"`` failures — the maintained partition disagreeing with
+    the from-scratch batch rerun at *any* checkpoint — are correctness
+    violations; the CLI always fails on them.  ``"scaling"`` failures
+    flag the sublinearity contract at checkpoints with
+    ``n >= min_check_n`` (smaller checkpoints are pure timing noise):
+    the trailing-window per-operation cost must stay below
+    ``max_op_ratio`` of one batch rerun, and the per-op/batch ratio
+    must not grow across gated checkpoints beyond
+    ``ratio_growth_tolerance`` — per-insert Θ(n) against batch Θ(n²)
+    means the ratio should *shrink* as n grows.
+    """
+    checksum_failures: list[str] = []
+    scaling_failures: list[str] = []
+    for row in payload["checkpoints"]:
+        if not row["checksum_match"]:
+            checksum_failures.append(
+                f"n={row['n']}: maintained partition "
+                f"{row['incremental_checksum'][:12]} != batch "
+                f"{row['batch_checksum'][:12]}"
+            )
+    gated = [
+        row for row in payload["checkpoints"] if row["n"] >= min_check_n
+    ]
+    for row in gated:
+        if row["ratio_op_vs_batch"] >= max_op_ratio:
+            scaling_failures.append(
+                f"n={row['n']}: per-op cost {row['mean_op_seconds']:.4f}s is "
+                f"{row['ratio_op_vs_batch']:.2f}x one batch rerun "
+                f"({row['batch_seconds']:.4f}s), >= {max_op_ratio:g}x"
+            )
+    if len(gated) >= 2:
+        first, last = gated[0], gated[-1]
+        if (
+            first["ratio_op_vs_batch"] > 0
+            and last["ratio_op_vs_batch"]
+            > first["ratio_op_vs_batch"] * ratio_growth_tolerance
+        ):
+            scaling_failures.append(
+                f"per-op/batch ratio grew from "
+                f"{first['ratio_op_vs_batch']:.3f} (n={first['n']}) to "
+                f"{last['ratio_op_vs_batch']:.3f} (n={last['n']}): "
+                f"per-insert cost is not sublinear vs. the batch rerun"
+            )
+    return {"checksum": checksum_failures, "scaling": scaling_failures}
+
+
+def incremental_table(payload: Mapping) -> str:
+    """Render a payload as the repo's standard text table."""
+    rows = [
+        (
+            row["n"],
+            row["ops"],
+            f"{row['mean_op_seconds'] * 1e3:.1f}ms",
+            f"{row['median_op_seconds'] * 1e3:.1f}ms",
+            f"{row['batch_seconds']:.2f}s",
+            f"{row['ratio_op_vs_batch']:.4f}",
+            "ok" if row["checksum_match"] else "MISMATCH",
+            f"{row['components_reused']}/{row['components']}",
+        )
+        for row in payload["checkpoints"]
+    ]
+    table = format_table(
+        (
+            "n", "ops", "mean op", "median op", "batch rerun",
+            "op/batch", "checksum", "reused",
+        ),
+        rows,
+    )
+    head = (
+        f"incremental serving over {payload['n_streamed']} streamed "
+        f"records ({payload['distance']}, k={payload['k']}, "
+        f"remove_every={payload['remove_every']}, "
+        f"{payload['n_removes']} removes): "
+        f"mean insert {payload['mean_insert_seconds'] * 1e3:.1f}ms"
+        + (
+            f", mean remove {payload['mean_remove_seconds'] * 1e3:.1f}ms"
+            if payload["n_removes"]
+            else ""
+        )
+    )
+    return f"{head}\n{table}"
+
+
+def write_incremental_json(payload: Mapping, path: str | Path) -> Path:
+    """Write the payload (stable key order) and return the path."""
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -89,10 +89,7 @@ def cs_pairs_checksum(pairs: Iterable[CSPair]) -> str:
 
 def partition_checksum(partition: Partition) -> str:
     """A deterministic digest of a partition's canonical groups."""
-    digest = hashlib.sha256()
-    for group in partition.groups:
-        digest.update(repr(tuple(group)).encode())
-    return digest.hexdigest()
+    return partition.checksum()
 
 
 def _phase1_once(

@@ -11,8 +11,9 @@ from repro.index.bktree import BKTreeIndex
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.cache import PagedPostingStore
 from repro.index.inverted import QgramInvertedIndex
-from repro.index.minhash import MinHashIndex
+from repro.index.minhash import MinHashIndex, band_keys, minhash_signature
 from repro.index.pivot import PivotIndex
+from repro.index.postings import PersistentMinHashPostings
 
 __all__ = [
     "Neighbor",
@@ -23,4 +24,7 @@ __all__ = [
     "MinHashIndex",
     "PivotIndex",
     "PagedPostingStore",
+    "PersistentMinHashPostings",
+    "minhash_signature",
+    "band_keys",
 ]

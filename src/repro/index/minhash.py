@@ -31,7 +31,7 @@ from repro.data.schema import Record
 from repro.distances.tokens import qgrams, tokenize
 from repro.index.base import Neighbor, NNIndex
 
-__all__ = ["MinHashIndex"]
+__all__ = ["MinHashIndex", "minhash_signature", "band_keys"]
 
 _PRIME = (1 << 61) - 1
 
@@ -42,6 +42,33 @@ def _stable_hash(token: str, salt: int) -> int:
         token.encode("utf-8"), digest_size=8, salt=salt.to_bytes(8, "little")
     ).digest()
     return int.from_bytes(digest, "little")
+
+
+def minhash_signature(elements: set[str], n_hashes: int) -> tuple[int, ...]:
+    """The ``n_hashes``-wide min-hash signature of a token/q-gram set.
+
+    Stable across processes and sessions (keyed blake2b, no process
+    salt), which is what lets the persistent postings index
+    (:mod:`repro.index.postings`) restore logged signatures instead of
+    re-hashing on a warm restart.  Empty sets sign as all-``_PRIME``.
+    """
+    if not elements:
+        return tuple([_PRIME] * n_hashes)
+    return tuple(
+        min(_stable_hash(element, salt) for element in elements)
+        for salt in range(n_hashes)
+    )
+
+
+def band_keys(
+    signature: tuple[int, ...], n_bands: int
+) -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """Cut a signature into its ``n_bands`` LSH bucket keys."""
+    rows = len(signature) // n_bands
+    return tuple(
+        (band, signature[band * rows : band * rows + rows])
+        for band in range(n_bands)
+    )
 
 
 class MinHashIndex(NNIndex):
@@ -93,20 +120,10 @@ class MinHashIndex(NNIndex):
         return qgrams(text, q=self.q) if self.use_qgrams else tokenize(text)
 
     def _signature(self, record: Record) -> tuple[int, ...]:
-        elements = set(self._elements(record))
-        if not elements:
-            return tuple([_PRIME] * self.n_hashes)
-        return tuple(
-            min(_stable_hash(element, salt) for element in elements)
-            for salt in range(self.n_hashes)
-        )
+        return minhash_signature(set(self._elements(record)), self.n_hashes)
 
     def _keys_of(self, signature: tuple[int, ...]) -> tuple:
-        rows = self.rows_per_band
-        return tuple(
-            (band, signature[band * rows : band * rows + rows])
-            for band in range(self.n_bands)
-        )
+        return band_keys(signature, self.n_bands)
 
     def _build(self) -> None:
         """Sign every record and bucket it — once, idempotently.

@@ -32,13 +32,26 @@ __all__ = [
     "StageTiming",
     "SpilledNNRelation",
     "StagedPipeline",
+    "ServeConfig",
+    "ServeSession",
+    "Decision",
+    "IncrementalStage",
     "DISTANCES",
     "INDEXES",
     "make_distance",
     "make_index",
 ]
 
-_LAZY = {"StagedPipeline": "repro.run.pipeline"}
+# ``serve`` is lazy for the same reason as ``pipeline``: it pulls in
+# the incremental core layer, which this package must not import
+# eagerly.
+_LAZY = {
+    "StagedPipeline": "repro.run.pipeline",
+    "ServeConfig": "repro.run.serve",
+    "ServeSession": "repro.run.serve",
+    "Decision": "repro.run.serve",
+    "IncrementalStage": "repro.run.serve",
+}
 
 
 def __getattr__(name: str):

@@ -1,0 +1,332 @@
+"""Online serving over the incremental deduplicator.
+
+Glue between the maintained DE state
+(:class:`~repro.core.incremental.IncrementalDeduplicator`) and the
+outside world:
+
+- :class:`ServeConfig` — frozen, validated description of a serving
+  session (distance, cut, candidate generation, refit policy, postings
+  snapshot path), built from CLI arguments the same way
+  :class:`~repro.run.config.RunConfig` is;
+- :class:`ServeSession` — the live session: applies ``add`` / ``remove``
+  trace operations and emits one :class:`Decision` per arrival
+  (canonical-vs-duplicate plus the group assignment), wiring up the
+  persistent MinHash postings (:class:`~repro.index.postings
+  .PersistentMinHashPostings`) when approximate candidates are asked
+  for;
+- :class:`IncrementalStage` — the staged-pipeline adapter: replays a
+  trace and leaves the maintained NN relation, CSPairs rows, and
+  partition on the :class:`~repro.run.stages.RunState`, where the
+  downstream stages (and the batch verifier) expect them;
+- :func:`parse_trace_line` — the one-line-per-operation trace format
+  shared by the CLI and the CI smoke job.
+
+See ``docs/serving.md`` for the serving contract and the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.core.formulation import DEParams
+from repro.core.incremental import IncrementalDeduplicator
+from repro.data.schema import Relation
+from repro.index.postings import PersistentMinHashPostings
+from repro.run.config import ConfigError
+from repro.run.registry import DISTANCES
+from repro.storage.engine import Engine
+
+__all__ = [
+    "CANDIDATE_MODES",
+    "Decision",
+    "IncrementalStage",
+    "ServeConfig",
+    "ServeSession",
+    "parse_trace_line",
+]
+
+#: Accepted values of :attr:`ServeConfig.candidates`.
+CANDIDATE_MODES = ("exact", "minhash")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Validated description of one online serving session.
+
+    ``candidates="exact"`` scans every live record per arrival and
+    carries the batch-parity guarantee; ``"minhash"`` routes candidate
+    generation through the persistent postings index (approximate,
+    like the batch MinHash index).  ``store`` names a postings snapshot
+    file: loaded on startup when present (warm restart — no signature
+    is recomputed), written back on shutdown.
+    """
+
+    distance: str = "fms"
+    k: int | None = 5
+    theta: float | None = None
+    c: float = 4.0
+    agg: str = "max"
+    candidates: str = "exact"
+    refit_every: int | None = None
+    max_cache_entries: int | None = None
+    store: str | None = None
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.distance not in DISTANCES:
+            raise ConfigError(
+                f"unknown distance {self.distance!r}; "
+                f"expected one of {sorted(DISTANCES)}"
+            )
+        if self.candidates not in CANDIDATE_MODES:
+            raise ConfigError(
+                f"unknown candidate mode {self.candidates!r}; "
+                f"expected one of {CANDIDATE_MODES}"
+            )
+        if self.k is None and self.theta is None:
+            raise ConfigError("one of k / theta must be set")
+        if self.refit_every is not None and self.refit_every < 1:
+            raise ConfigError("refit_every must be at least 1 (or None)")
+        if self.max_cache_entries is not None and self.max_cache_entries < 1:
+            raise ConfigError("max_cache_entries must be at least 1 (or None)")
+        if self.store is not None and self.candidates != "minhash":
+            raise ConfigError(
+                "store (a postings snapshot) requires candidates='minhash'"
+            )
+        if self.verify and self.candidates != "exact":
+            raise ConfigError(
+                "verify checks the exact batch-parity contract, which "
+                "approximate candidate generation deliberately trades "
+                "away; it requires candidates='exact'"
+            )
+
+    def params(self) -> DEParams:
+        """The DE parameters this session maintains the solution for."""
+        if self.theta is not None:
+            return DEParams.diameter(self.theta, agg=self.agg, c=self.c)
+        return DEParams.size(self.k, agg=self.agg, c=self.c)
+
+    @classmethod
+    def from_cli_args(cls, args: Any) -> "ServeConfig":
+        """Build a config from the ``serve`` subcommand's namespace."""
+        return cls(
+            distance=getattr(args, "distance", cls.distance),
+            k=getattr(args, "k", cls.k),
+            theta=getattr(args, "theta", None),
+            c=getattr(args, "c", cls.c),
+            agg=getattr(args, "agg", cls.agg),
+            candidates=getattr(args, "candidates", cls.candidates),
+            refit_every=getattr(args, "refit_every", None),
+            max_cache_entries=getattr(args, "max_cache_entries", None),
+            store=getattr(args, "store", None),
+            verify=getattr(args, "verify", False),
+        )
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The per-arrival answer a serving session emits.
+
+    ``decision`` is ``"canonical"`` when the record is (currently) its
+    group's minimum-id member — including every singleton — or
+    ``"duplicate"`` of the group's canonical record otherwise;
+    removals emit ``"removed"``.  Decisions reflect the partition *at
+    the time of the operation*: later arrivals can change earlier
+    records' groups, which is inherent to online DE (the paper's
+    solution is a global property of the relation).
+    """
+
+    seq: int
+    op: str
+    rid: int
+    decision: str
+    #: Minimum id of the record's group (``-1`` for removals).
+    canonical: int
+    group_size: int
+    seconds: float
+
+    def render(self) -> str:
+        if self.op == "remove":
+            return f"#{self.seq} remove [{self.rid}] ({self.seconds * 1e3:.1f}ms)"
+        note = (
+            f"duplicate of [{self.canonical}]"
+            if self.decision == "duplicate"
+            else f"canonical (group size {self.group_size})"
+        )
+        return f"#{self.seq} add [{self.rid}] {note} ({self.seconds * 1e3:.1f}ms)"
+
+
+class ServeSession:
+    """A live insert/delete serving session.
+
+    Owns the incremental deduplicator and, for ``candidates="minhash"``,
+    the storage engine hosting the persistent postings.  One
+    :class:`Decision` is produced per applied operation; the maintained
+    partition is always available via :attr:`dedup`.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        seed: Relation | None = None,
+        schema: tuple[str, ...] = ("value",),
+    ):
+        self.config = config
+        self.engine: Engine | None = None
+        self.postings: PersistentMinHashPostings | None = None
+        if config.candidates == "minhash":
+            self.engine = Engine()
+            if config.store is not None and Path(config.store).exists():
+                self.postings = PersistentMinHashPostings.load(
+                    config.store, self.engine
+                )
+            else:
+                self.postings = PersistentMinHashPostings(self.engine)
+        self.dedup = IncrementalDeduplicator(
+            DISTANCES[config.distance](),
+            config.params(),
+            seed=seed,
+            schema=schema,
+            refit_every=config.refit_every,
+            candidates=self.postings,
+            max_cache_entries=config.max_cache_entries,
+        )
+        self._seq = 0
+
+    def insert(self, fields: tuple[str, ...] | list[str]) -> Decision:
+        """Apply one insert; answer canonical-vs-duplicate for it."""
+        rid = self.dedup.add(fields)
+        op = self.dedup.last_op
+        group = self.dedup.partition().group_of(rid)
+        canonical = group[0]
+        self._seq += 1
+        return Decision(
+            seq=self._seq,
+            op="add",
+            rid=rid,
+            decision="canonical" if canonical == rid else "duplicate",
+            canonical=canonical,
+            group_size=len(group),
+            seconds=op.seconds if op is not None else 0.0,
+        )
+
+    def delete(self, rid: int) -> Decision:
+        """Apply one removal."""
+        self.dedup.remove(rid)
+        op = self.dedup.last_op
+        self._seq += 1
+        return Decision(
+            seq=self._seq,
+            op="remove",
+            rid=rid,
+            decision="removed",
+            canonical=-1,
+            group_size=0,
+            seconds=op.seconds if op is not None else 0.0,
+        )
+
+    def apply(self, op: str, payload) -> Decision:
+        """Dispatch one parsed trace operation."""
+        if op == "add":
+            return self.insert(payload)
+        if op == "remove":
+            return self.delete(payload)
+        raise ValueError(f"unknown trace operation {op!r}")
+
+    def replay(self, trace: Iterable[tuple[str, Any]]) -> Iterator[Decision]:
+        """Apply a parsed trace, yielding one decision per operation."""
+        for op, payload in trace:
+            yield self.apply(op, payload)
+
+    def verify(self, label: str = ""):
+        """Batch-parity report for the current state (see the verify pkg)."""
+        from repro.verify.incremental import verify_incremental
+
+        return verify_incremental(self.dedup, label=label)
+
+    def save_store(self) -> Path | None:
+        """Write the postings snapshot named by the config, if any."""
+        if self.postings is None or self.config.store is None:
+            return None
+        return self.postings.save(self.config.store)
+
+
+def parse_trace_line(
+    line: str, n_fields: int | None = None
+) -> tuple[str, Any] | None:
+    """Parse one trace line; ``None`` for blanks and ``#`` comments.
+
+    Format (CSV-ish, one operation per line)::
+
+        add,<field1>,<field2>,...      # exactly n_fields fields
+        remove,<rid>
+
+    ``n_fields=None`` skips the arity check (the relation enforces it
+    on insert anyway).  Raises :class:`ValueError` on malformed lines.
+    """
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    head, _, rest = line.partition(",")
+    if head == "add":
+        fields = tuple(rest.split(",")) if rest else ()
+        if n_fields is not None and len(fields) != n_fields:
+            raise ValueError(
+                f"add line has {len(fields)} field(s), expected {n_fields}: "
+                f"{line!r}"
+            )
+        return ("add", fields)
+    if head == "remove":
+        try:
+            return ("remove", int(rest))
+        except ValueError:
+            raise ValueError(f"remove line needs an integer rid: {line!r}") from None
+    raise ValueError(f"unknown trace operation {head!r} in line {line!r}")
+
+
+class IncrementalStage:
+    """Staged-pipeline adapter for the incremental layer.
+
+    Replays an insert/delete trace through an
+    :class:`~repro.core.incremental.IncrementalDeduplicator` built from
+    the run context's distance, then leaves the *maintained* NN
+    relation, CSPairs rows, partition — and the live relation itself —
+    on the :class:`~repro.run.stages.RunState`.  Downstream stages (and
+    a :class:`~repro.run.stages.VerifyStage` audit) consume them exactly
+    as they would a batch run's output, which is what makes the staged
+    pipeline a second, independent harness for the parity guarantee.
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        trace: Iterable[tuple[str, Any]],
+        *,
+        refit_every: int | None = None,
+    ):
+        self.trace = list(trace)
+        self.refit_every = refit_every
+        self.dedup: IncrementalDeduplicator | None = None
+
+    def run(self, ctx, state) -> None:
+        dedup = IncrementalDeduplicator(
+            ctx.distance,
+            state.params,
+            schema=state.relation.schema,
+            refit_every=self.refit_every,
+        )
+        for op, payload in self.trace:
+            if op == "add":
+                dedup.add(payload)
+            elif op == "remove":
+                dedup.remove(payload)
+            else:
+                raise ValueError(f"unknown trace operation {op!r}")
+        self.dedup = dedup
+        state.relation = dedup.relation
+        state.nn_relation = dedup.nn_relation()
+        state.cs_pairs = dedup.cs_pairs()
+        state.partition = dedup.partition()

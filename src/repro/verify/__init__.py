@@ -18,6 +18,11 @@ mode is requested.  See ``docs/verification.md``.
 """
 
 from repro.verify.checks import VerificationContext
+from repro.verify.incremental import (
+    FrozenDistance,
+    batch_reference,
+    verify_incremental,
+)
 from repro.verify.parity import (
     EXECUTION_PATHS,
     check_cross_path,
@@ -38,15 +43,18 @@ __all__ = [
     "CHECKS",
     "EXECUTION_PATHS",
     "CheckResult",
+    "FrozenDistance",
     "VerificationContext",
     "VerificationError",
     "VerificationReport",
     "Violation",
+    "batch_reference",
     "check_cross_path",
     "default_checks",
     "nn_signature",
     "run_paths",
     "summarize",
+    "verify_incremental",
     "verify_paths",
     "verify_result",
 ]

@@ -1,0 +1,168 @@
+"""Insert/delete parity checks for the incremental layer.
+
+The online layer's contract (``docs/serving.md``) is that after *any*
+interleaved sequence of :meth:`~repro.core.incremental
+.IncrementalDeduplicator.add` and ``remove`` calls, the maintained
+solution is **bit-identical** to a from-scratch batch
+:class:`~repro.core.pipeline.DuplicateEliminator` run over the live
+relation.  :func:`verify_incremental` turns that contract into three
+machine-checkable results:
+
+- ``incremental-nn-parity`` — the maintained NN lists and NG values
+  equal the batch Phase-1 output, record by record;
+- ``incremental-pairs-parity`` — the maintained CSPairs relation equals
+  the batch Phase-2 rows;
+- ``incremental-partition-parity`` — the maintained partition's
+  checksum (:meth:`~repro.core.result.Partition.checksum`) equals the
+  batch partition's.
+
+The batch reference runs under the deduplicator's *current* corpus
+statistics: the already-prepared distance is wrapped so ``prepare`` is
+a no-op (:class:`FrozenDistance`).  Re-preparing would be wrong — a
+session with ``refit_every=None`` froze its IDF weights at the first
+arrival by design, and parity is defined against *that* distance, not
+against statistics the session never saw.
+"""
+
+from __future__ import annotations
+
+from repro.core.incremental import IncrementalDeduplicator
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.schema import Record, Relation
+from repro.distances.base import DistanceFunction
+from repro.verify.report import CheckResult, VerificationReport, Violation
+
+__all__ = ["FrozenDistance", "batch_reference", "verify_incremental"]
+
+
+class FrozenDistance(DistanceFunction):
+    """Delegate to an already-prepared distance; ``prepare`` is a no-op.
+
+    The batch reference pipeline calls ``prepare(relation)`` before
+    Phase 1; this wrapper pins the corpus statistics the incremental
+    session actually used so the comparison is apples-to-apples.
+    """
+
+    def __init__(self, inner: DistanceFunction):
+        self.inner = inner
+        self.name = f"frozen({inner.name})"
+
+    def prepare(self, relation: Relation) -> None:  # noqa: ARG002
+        pass
+
+    def make_kernel(self, relation: Relation):
+        return self.inner.make_kernel(relation)
+
+    def distance(self, a: Record, b: Record) -> float:
+        return self.inner.distance(a, b)
+
+
+def batch_reference(dedup: IncrementalDeduplicator):
+    """From-scratch batch solution over the deduplicator's live relation.
+
+    Preserves record ids (removals leave gaps; the batch pipeline
+    tolerates sparse ids) and the session's frozen corpus statistics.
+    Returns the batch :class:`~repro.core.pipeline.DEResult` with its
+    CSPairs rows kept.
+    """
+    relation = Relation(name=dedup.relation.name, schema=dedup.relation.schema)
+    for record in dedup.relation:
+        relation.add(Record(record.rid, record.fields))
+    batch = DuplicateEliminator(
+        FrozenDistance(dedup.distance), keep_cs_pairs=True
+    )
+    return batch.run(relation, dedup.params)
+
+
+def verify_incremental(
+    dedup: IncrementalDeduplicator, label: str = ""
+) -> VerificationReport:
+    """Check the maintained solution against a from-scratch batch run."""
+    if len(dedup.relation) == 0:
+        return VerificationReport(
+            checks=(
+                CheckResult.skip(
+                    "incremental-partition-parity", "empty relation"
+                ),
+            ),
+            label=label,
+        )
+    reference = batch_reference(dedup)
+
+    nn_violations: list[Violation] = []
+    maintained = dedup.nn_relation()
+    for rid in sorted(dedup.relation.ids()):
+        ours = maintained.get(rid)
+        theirs = reference.nn_relation.get(rid)
+        if tuple(ours.neighbors) != tuple(theirs.neighbors):
+            nn_violations.append(
+                Violation(
+                    check="incremental-nn-parity",
+                    subject=(rid,),
+                    message=(
+                        f"maintained NN list {ours.neighbors!r} != "
+                        f"batch {theirs.neighbors!r}"
+                    ),
+                )
+            )
+        elif ours.ng != theirs.ng:
+            nn_violations.append(
+                Violation(
+                    check="incremental-nn-parity",
+                    subject=(rid,),
+                    message=f"maintained ng {ours.ng} != batch {theirs.ng}",
+                )
+            )
+    nn_check = CheckResult.from_violations(
+        "incremental-nn-parity",
+        checked=len(dedup.relation),
+        violations=nn_violations,
+        detail="maintained NN lists and NGs vs from-scratch Phase 1",
+    )
+
+    pair_violations: list[Violation] = []
+    ours_pairs = dedup.cs_pairs()
+    theirs_pairs = reference.cs_pairs or []
+    ours_by_key = {(p.id1, p.id2): p for p in ours_pairs}
+    theirs_by_key = {(p.id1, p.id2): p for p in theirs_pairs}
+    for key in sorted(set(ours_by_key) | set(theirs_by_key)):
+        a, b = ours_by_key.get(key), theirs_by_key.get(key)
+        if a != b:
+            pair_violations.append(
+                Violation(
+                    check="incremental-pairs-parity",
+                    subject=key,
+                    message=f"maintained row {a!r} != batch row {b!r}",
+                )
+            )
+    pairs_check = CheckResult.from_violations(
+        "incremental-pairs-parity",
+        checked=max(len(ours_pairs), len(theirs_pairs)),
+        violations=pair_violations,
+        detail="maintained CSPairs relation vs from-scratch Phase 2",
+    )
+
+    ours_sum = dedup.partition().checksum()
+    theirs_sum = reference.partition.checksum()
+    partition_violations: list[Violation] = []
+    if ours_sum != theirs_sum:
+        partition_violations.append(
+            Violation(
+                check="incremental-partition-parity",
+                subject=(),
+                message=(
+                    f"maintained partition checksum {ours_sum} != "
+                    f"batch {theirs_sum}"
+                ),
+            )
+        )
+    partition_check = CheckResult.from_violations(
+        "incremental-partition-parity",
+        checked=len(dedup.partition().groups),
+        violations=partition_violations,
+        detail=f"sha256 {ours_sum[:12]} vs batch {theirs_sum[:12]}",
+    )
+
+    return VerificationReport(
+        checks=(nn_check, pairs_check, partition_check), label=label
+    )

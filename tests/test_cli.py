@@ -381,3 +381,169 @@ class TestBenchPhase1Command:
         payload = json.loads(output.read_text())
         assert payload["verification"]["ok"] is True
         assert payload["verification"]["failed"] == []
+
+
+class TestServe:
+    def trace_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(
+            "# online serving smoke trace\n"
+            "add,cascade systems\n"
+            "add,cascade sistems\n"
+            "\n"
+            "add,granite manufacturing\n"
+            "remove,1\n"
+        )
+        return path
+
+    def test_serve_trace_prints_decisions(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["serve", str(self.trace_file(tmp_path)), "--distance", "edit"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "#1 add [0] canonical" in text
+        assert "duplicate of [0]" in text
+        assert "#4 remove [1]" in text
+        assert "served 4 operation(s); 2 live record(s)" in text
+
+    def test_serve_csv_groups_match_batch_dedup(self, org_csv, tmp_path):
+        path, _ = org_csv
+        serve_groups = tmp_path / "serve_groups.csv"
+        dedup_groups = tmp_path / "dedup_groups.csv"
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "serve", str(path), "--from-csv",
+                    "--distance", "edit",
+                    "--groups", str(serve_groups),
+                    "--singletons", "--quiet",
+                ],
+                out=out,
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "dedup", str(path),
+                    "--distance", "edit",
+                    "--output", str(dedup_groups),
+                    "--singletons",
+                ],
+                out=io.StringIO(),
+            )
+            == 0
+        )
+        assert serve_groups.read_text() == dedup_groups.read_text()
+
+    def test_serve_verify_passes_in_exact_mode(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", str(self.trace_file(tmp_path)),
+                "--distance", "edit",
+                "--quiet", "--verify",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "incremental-partition-parity" in text
+        assert "FAIL" not in text
+
+    def test_serve_verify_with_minhash_is_a_config_error(self, tmp_path):
+        code = main(
+            [
+                "serve", str(self.trace_file(tmp_path)),
+                "--distance", "edit",
+                "--candidates", "minhash",
+                "--verify", "--quiet",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_serve_store_requires_minhash(self, tmp_path):
+        code = main(
+            [
+                "serve", str(self.trace_file(tmp_path)),
+                "--distance", "edit",
+                "--store", str(tmp_path / "p.json"),
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 2
+
+    def test_serve_minhash_store_round_trip(self, tmp_path):
+        store = tmp_path / "postings.json"
+        args = [
+            "serve", str(self.trace_file(tmp_path)),
+            "--distance", "edit",
+            "--candidates", "minhash",
+            "--store", str(store),
+            "--quiet", "--stats",
+        ]
+        cold = io.StringIO()
+        assert main(args, out=cold) == 0
+        assert store.exists()
+        assert "cold" in cold.getvalue()
+        warm = io.StringIO()
+        assert main(args, out=warm) == 0
+        # The replayed trace re-uses every persisted signature; only
+        # rid 1 — tombstoned by the trace's remove before the snapshot
+        # was written — hashes again.
+        assert "restored, 1 hashed this session" in warm.getvalue()
+
+    def test_serve_malformed_trace_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("upsert,huh\n")
+        code = main(
+            ["serve", str(path), "--distance", "edit"], out=io.StringIO()
+        )
+        assert code == 2
+
+    def test_serve_remove_every_synthesizes_removals(self, org_csv):
+        path, _ = org_csv
+        out = io.StringIO()
+        code = main(
+            [
+                "serve", str(path), "--from-csv",
+                "--distance", "edit",
+                "--remove-every", "5",
+                "--quiet", "--verify",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "FAIL" not in out.getvalue()
+
+
+class TestBenchIncremental:
+    def test_small_run_writes_artifact_and_passes_checksums(self, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_incremental.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "bench-incremental",
+                "--entities", "20",
+                "--distance", "edit",
+                "--checkpoints", "12,24",
+                "--remove-every", "6",
+                "--output", str(output),
+                "--check",
+            ],
+            out=out,
+        )
+        assert code == 0, out.getvalue()
+        text = out.getvalue()
+        assert "checksums agree" in text
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "incremental_serving"
+        assert payload["n_removes"] > 0
+        assert all(row["checksum_match"] for row in payload["checkpoints"])

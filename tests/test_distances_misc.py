@@ -207,6 +207,21 @@ class TestBaseWrappers:
             records[0], records[1]
         )
 
+    def test_bounded_eviction_is_fifo(self):
+        # Eviction runs through OrderedDict.popitem(last=False): O(1)
+        # and oldest-first.  The newest entries must survive.
+        records = [Record(i, (f"w{i}",)) for i in range(4)]
+        cached = CachedDistance(EditDistance(), max_entries=2)
+        cached.distance(records[0], records[1])
+        cached.distance(records[0], records[2])
+        cached.distance(records[0], records[3])  # evicts the (0, 1) pair
+        misses = cached.misses
+        cached.distance(records[0], records[2])
+        cached.distance(records[0], records[3])
+        assert cached.misses == misses  # both survivors still cached
+        cached.distance(records[0], records[1])
+        assert cached.misses == misses + 1  # the oldest was the victim
+
     def test_cached_distance_rejects_bad_bound(self):
         with pytest.raises(ValueError, match="max_entries"):
             CachedDistance(EditDistance(), max_entries=0)

@@ -1,0 +1,132 @@
+"""Tests for the persistent MinHash postings index.
+
+The index's contract: postings live as append-only logs in the storage
+engine (signature rows plus per-band posting rows, with ``op = -1``
+tombstones for removals), so a restart over the same engine — or a
+JSON snapshot loaded into a fresh one — replays the logs instead of
+recomputing any signature.
+"""
+
+import pytest
+
+from repro.data.schema import Record
+from repro.index.postings import PersistentMinHashPostings
+from repro.storage.engine import Engine
+
+CORPUS = [
+    "cascade systems",
+    "cascade sistems",
+    "granite manufacturing",
+    "granite manufacturing inc",
+    "zzz totally unrelated",
+]
+
+
+def build(engine, **kwargs):
+    # q-gram shingles: short two-token strings need sub-token elements
+    # for near-duplicates to reach band-collision similarity.
+    kwargs.setdefault("use_qgrams", True)
+    postings = PersistentMinHashPostings(engine, **kwargs)
+    for rid, text in enumerate(CORPUS):
+        postings.add(Record(rid, (text,)))
+    return postings
+
+
+class TestColdBuild:
+    def test_candidates_surface_near_duplicates(self):
+        postings = build(Engine())
+        assert 1 in postings.candidates(Record(0, (CORPUS[0],)))
+        assert 3 in postings.candidates(Record(2, (CORPUS[2],)))
+
+    def test_signatures_computed_once_per_record(self):
+        postings = build(Engine())
+        assert postings.signatures_computed == len(CORPUS)
+        assert not postings.restored
+
+    def test_duplicate_rid_rejected(self):
+        postings = build(Engine())
+        with pytest.raises(ValueError):
+            postings.add(Record(0, ("again",)))
+
+    def test_contains_and_len(self):
+        postings = build(Engine())
+        assert len(postings) == len(CORPUS)
+        assert 0 in postings
+        assert 99 not in postings
+
+
+class TestWarmRestart:
+    def test_restart_replays_log_without_hashing(self):
+        engine = Engine()
+        first = build(engine)
+        probe = Record(0, (CORPUS[0],))
+        expected = first.candidates(probe)
+        second = PersistentMinHashPostings(engine)
+        assert second.restored
+        assert second.signatures_computed == 0
+        assert len(second) == len(CORPUS)
+        assert second.candidates(probe) == expected
+
+    def test_tombstones_survive_restart(self):
+        engine = Engine()
+        first = build(engine)
+        first.remove(1)
+        second = PersistentMinHashPostings(engine)
+        assert 1 not in second
+        assert 1 not in second.candidates(Record(0, (CORPUS[0],)))
+
+    def test_remove_unknown_rid_raises(self):
+        postings = build(Engine())
+        with pytest.raises(KeyError):
+            postings.remove(42)
+
+    def test_rid_can_be_readded_after_removal(self):
+        postings = build(Engine())
+        postings.remove(0)
+        assert 0 not in postings
+        postings.add(Record(0, (CORPUS[0],)))
+        assert 0 in postings
+
+
+class TestCompact:
+    def test_compact_drops_tombstoned_rows(self):
+        engine = Engine()
+        postings = build(engine)
+        postings.remove(0)
+        postings.remove(1)
+        probe = Record(2, (CORPUS[2],))
+        before = postings.candidates(probe)
+        dropped = postings.compact()
+        assert dropped > 0
+        assert postings.candidates(probe) == before
+        # A restart over the compacted tables sees the same live set.
+        restarted = PersistentMinHashPostings(engine)
+        assert len(restarted) == len(CORPUS) - 2
+        assert restarted.candidates(probe) == before
+
+    def test_compact_is_idempotent(self):
+        postings = build(Engine())
+        postings.remove(0)
+        postings.compact()
+        assert postings.compact() == 0
+
+
+class TestSnapshot:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "postings.json"
+        first = build(Engine())
+        first.remove(4)
+        first.save(path)
+        probe = Record(0, (CORPUS[0],))
+        loaded = PersistentMinHashPostings.load(path, Engine())
+        assert loaded.restored
+        assert loaded.signatures_computed == 0
+        assert len(loaded) == len(CORPUS) - 1
+        assert loaded.candidates(probe) == first.candidates(probe)
+
+    def test_load_refuses_an_occupied_engine(self, tmp_path):
+        path = tmp_path / "postings.json"
+        engine = Engine()
+        build(engine).save(path)
+        with pytest.raises(ValueError):
+            PersistentMinHashPostings.load(path, engine)

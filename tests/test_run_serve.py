@@ -1,0 +1,196 @@
+"""Tests for the online serving layer (config, session, stage, trace)."""
+
+import pytest
+
+from repro.core.formulation import DEParams
+from repro.core.pipeline import DuplicateEliminator
+from repro.data.schema import Relation
+from repro.run.config import ConfigError, RunConfig
+from repro.run.context import RunContext
+from repro.run.serve import (
+    Decision,
+    IncrementalStage,
+    ServeConfig,
+    ServeSession,
+    parse_trace_line,
+)
+from repro.run.stages import RunState
+from repro.run.stats import RunStats
+
+WORDS = [
+    "cascade systems",
+    "cascade sistems",
+    "granite manufacturing",
+    "granite manufacturing inc",
+    "omega research",
+]
+
+TRACE = [("add", (w,)) for w in WORDS]
+
+
+class TestParseTraceLine:
+    def test_blank_and_comment_lines_are_skipped(self):
+        assert parse_trace_line("") is None
+        assert parse_trace_line("   ") is None
+        assert parse_trace_line("# a comment") is None
+
+    def test_add_line(self):
+        assert parse_trace_line("add,alpha,beta") == ("add", ("alpha", "beta"))
+
+    def test_add_arity_checked_when_requested(self):
+        with pytest.raises(ValueError):
+            parse_trace_line("add,only one", n_fields=2)
+        assert parse_trace_line("add,a,b", n_fields=2) == ("add", ("a", "b"))
+
+    def test_remove_line(self):
+        assert parse_trace_line("remove,7") == ("remove", 7)
+
+    def test_remove_needs_integer_rid(self):
+        with pytest.raises(ValueError):
+            parse_trace_line("remove,xyz")
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            parse_trace_line("upsert,a")
+
+
+class TestServeConfig:
+    def test_defaults_validate(self):
+        config = ServeConfig()
+        assert config.candidates == "exact"
+        assert config.params() == DEParams.size(5, c=4.0)
+
+    def test_theta_selects_diameter_cut(self):
+        config = ServeConfig(theta=0.2)
+        assert config.params() == DEParams.diameter(0.2, c=4.0)
+
+    def test_unknown_distance_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(distance="nope")
+
+    def test_unknown_candidate_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(candidates="oracle")
+
+    def test_cut_required(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(k=None, theta=None)
+
+    def test_store_requires_minhash(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(store="p.json")
+
+    def test_verify_requires_exact_candidates(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(candidates="minhash", verify=True)
+
+    def test_refit_every_bounds(self):
+        with pytest.raises(ConfigError):
+            ServeConfig(refit_every=0)
+
+
+class TestServeSession:
+    def session(self, **kwargs):
+        return ServeSession(ServeConfig(distance="edit", k=3, **kwargs))
+
+    def test_first_arrival_is_canonical(self):
+        decision = self.session().insert((WORDS[0],))
+        assert decision.decision == "canonical"
+        assert decision.rid == 0
+        assert decision.canonical == 0
+        assert decision.group_size == 1
+
+    def test_near_duplicate_joins_earlier_record(self):
+        session = self.session()
+        session.insert((WORDS[0],))
+        decision = session.insert((WORDS[1],))
+        assert decision.decision == "duplicate"
+        assert decision.canonical == 0
+        assert "duplicate of [0]" in decision.render()
+
+    def test_remove_decision(self):
+        session = self.session()
+        session.insert((WORDS[0],))
+        decision = session.delete(0)
+        assert decision.op == "remove"
+        assert decision.decision == "removed"
+        assert len(session.dedup) == 0
+
+    def test_replay_yields_one_decision_per_operation(self):
+        session = self.session()
+        decisions = list(session.replay(TRACE + [("remove", 4)]))
+        assert len(decisions) == len(TRACE) + 1
+        assert [d.seq for d in decisions] == list(range(1, len(decisions) + 1))
+        assert decisions[-1].op == "remove"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            self.session().apply("upsert", ("x",))
+
+    def test_verify_passes_in_exact_mode(self):
+        session = self.session()
+        list(session.replay(TRACE + [("remove", 1)]))
+        report = session.verify(label="trace")
+        assert report.ok, report.render()
+
+    def test_minhash_session_owns_engine_and_postings(self):
+        session = self.session(candidates="minhash")
+        assert session.engine is not None
+        assert session.postings is not None
+        list(session.replay(TRACE))
+        assert len(session.postings) == len(WORDS)
+        session.delete(0)
+        assert 0 not in session.postings
+
+    def test_store_round_trip_warm_restarts(self, tmp_path):
+        store = tmp_path / "postings.json"
+        first = self.session(candidates="minhash", store=str(store))
+        list(first.replay(TRACE))
+        assert first.save_store() == store
+        second = self.session(candidates="minhash", store=str(store))
+        assert second.postings.restored
+        assert second.postings.signatures_computed == 0
+        assert len(second.postings) == len(WORDS)
+
+    def test_save_store_is_a_noop_in_exact_mode(self):
+        assert self.session().save_store() is None
+
+
+class TestIncrementalStage:
+    def test_stage_leaves_batch_identical_state(self):
+        params = DEParams.size(3, c=4.0)
+        ctx = RunContext.create(RunConfig(distance="edit"))
+        relation = Relation(name="serve", schema=("value",))
+        state = RunState(
+            relation=relation,
+            params=params,
+            stats=RunStats(),
+        )
+        stage = IncrementalStage(TRACE + [("remove", 4)])
+        assert stage.name == "incremental"
+        stage.run(ctx, state)
+        assert len(state.relation) == len(WORDS) - 1
+        assert state.partition is not None
+        assert state.cs_pairs is not None
+        batch = DuplicateEliminator(ctx.distance).run(state.relation, params)
+        assert state.partition.checksum() == batch.partition.checksum()
+
+    def test_stage_rejects_unknown_trace_operation(self):
+        ctx = RunContext.create(RunConfig(distance="edit"))
+        state = RunState(
+            relation=Relation(name="serve", schema=("value",)),
+            params=DEParams.size(3, c=4.0),
+            stats=RunStats(),
+        )
+        with pytest.raises(ValueError):
+            IncrementalStage([("upsert", ("x",))]).run(ctx, state)
+
+
+class TestDecisionRender:
+    def test_add_render_shapes(self):
+        canonical = Decision(1, "add", 0, "canonical", 0, 1, 0.001)
+        duplicate = Decision(2, "add", 1, "duplicate", 0, 2, 0.002)
+        removal = Decision(3, "remove", 1, "removed", -1, 0, 0.0)
+        assert "canonical (group size 1)" in canonical.render()
+        assert "duplicate of [0]" in duplicate.render()
+        assert removal.render().startswith("#3 remove [1]")
