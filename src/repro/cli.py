@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight subcommands cover the adoption path:
+Nine subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
   ``--verify`` self-checks the run against the paper's invariants;
+  ``--shards N`` runs the sharded scale-out path (identical output,
+  bounded memory; see ``docs/architecture.md`` Layer 5);
 - ``serve`` — stream an insert/delete trace (or a CSV) through the
   online incremental deduplicator, emitting a canonical-vs-duplicate
   decision per arrival; ``--verify`` diffs the final maintained state
@@ -21,6 +23,9 @@ Eight subcommands cover the adoption path:
 - ``bench-phase2`` — run the Phase-2 partitioned self-join benchmark
   (sequential vs. partitioned, in-memory/engine/spill sources) and
   write ``BENCH_phase2.json``;
+- ``bench-scale`` — run the sharded scale-out benchmark (unsharded
+  reference vs. N-shard runs, checksum-gated) and write
+  ``BENCH_scale.json``;
 - ``bench-incremental`` — stream inserts (and optional removes)
   through the online layer, checking batch parity and per-insert cost
   at checkpoints, and write ``BENCH_incremental.json``.
@@ -122,6 +127,22 @@ def build_parser() -> argparse.ArgumentParser:
     dedup.add_argument(
         "--page-capacity", type=int, default=RunConfig.page_capacity,
         help="rows per storage-engine page for --engine / --spill",
+    )
+    dedup.add_argument(
+        "--shards", type=int, default=RunConfig.shards,
+        help="split the run into N LSH-blocked shards, solve each "
+             "through the full pipeline, and merge exactly (the merged "
+             "partition is checksum-identical to --shards 1)",
+    )
+    dedup.add_argument(
+        "--shard-overlap", type=float, default=RunConfig.shard_overlap,
+        help="fraction of a shard's capacity replicated onto the next "
+             "shard when an LSH block must be split (in [0, 1])",
+    )
+    dedup.add_argument(
+        "--shards-in-flight", type=int, default=None,
+        help="max shards solved concurrently (bounds peak memory at "
+             "in-flight x --buffer-pages pages; default: all)",
     )
     dedup.add_argument(
         "--kernel", choices=("auto", "numpy", "python"), default="auto",
@@ -408,6 +429,81 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-relative-throughput", type=float, default=0.5,
         help="the --check throughput floor, relative to the 1-worker "
              "partitioned run (lower it on noisy smoke-sized runs)",
+    )
+
+    benchs = sub.add_parser(
+        "bench-scale",
+        help="run the sharded scale-out benchmark",
+    )
+    benchs.add_argument("--dataset", choices=dataset_names(), default="org")
+    benchs.add_argument(
+        "--distance", choices=sorted(BENCH_DISTANCES), default="cosine"
+    )
+    benchs.add_argument(
+        "--index", choices=sorted(INDEX_FACTORIES), default="minhash",
+        help="candidate index every run (sharded and reference) uses",
+    )
+    benchs.add_argument(
+        "--entities", type=int, default=2000,
+        help="entity count before duplicate injection (the committed "
+             "BENCH_scale.json uses the n >= 100000 regime)",
+    )
+    benchs.add_argument(
+        "--shards", default="1,4",
+        help="comma-separated shard counts; 1 is the unsharded "
+             "reference every other count is checksummed against",
+    )
+    benchs.add_argument(
+        "--shards-in-flight", type=int, default=None,
+        help="max shards solved concurrently (default: all)",
+    )
+    benchs.add_argument(
+        "--cut", choices=("size", "diameter", "combined"),
+        default="combined",
+    )
+    benchs.add_argument("--k", type=int, default=5)
+    benchs.add_argument("--theta", type=float, default=0.4)
+    benchs.add_argument("--c", type=float, default=4.0)
+    benchs.add_argument(
+        "--overlap", type=float, default=0.2,
+        help="shard-plan overlap fraction (in [0, 1])",
+    )
+    benchs.add_argument("--pool", choices=("thread", "process"), default="thread")
+    benchs.add_argument(
+        "--kernel", choices=("auto", "numpy", "python"), default="auto",
+    )
+    benchs.add_argument(
+        "--buffer-pages", type=int, default=64,
+        help="per-shard buffer-pool pages (0 disables the engine)",
+    )
+    benchs.add_argument(
+        "--page-capacity", type=int, default=64,
+        help="rows per storage-engine page",
+    )
+    benchs.add_argument(
+        "--parity-entities", type=int, default=60,
+        help="entity count for the small cross-cut/cross-kernel "
+             "shard-merge-parity matrix",
+    )
+    benchs.add_argument("--seed", type=int, default=0)
+    benchs.add_argument(
+        "--output", default="BENCH_scale.json",
+        help="where to write the JSON payload",
+    )
+    benchs.add_argument(
+        "--check", action="store_true",
+        help="fail (nonzero exit) when the shard-plan recall drops "
+             "below --min-recall or n falls below --min-n (checksum "
+             "mismatches always fail)",
+    )
+    benchs.add_argument(
+        "--min-recall", type=float, default=0.9,
+        help="the --check floor on the shard plan's recorded LSH "
+             "co-residency recall",
+    )
+    benchs.add_argument(
+        "--min-n", type=int, default=None,
+        help="the --check floor on the relation size n",
     )
 
     benchi = sub.add_parser(
@@ -906,6 +1002,7 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     path = write_phase1_json(payload, args.output)
+    _print_parallelism_warning(payload, out)
     print(phase1_table(payload), file=out)
     for matrix in payload.get("index_matrix") or ():
         print("", file=out)
@@ -979,6 +1076,7 @@ def _cmd_bench_phase2(args: argparse.Namespace, out) -> int:
         repeats=args.repeats,
     )
     path = write_phase2_json(payload, args.output)
+    _print_parallelism_warning(payload, out)
     print(phase2_table(payload), file=out)
     print(f"\nwrote {path}", file=out)
     failures = check_phase2_payload(
@@ -998,6 +1096,72 @@ def _cmd_bench_phase2(args: argparse.Namespace, out) -> int:
         print("checksums agree; partitioned throughput within bounds",
               file=out)
     return 0
+
+
+def _cmd_bench_scale(args: argparse.Namespace, out) -> int:
+    from repro.eval.bench_scale import (
+        check_scale_payload,
+        run_scale_bench,
+        scale_table,
+        write_scale_json,
+    )
+
+    shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
+    try:
+        payload = run_scale_bench(
+            entities=args.entities,
+            shard_counts=shard_counts,
+            dataset=args.dataset,
+            distance=args.distance,
+            index=args.index,
+            cut=args.cut,
+            k=args.k,
+            theta=args.theta,
+            c=args.c,
+            overlap=args.overlap,
+            shards_in_flight=args.shards_in_flight,
+            pool=args.pool,
+            kernel=args.kernel,
+            buffer_pages=args.buffer_pages if args.buffer_pages > 0 else None,
+            page_capacity=args.page_capacity,
+            seed=args.seed,
+            parity_entities=args.parity_entities,
+        )
+    except (ConfigError, ValueError, KernelUnavailable) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    path = write_scale_json(payload, args.output)
+    print(scale_table(payload), file=out)
+    print(f"\nwrote {path}", file=out)
+    _print_parallelism_warning(payload, out)
+    failures = check_scale_payload(
+        payload, min_recall=args.min_recall, min_n=args.min_n
+    )
+    for failure in failures.get("checksum", ()):
+        print(f"ERROR: {failure}", file=out)
+    if failures.get("checksum"):
+        # Checksum disagreement is a correctness bug, not a perf
+        # regression: fail regardless of --check.
+        return 1
+    if args.check:
+        gated = failures.get("recall", []) + failures.get("scale", [])
+        for failure in gated:
+            print(f"ERROR: {failure}", file=out)
+        if gated:
+            return 1
+        print(
+            "checksums agree across shard counts; plan recall and size "
+            "within bounds",
+            file=out,
+        )
+    return 0
+
+
+def _print_parallelism_warning(payload: dict, out) -> None:
+    """Surface a payload's honest-parallelism advisory, if any."""
+    advisory = payload.get("effective_parallelism") or {}
+    if advisory.get("warning"):
+        print(f"WARNING: {advisory['warning']}", file=out)
 
 
 def main(argv: Sequence[str] | None = None, out=None) -> int:
@@ -1020,4 +1184,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_bench_phase1(args, out)
     if args.command == "bench-phase2":
         return _cmd_bench_phase2(args, out)
+    if args.command == "bench-scale":
+        return _cmd_bench_scale(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -149,6 +149,7 @@ def prepare_nn_lists(
     n_workers: int = 1,
     pool: str = "thread",
     chunk_size: int | None = None,
+    rids: Sequence[int] | None = None,
 ) -> NNRelation:
     """Materialize the NN relation for a DE problem instance.
 
@@ -186,11 +187,25 @@ def prepare_nn_lists(
         ``"process"``.
     chunk_size:
         Optional fixed chunk length for the parallel path.
+    rids:
+        Optional subset of record ids to compute entries for.  Queries
+        still run against the *full* index, so each returned entry is
+        exactly the entry a whole-relation run would produce for that
+        rid — the contract the sharded runner's exact merge relies on.
+        The subset is answered through :meth:`NNIndex.phase1_batch` in
+        ascending-rid chunks (``order``/``n_workers`` do not apply).
     """
     if index.relation is not relation:
         raise ValueError("index was not built over the given relation")
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
+
+    if rids is not None:
+        return _subset_nn_lists(
+            relation, index, params, sorted(rids),
+            stats=stats, radius_fn=radius_fn,
+            chunk_size=chunk_size,
+        )
 
     if n_workers > 1:
         # Imported lazily: repro.parallel depends on repro.core modules.
@@ -248,6 +263,78 @@ def prepare_nn_lists(
         )
         for rid in ids:
             lookup(rid)
+
+    if stats is not None:
+        evaluations = index.evaluations - evaluations_before
+        candidates = getattr(index, "candidates_generated", 0) - candidates_before
+        pruned = getattr(index, "evaluations_pruned", 0) - pruned_before
+        kernel = getattr(index, "kernel_evaluations", 0) - kernel_before
+        stats.seconds += time.perf_counter() - started
+        stats.evaluations += evaluations
+        stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
+        stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
+        stats.candidates_generated += candidates
+        stats.evaluations_pruned += pruned
+        stats.kernel_evaluations += kernel
+        stats.credit_index(
+            index.name,
+            lookups=stats.lookups - lookups_before,
+            evaluations=evaluations,
+            candidates_generated=candidates,
+            evaluations_pruned=pruned,
+            kernel_evaluations=kernel,
+        )
+    return nn_relation
+
+
+def _subset_nn_lists(
+    relation: Relation,
+    index: NNIndex,
+    params: DEParams,
+    rids: Sequence[int],
+    stats: Phase1Stats | None = None,
+    radius_fn=None,
+    chunk_size: int | None = None,
+) -> NNRelation:
+    """Compute entries for a rid subset against the full index.
+
+    The cut dispatch maps onto :meth:`NNIndex.phase1_batch`'s query
+    shape exactly as ``_fetch`` does (``k`` = size cut, ``theta`` =
+    diameter cut, both = combined cut), so each entry is bit-identical
+    to the sequential whole-relation path's entry for the same rid.
+    Chunking bounds the batch pair cache while still amortizing the
+    index's blocked evaluation across neighbors within a chunk.
+    """
+    if isinstance(params.cut, SizeCut):
+        k, theta = params.cut.k, None
+    elif isinstance(params.cut, CombinedCut):
+        k, theta = params.cut.k, params.theta
+    else:
+        k, theta = None, params.theta
+
+    nn_relation = NNRelation()
+    started = time.perf_counter()
+    evaluations_before = index.evaluations
+    hits_before = getattr(index, "cache_hits", 0)
+    misses_before = getattr(index, "cache_misses", 0)
+    candidates_before = getattr(index, "candidates_generated", 0)
+    pruned_before = getattr(index, "evaluations_pruned", 0)
+    kernel_before = getattr(index, "kernel_evaluations", 0)
+    lookups_before = stats.lookups if stats is not None else 0
+
+    size = chunk_size if chunk_size and chunk_size > 0 else 256
+    for start in range(0, len(rids), size):
+        chunk = rids[start : start + size]
+        records = [relation.get(rid) for rid in chunk]
+        batch = index.phase1_batch(
+            records, k=k, theta=theta, p=params.p, radius_fn=radius_fn
+        )
+        for rid, (neighbors, ng) in zip(chunk, batch):
+            nn_relation.add(
+                NNEntry(rid=rid, neighbors=tuple(neighbors), ng=ng)
+            )
+            if stats is not None:
+                stats.lookups += 1
 
     if stats is not None:
         evaluations = index.evaluations - evaluations_before

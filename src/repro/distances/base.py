@@ -76,6 +76,15 @@ class DistanceFunction(abc.ABC):
         kernels.append(kernel)
         return kernel
 
+    def __getstate__(self) -> dict:
+        # Registered kernels hold a live numpy module reference and do
+        # not pickle; a process-pool worker rebuilds (and re-registers)
+        # its own kernels when the index re-resolves them, so the
+        # worker-side ledger starts at zero by design.
+        state = self.__dict__.copy()
+        state.pop("_kernels", None)
+        return state
+
     @property
     def kernel_evaluations(self) -> int:
         """Pair distances computed by kernels built from this function.

@@ -50,6 +50,7 @@ __all__ = [
     "BENCH_DISTANCES",
     "INDEX_FACTORIES",
     "nn_checksum",
+    "parallelism_advisory",
     "run_phase1_bench",
     "run_index_matrix",
     "phase1_table",
@@ -77,6 +78,35 @@ INDEX_FACTORIES: dict[str, Callable[[], NNIndex]] = {
     "minhash": MinHashIndex,
     "pivot": PivotIndex,
 }
+
+
+def parallelism_advisory(workers: Sequence[int] | int) -> dict:
+    """Honest parallelism metadata for a benchmark payload.
+
+    Worker counts above ``os.cpu_count()`` cannot speed anything up —
+    they only add scheduling overhead — yet a payload that records
+    ``workers: [1, 2, 4]`` on a 1-core box silently reads as a failed
+    scaling experiment.  This stamps every payload with the
+    *effective* parallelism (``min(max(workers), cpu_count)``) and a
+    human-readable warning when the requested fan-out exceeds the
+    machine, so speedup columns can be read honestly.
+    """
+    requested = max(workers) if not isinstance(workers, int) else workers
+    cpu_count = os.cpu_count() or 1
+    effective = min(requested, cpu_count)
+    warning = None
+    if cpu_count < requested:
+        warning = (
+            f"requested {requested} workers on a {cpu_count}-core machine; "
+            f"speedups beyond {cpu_count}x reflect overlap of waiting, not "
+            f"parallel compute"
+        )
+    return {
+        "cpu_count": cpu_count,
+        "requested_workers": requested,
+        "effective_parallelism": effective,
+        "warning": warning,
+    }
 
 
 def nn_checksum(nn_relation: NNRelation) -> str:
@@ -242,6 +272,7 @@ def run_index_matrix(
         "seed": seed,
         "recall_sample": recall_sample,
         "kernel": kernel,
+        "effective_parallelism": parallelism_advisory(n_workers),
         "rows": rows,
     }
 
@@ -360,6 +391,7 @@ def run_phase1_bench(
         "cpu_count": os.cpu_count(),
         "sizes": list(sizes),
         "workers": list(workers),
+        "effective_parallelism": parallelism_advisory(workers),
         "runs": runs,
         "speedup_batch_vs_per_query": speedups,
         "parity": parity,

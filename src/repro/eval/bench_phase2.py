@@ -48,7 +48,11 @@ from repro.core.nn_phase import Phase1Stats
 from repro.core.partitioner import partition_records, partition_records_sharded
 from repro.core.result import Partition
 from repro.data.loaders import load_dataset
-from repro.eval.bench_phase1 import BENCH_DISTANCES, INDEX_FACTORIES
+from repro.eval.bench_phase1 import (
+    BENCH_DISTANCES,
+    INDEX_FACTORIES,
+    parallelism_advisory,
+)
 from repro.eval.report import format_table
 from repro.parallel.engine import ParallelNNEngine
 from repro.parallel.join import (
@@ -351,6 +355,7 @@ def run_phase2_bench(
         "page_capacity": page_capacity,
         "repeats": repeats,
         "workers": list(workers),
+        "effective_parallelism": parallelism_advisory(workers),
         "runs": runs,
         "speedup_partitioned_vs_sequential": speedups,
         "parity": parity,

@@ -91,13 +91,18 @@ class NNIndex(abc.ABC):
 
     def __getstate__(self) -> dict:
         # Locks do not pickle; process-pool workers re-create their own.
+        # Batch kernels hold a live numpy module reference, so they are
+        # dropped too and re-resolved from ``kernel_mode`` on restore.
         state = self.__dict__.copy()
         state["_batch_lock"] = None
+        state["_kernel"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._batch_lock = threading.Lock()
+        if self.relation is not None and self.distance is not None:
+            self._resolve_kernel()
 
     def build(self, relation: Relation, distance: DistanceFunction) -> None:
         """Index ``relation`` under ``distance`` (calls ``prepare``)."""

@@ -86,6 +86,15 @@ class RunConfig:
         :class:`~repro.distances.kernels.KernelUnavailable` without
         it), ``python`` (always the scalar per-pair baseline).  Kernel
         and scalar paths produce bit-identical results.
+    shards, shard_overlap, shards_in_flight:
+        Sharded scale-out (see :mod:`repro.shard`): with ``shards > 1``
+        the relation is blocked into that many overlapping LSH-band
+        shards, the staged pipeline runs once per shard on a
+        ``pool``-kind worker pool with at most ``shards_in_flight``
+        shards resident (``None`` = all), and the per-shard partitions
+        are merged exactly.  ``shard_overlap`` is the fraction of a
+        shard's capacity replicated between consecutive chunks of a
+        split blocking component, in ``[0, 1]``.
     """
 
     distance: str = "fms"
@@ -106,6 +115,9 @@ class RunConfig:
     verify: bool | str = False
     keep_cs_pairs: bool = False
     kernel: str = "auto"
+    shards: int = 1
+    shard_overlap: float = 0.2
+    shards_in_flight: int | None = None
 
     def __post_init__(self) -> None:
         if self.order not in _ORDERS:
@@ -145,6 +157,20 @@ class RunConfig:
             raise ConfigError(
                 f"unknown kernel mode {self.kernel!r}; expected one of {_KERNELS}"
             )
+        if self.shards < 1:
+            raise ConfigError("shards must be at least 1")
+        if not 0.0 <= self.shard_overlap <= 1.0:
+            raise ConfigError(
+                f"shard_overlap must be within [0, 1]; got {self.shard_overlap!r}"
+            )
+        if self.shards_in_flight is not None:
+            if self.shards_in_flight < 1:
+                raise ConfigError("shards_in_flight must be at least 1 (or None)")
+            if self.shards_in_flight > self.shards:
+                raise ConfigError(
+                    f"shards_in_flight ({self.shards_in_flight}) cannot exceed "
+                    f"shards ({self.shards})"
+                )
 
     # ------------------------------------------------------------------
     # Derivation and round-tripping
@@ -199,6 +225,9 @@ class RunConfig:
             minimal=getattr(args, "minimal", False),
             verify=verify,
             kernel=getattr(args, "kernel", cls.kernel),
+            shards=getattr(args, "shards", cls.shards),
+            shard_overlap=getattr(args, "shard_overlap", cls.shard_overlap),
+            shards_in_flight=getattr(args, "shards_in_flight", None),
         )
 
     def describe(self) -> str:

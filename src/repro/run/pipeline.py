@@ -23,10 +23,12 @@ from repro.distances.base import CachedDistance
 from repro.run.context import RunContext
 from repro.run.stages import (
     CSPairsStage,
+    MergeStage,
     PartitionStage,
     Phase1Stage,
     PostprocessStage,
     RunState,
+    ShardStage,
     SpillStage,
     Stage,
     VerifyStage,
@@ -56,8 +58,13 @@ class StagedPipeline:
 
         ``from_nn`` drops Phase 1 (the NN relation is supplied); an
         engine inserts the spill/materialize stage ahead of the
-        CSPairs join.
+        CSPairs join.  With ``shards > 1`` the whole Phase-1/Phase-2
+        program runs once per shard inside :class:`ShardStage` (each
+        shard with its own engine budget), so the top level is just
+        shard → merge → postprocess.
         """
+        if not from_nn and self.context.config.shards > 1:
+            return [ShardStage(), MergeStage(), PostprocessStage()]
         stages: list[Stage] = []
         if not from_nn:
             stages.append(Phase1Stage())

@@ -53,6 +53,8 @@ from repro.storage.table import HeapTable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.cspairs import CSPair
     from repro.core.pipeline import DEResult
+    from repro.shard.plan import ShardPlan
+    from repro.shard.runner import ShardOutcome
 
 __all__ = [
     "RunState",
@@ -62,6 +64,8 @@ __all__ = [
     "CSPairsStage",
     "PartitionStage",
     "PostprocessStage",
+    "ShardStage",
+    "MergeStage",
     "VerifyStage",
 ]
 
@@ -80,6 +84,9 @@ class RunState:
     #: partition stage streams from it when ``cs_pairs`` was not kept.
     cs_table: HeapTable | None = None
     partition: Partition | None = None
+    #: Sharded-run intermediates (see :mod:`repro.shard`).
+    shard_plan: "ShardPlan | None" = None
+    shard_outcomes: "list[ShardOutcome] | None" = None
     #: Assembled by the pipeline before :class:`VerifyStage` runs.
     result: "DEResult | None" = field(default=None, repr=False)
 
@@ -292,6 +299,95 @@ class PostprocessStage:
             state.partition = apply_constraining_predicate(
                 state.partition, state.relation, ctx.cannot_link
             )
+
+
+class ShardStage:
+    """Plan the LSH-band shards and run the pipeline once per shard.
+
+    Builds the index once over the full relation (every shard queries
+    it, which is what makes the merge exact), plans the blocking via
+    :func:`~repro.shard.plan.plan_shards`, and executes the shards on a
+    :class:`~repro.shard.runner.ShardRunner` with at most
+    ``shards_in_flight`` shards resident.  Leaves the plan and the
+    per-shard outcomes on the state for :class:`MergeStage` and records
+    the per-shard telemetry (timings, buffer counters, and the
+    ``shards_in_flight × buffer_pages`` peak-page bound) in
+    :class:`~repro.run.stats.RunStats`.
+    """
+
+    name = "shard"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        # Imported lazily: repro.shard depends on the run modules.
+        from repro.shard.plan import plan_shards
+        from repro.shard.runner import ShardRunner
+
+        config = ctx.config
+        ctx.index.build(state.relation, ctx.distance)
+        plan = plan_shards(
+            state.relation, config.shards, overlap=config.shard_overlap
+        )
+        outcomes = ShardRunner(ctx).run(state.relation, state.params, plan)
+        state.shard_plan = plan
+        state.shard_outcomes = outcomes
+
+        stats = state.stats
+        in_flight = ShardRunner.effective_in_flight(config, plan.n_shards)
+        stats.shard_plan = {
+            **plan.to_dict(),
+            "shards_in_flight": in_flight,
+            "peak_pages_bound": (
+                in_flight * config.buffer_pages if config.use_engine else None
+            ),
+        }
+        stats.shard_runs = [outcome.summary() for outcome in outcomes]
+        stats.spilled = config.spill
+        phase1 = stats.phase1
+        for outcome in outcomes:
+            counters = outcome.phase1
+            phase1.lookups += counters.get("lookups", 0)
+            phase1.seconds += counters.get("seconds", 0.0)
+            phase1.evaluations += counters.get("evaluations", 0)
+            phase1.cache_hits += counters.get("cache_hits", 0)
+            phase1.cache_misses += counters.get("cache_misses", 0)
+            phase1.candidates_generated += counters.get(
+                "candidates_generated", 0
+            )
+            phase1.evaluations_pruned += counters.get("evaluations_pruned", 0)
+            phase1.kernel_evaluations += counters.get("kernel_evaluations", 0)
+
+
+class MergeStage:
+    """Merge the per-shard outcomes into the exact global result.
+
+    Reassembles the full NN relation from the (globally exact) shard
+    entries, unions the shard CSPairs rows, reconstructs the
+    cross-shard mutual pairs, and re-runs group extraction only on
+    boundary components — see :func:`~repro.shard.merge
+    .merge_partitions` for the proof sketch.  Downstream stages
+    (postprocess, verify) then see exactly what an unsharded run would
+    have produced.
+    """
+
+    name = "merge"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        # Imported lazily: repro.shard depends on the run modules.
+        from repro.shard.merge import merge_partitions
+
+        assert state.shard_plan is not None, "ShardStage must run first"
+        assert state.shard_outcomes is not None, "ShardStage must run first"
+        merged = merge_partitions(
+            state.shard_plan,
+            state.shard_outcomes,
+            state.relation.ids(),
+            state.params,
+        )
+        state.nn_relation = merged.nn_relation
+        state.cs_pairs = merged.cs_pairs
+        state.partition = merged.partition
+        state.stats.n_cs_pairs = len(merged.cs_pairs)
+        state.stats.shard_merge = merged.to_dict()
 
 
 class VerifyStage:

@@ -22,7 +22,8 @@ __all__ = ["StageTiming", "Phase2Stats", "RunStats"]
 
 #: Stage names whose wall time constitutes "Phase 2" in the legacy
 #: accounting (everything between the NN computation and the result).
-PHASE2_STAGES = ("spill", "cspairs", "partition", "postprocess")
+#: On sharded runs the cross-shard merge plays the same role.
+PHASE2_STAGES = ("spill", "cspairs", "partition", "postprocess", "merge")
 
 
 @dataclass(frozen=True)
@@ -135,6 +136,13 @@ class RunStats:
         The distance-evaluation backend Phase 1 ran on: ``"numpy"``
         when the index resolved a vectorized batch kernel, ``"python"``
         for the scalar path.
+    shard_plan, shard_runs, shard_merge:
+        Sharded scale-out telemetry (``None``/empty off the sharded
+        path): the blocking plan (shard sizes, LSH recall,
+        ``shards_in_flight``, and the peak buffer-page bound
+        ``shards_in_flight × buffer_pages``), one timing/buffer summary
+        per shard, and the merge's component accounting (boundary vs
+        reused components, reconstructed cross rows).
     """
 
     phase1: Phase1Stats = field(default_factory=Phase1Stats)
@@ -146,6 +154,9 @@ class RunStats:
     distance_cache_hits: int = 0
     buffer: BufferStats | None = None
     kernel_backend: str = "python"
+    shard_plan: dict[str, Any] | None = None
+    shard_runs: list[dict[str, Any]] = field(default_factory=list)
+    shard_merge: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -226,5 +237,11 @@ class RunStats:
                 "misses": self.buffer.misses,
                 "evictions": self.buffer.evictions,
                 "hit_ratio": self.buffer.hit_ratio,
+            }
+        if self.shard_plan is not None:
+            payload["shards"] = {
+                "plan": dict(self.shard_plan),
+                "runs": [dict(run) for run in self.shard_runs],
+                "merge": dict(self.shard_merge) if self.shard_merge else None,
             }
         return payload

@@ -1,0 +1,31 @@
+"""Sharded scale-out: LSH-band blocking shards + exact boundary merge.
+
+The layer that takes a run past one address space's comfort zone:
+
+- :mod:`repro.shard.plan` — :class:`ShardPlan` blocks the relation
+  into overlapping shards along MinHash LSH band buckets (the same
+  signature scheme the approximate index and the persistent postings
+  use), recording the co-residency recall of the LSH candidate pairs.
+- :mod:`repro.shard.runner` — :class:`ShardRunner` executes the
+  existing staged pipeline once per shard on a worker pool, with at
+  most ``shards_in_flight`` shards resident at a time and a per-shard
+  buffer-pool budget, so peak memory is ``shards_in_flight × budget``
+  rather than ``O(n)``.
+- :mod:`repro.shard.merge` — :func:`merge_partitions` unions the
+  per-shard mutual-NN edges, reconstructs the cross-shard CSPairs rows
+  exactly, and re-runs compact-SN group extraction only on boundary
+  components — provably checksum-identical to an unsharded run.
+"""
+
+from repro.shard.merge import MergeResult, merge_partitions
+from repro.shard.plan import ShardPlan, plan_shards
+from repro.shard.runner import ShardOutcome, ShardRunner
+
+__all__ = [
+    "MergeResult",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardRunner",
+    "merge_partitions",
+    "plan_shards",
+]

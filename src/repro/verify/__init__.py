@@ -37,6 +37,7 @@ from repro.verify.report import (
     Violation,
     summarize,
 )
+from repro.verify.shard import cut_params, verify_shard_merge
 from repro.verify.verifier import CHECKS, default_checks, verify_result
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "Violation",
     "batch_reference",
     "check_cross_path",
+    "cut_params",
     "default_checks",
     "nn_signature",
     "run_paths",
@@ -57,4 +59,5 @@ __all__ = [
     "verify_incremental",
     "verify_paths",
     "verify_result",
+    "verify_shard_merge",
 ]

@@ -28,11 +28,24 @@ class TestValidation:
             {"page_capacity": 0},
             {"verify": "loud"},
             {"spill": True},  # spill without use_engine
+            {"shards": 0},
+            {"shard_overlap": -0.1},
+            {"shard_overlap": 1.01},
+            {"shards_in_flight": 0},
+            {"shards": 2, "shards_in_flight": 3},  # in-flight > shards
         ],
     )
     def test_invalid_values_rejected(self, changes):
         with pytest.raises(ConfigError):
             RunConfig(**changes)
+
+    def test_shard_fields_accepted(self):
+        config = RunConfig(shards=4, shard_overlap=0.5, shards_in_flight=2)
+        assert config.shards == 4
+        assert config.shard_overlap == 0.5
+        assert config.shards_in_flight == 2
+        # in-flight == shards is the boundary case and is legal.
+        assert RunConfig(shards=3, shards_in_flight=3).shards_in_flight == 3
 
     def test_config_error_is_value_error(self):
         with pytest.raises(ValueError):
@@ -91,6 +104,19 @@ class TestRoundTrip:
         assert config.verify == "report"
         assert RunConfig.from_dict(config.to_dict()) == config
 
+    def test_cli_shard_flags(self):
+        args = build_parser().parse_args(
+            [
+                "dedup", "in.csv", "--shards", "3",
+                "--shard-overlap", "0.1", "--shards-in-flight", "2",
+            ]
+        )
+        config = RunConfig.from_cli_args(args)
+        assert config.shards == 3
+        assert config.shard_overlap == 0.1
+        assert config.shards_in_flight == 2
+        assert RunConfig.from_dict(config.to_dict()) == config
+
     def test_engine_flag_alone(self):
         args = build_parser().parse_args(["dedup", "in.csv", "--engine"])
         config = RunConfig.from_cli_args(args)
@@ -108,6 +134,10 @@ class TestCLIExitCodes:
             ["dedup", "in.csv", "--engine", "--buffer-pages", "0"],
             ["dedup", "in.csv", "--workers", "0"],
             ["dedup", "in.csv", "--spill", "--page-capacity", "0"],
+            ["dedup", "in.csv", "--shards", "0"],
+            ["dedup", "in.csv", "--shards", "2", "--shards-in-flight", "4"],
+            ["dedup", "in.csv", "--shards", "2", "--shard-overlap", "1.5"],
+            ["dedup", "in.csv", "--shards", "2", "--shard-overlap", "-0.5"],
         ],
     )
     def test_invalid_config_exits_2(self, argv):

@@ -1,0 +1,254 @@
+"""Sharded scale-out layer: plan, runner, exact merge, and parity.
+
+The headline property (satellite of the paper's robustness pitch): for
+*any* overlapping 2-way split of the relation, running the staged
+pipeline per shard against the global index and merging with
+:func:`~repro.shard.merge.merge_partitions` yields the partition the
+unsharded pipeline produces — for all three cut specifications.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import DEParams
+from repro.data.loaders import load_dataset
+from repro.index.bruteforce import BruteForceIndex
+from repro.run.config import RunConfig
+from repro.run.context import RunContext
+from repro.run.pipeline import StagedPipeline
+from repro.shard import (
+    MergeResult,
+    ShardPlan,
+    ShardRunner,
+    merge_partitions,
+    plan_shards,
+)
+from repro.verify.shard import cut_params, verify_shard_merge
+
+from tests.helpers import absdiff_distance, numbers_relation
+
+#: The three cut specifications, tuned for 1-D values in [0, 900]
+#: under absdiff/1000 (theta must exceed typical near-pair gaps).
+CUTS = {
+    "size": DEParams.size(3, c=4.0),
+    "diameter": DEParams.diameter(0.03, c=4.0),
+    "combined": DEParams.combined(3, 0.03, c=4.0),
+}
+
+
+def _pipeline_context(relation, distance, config=None) -> RunContext:
+    index = BruteForceIndex()
+    index.build(relation, distance)
+    return RunContext(config or RunConfig(keep_cs_pairs=True), distance, index)
+
+
+def _run_split(relation, distance, params, members):
+    """Run per-shard + merge for an explicit member split."""
+    plan = ShardPlan.from_members(members)
+    ctx = _pipeline_context(
+        relation, distance, RunConfig(keep_cs_pairs=True, shards_in_flight=1)
+    )
+    outcomes = ShardRunner(ctx).run(relation, params, plan)
+    return merge_partitions(plan, outcomes, relation.ids(), params)
+
+
+@st.composite
+def split_instances(draw):
+    """Values plus a per-record shard code: 0 = left, 1 = right, 2 = both."""
+    values = draw(
+        st.lists(st.integers(0, 900), min_size=4, max_size=14, unique=True)
+    )
+    codes = draw(
+        st.lists(st.integers(0, 2), min_size=len(values), max_size=len(values))
+    )
+    return values, codes
+
+
+class TestMergeEqualsUnshardedProperty:
+    @pytest.mark.parametrize("cut", sorted(CUTS))
+    @settings(max_examples=25, deadline=None)
+    @given(split_instances())
+    def test_any_overlapping_split_merges_exactly(self, cut, instance):
+        values, codes = instance
+        params = CUTS[cut]
+        relation = numbers_relation(values)
+        distance = absdiff_distance()
+        rids = sorted(relation.ids())
+        left = [rid for rid, code in zip(rids, codes) if code != 1]
+        right = [rid for rid, code in zip(rids, codes) if code != 0]
+        # Both shards must be non-empty; the union always covers.
+        left = left or [rids[0]]
+        right = right or [rids[-1]]
+
+        merged = _run_split(relation, distance, params, [left, right])
+
+        reference = StagedPipeline(
+            _pipeline_context(relation, absdiff_distance())
+        ).run(relation, params)
+        assert merged.partition.checksum() == reference.partition.checksum()
+        assert len(merged.cs_pairs) == reference.stats.n_cs_pairs
+        assert (
+            merged.n_boundary_components + merged.n_reused_components
+            == merged.n_components
+        )
+
+
+class TestMergeRegressions:
+    def test_chain_split_needs_witness_containment(self):
+        """The documented counter-example: members {a,b} / {b,c} with
+        rows (a,b), (b,c).  Only containment in a single shard makes a
+        component clean — the second shard alone would extract {b,c}
+        while the global anchor scan groups b with a."""
+        relation = numbers_relation([100, 101, 102])
+        distance = absdiff_distance()
+        params = DEParams.size(2, c=8.0)
+        a, b, c = sorted(relation.ids())
+
+        merged = _run_split(relation, distance, params, [[a, b], [b, c]])
+
+        reference = StagedPipeline(
+            _pipeline_context(relation, absdiff_distance())
+        ).run(relation, params)
+        assert merged.partition.checksum() == reference.partition.checksum()
+        assert merged.n_boundary_components >= 1
+
+    def test_merge_result_telemetry_round_trips(self):
+        relation = numbers_relation([10, 11, 40, 41, 75])
+        merged = _run_split(
+            relation,
+            absdiff_distance(),
+            CUTS["size"],
+            [[0, 1, 2], [2, 3, 4]],
+        )
+        assert isinstance(merged, MergeResult)
+        payload = merged.to_dict()
+        assert payload["n_cs_pairs"] == len(merged.cs_pairs)
+        assert set(payload) == {
+            "n_components",
+            "n_boundary_components",
+            "n_reused_components",
+            "n_cross_pairs",
+            "n_cs_pairs",
+        }
+
+
+@pytest.fixture(scope="module")
+def org_relation():
+    return load_dataset("org", n_entities=50, seed=3).relation
+
+
+class TestShardPlan:
+    def test_rejects_bad_arguments(self, org_relation):
+        with pytest.raises(ValueError):
+            plan_shards(org_relation, 0)
+        with pytest.raises(ValueError):
+            plan_shards(org_relation, 2, overlap=-0.1)
+        with pytest.raises(ValueError):
+            plan_shards(org_relation, 2, overlap=1.5)
+
+    def test_single_shard_holds_everything(self, org_relation):
+        plan = plan_shards(org_relation, 1)
+        assert plan.n_shards == 1
+        assert plan.members[0] == tuple(sorted(org_relation.ids()))
+        assert plan.recall == 1.0
+
+    def test_members_cover_relation(self, org_relation):
+        plan = plan_shards(org_relation, 3, overlap=0.2)
+        assert plan.n_shards == 3
+        covered = set()
+        for members in plan.members:
+            assert members == tuple(sorted(members))
+            covered.update(members)
+        assert covered == set(org_relation.ids())
+        assert 0.0 <= plan.recall <= 1.0
+
+    def test_shards_of_and_co_resident_agree(self, org_relation):
+        plan = plan_shards(org_relation, 3, overlap=0.3)
+        rids = sorted(org_relation.ids())
+        for rid in rids[:10]:
+            assert plan.shards_of(rid), "every rid lives somewhere"
+        a, b = rids[0], rids[1]
+        expected = bool(set(plan.shards_of(a)) & set(plan.shards_of(b)))
+        assert plan.co_resident(a, b) is expected
+
+    def test_to_dict_payload(self, org_relation):
+        payload = plan_shards(org_relation, 2).to_dict()
+        assert payload["n_shards"] == 2
+        assert len(payload["shard_sizes"]) == 2
+        assert "recall" in payload and "n_split_components" in payload
+
+    def test_from_members_sorts_and_dedups(self):
+        plan = ShardPlan.from_members([[3, 1, 3], [2, 2]])
+        assert plan.members == ((1, 3), (2,))
+        assert plan.recall == 1.0
+
+
+class TestShardRunner:
+    def test_effective_in_flight_bounds(self):
+        assert ShardRunner.effective_in_flight(RunConfig(), 4) == 4
+        assert (
+            ShardRunner.effective_in_flight(
+                RunConfig(shards=4, shards_in_flight=2), 4
+            )
+            == 2
+        )
+        assert ShardRunner.effective_in_flight(RunConfig(), 1) == 1
+
+    @pytest.mark.parametrize("pool", ["thread", "process"])
+    def test_pools_produce_identical_outcomes(self, org_relation, pool):
+        params = DEParams.size(4, c=4.0)
+        config = RunConfig(
+            distance="edit", index="brute", pool=pool,
+            shards=2, shards_in_flight=2, keep_cs_pairs=True,
+        )
+        ctx = RunContext.create(config)
+        plan = plan_shards(org_relation, 2)
+        outcomes = ShardRunner(ctx).run(org_relation, params, plan)
+        assert [outcome.shard_id for outcome in outcomes] == [0, 1]
+        merged = merge_partitions(
+            plan, outcomes, org_relation.ids(), params
+        )
+        reference = StagedPipeline(
+            RunContext.create(
+                RunConfig(distance="edit", index="brute", keep_cs_pairs=True)
+            )
+        ).run(org_relation, params)
+        assert merged.partition.checksum() == reference.partition.checksum()
+
+    def test_outcome_summary_shape(self, org_relation):
+        params = DEParams.size(4, c=4.0)
+        ctx = RunContext.create(
+            RunConfig(distance="edit", shards=2, keep_cs_pairs=True)
+        )
+        outcomes = ShardRunner(ctx).run(
+            org_relation, params, plan_shards(org_relation, 2)
+        )
+        summary = outcomes[0].summary()
+        assert summary["shard_id"] == 0
+        assert summary["n_members"] == outcomes[0].n_members
+        assert "phase1_lookups" in summary and "seconds" in summary
+
+
+class TestVerifyShardMerge:
+    def test_parity_matrix_passes(self, org_relation):
+        report = verify_shard_merge(
+            org_relation,
+            shard_counts=(2,),
+            kernels=("python",),
+            params_by_cut=cut_params(),
+        )
+        assert report.ok
+        names = [check.name for check in report.checks]
+        assert names == ["shard-merge-parity[python]"]
+
+    def test_strict_mode_raises_nothing_when_ok(self, org_relation):
+        report = verify_shard_merge(
+            org_relation,
+            shard_counts=(2,),
+            kernels=("python",),
+            strict=True,
+        )
+        assert report.ok
