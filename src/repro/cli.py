@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Nine subcommands cover the adoption path:
+Ten subcommands cover the adoption path:
 
 - ``dedup`` — deduplicate a CSV file and print (or write) the groups;
   ``--verify`` self-checks the run against the paper's invariants;
@@ -28,7 +28,16 @@ Nine subcommands cover the adoption path:
   ``BENCH_scale.json``;
 - ``bench-incremental`` — stream inserts (and optional removes)
   through the online layer, checking batch parity and per-insert cost
-  at checkpoints, and write ``BENCH_incremental.json``.
+  at checkpoints, and write ``BENCH_incremental.json``;
+- ``bench-constraints`` — run every constraint mode on the claims
+  workload (postprocess reference vs. join-time filtering vs. full
+  pushdown planning) and write ``BENCH_constraints.json``; ``--check``
+  gates the pushdown evaluation-savings ratio, and constraint
+  violations always fail (see ``docs/constraints.md``).
+
+``dedup`` and ``serve`` share the constraint flags: ``--cannot-link
+FIELD`` / ``--block-key FIELD`` (repeatable), ``--time-window DAYS``
+with ``--time-field FIELD``, and ``--constraint-mode``.
 """
 
 from __future__ import annotations
@@ -56,10 +65,43 @@ from repro.eval.bench_phase1 import (
     write_phase1_json,
 )
 from repro.distances.kernels.compat import KernelUnavailable
-from repro.run.config import ConfigError, RunConfig
+from repro.run.config import CONSTRAINT_MODES, ConfigError, RunConfig
 from repro.run.registry import DISTANCES, INDEXES
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_constraint_flags(parser: argparse.ArgumentParser) -> None:
+    """The constraint flags ``dedup`` and ``serve`` share."""
+    parser.add_argument(
+        "--cannot-link", action="append", metavar="FIELD", default=None,
+        help="records whose FIELD values are non-empty and differ must "
+             "never share a group (repeatable)",
+    )
+    parser.add_argument(
+        "--block-key", action="append", metavar="FIELD", default=None,
+        help="hard blocking key: records may only be grouped when "
+             "their FIELD values are identical (repeatable)",
+    )
+    parser.add_argument(
+        "--time-window", type=int, default=None, metavar="DAYS",
+        help="records may only be grouped when their --time-field ISO "
+             "dates are within DAYS of each other (unparseable dates "
+             "never group)",
+    )
+    parser.add_argument(
+        "--time-field", default=None, metavar="FIELD",
+        help="the ISO date column --time-window applies to",
+    )
+    parser.add_argument(
+        "--constraint-mode", choices=CONSTRAINT_MODES,
+        default="postprocess",
+        help="where constraints are discharged: split groups after "
+             "partitioning (postprocess, the paper's section 4.5), "
+             "filter CSPairs at join time (inline), or plan the run "
+             "from the hard constraints' blocks (pushdown); every "
+             "mode emits zero constraint-violating groups",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
              "accounting, distance-cache hit rate, and the buffer hit "
              "ratio when the engine is in play",
     )
+    _add_constraint_flags(dedup)
 
     serve = sub.add_parser(
         "serve",
@@ -239,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print serving telemetry: per-op cost, refits, partition "
              "repair reuse, cache and postings counters",
     )
+    _add_constraint_flags(serve)
 
     generate = sub.add_parser("generate", help="emit a synthetic dataset")
     generate.add_argument("dataset", choices=dataset_names())
@@ -506,6 +550,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="the --check floor on the relation size n",
     )
 
+    benchc = sub.add_parser(
+        "bench-constraints",
+        help="run the constraint-mode benchmark (pushdown vs "
+             "postprocess on the claims workload)",
+    )
+    benchc.add_argument("--dataset", choices=dataset_names(), default="claims")
+    benchc.add_argument(
+        "--distance", choices=sorted(BENCH_DISTANCES), default="edit"
+    )
+    benchc.add_argument(
+        "--index", choices=sorted(INDEX_FACTORIES), default="brute",
+        help="candidate index every mode uses",
+    )
+    benchc.add_argument(
+        "--entities", type=int, default=400,
+        help="entity count before duplicate injection (the committed "
+             "BENCH_constraints.json uses 400)",
+    )
+    benchc.add_argument(
+        "--cut", choices=("size", "diameter", "combined"),
+        default="combined",
+    )
+    benchc.add_argument("--k", type=int, default=5)
+    benchc.add_argument("--theta", type=float, default=0.45)
+    benchc.add_argument("--c", type=float, default=4.0)
+    benchc.add_argument(
+        "--window-days", type=int, default=30,
+        help="the TimeWindow constraint's width on service_date",
+    )
+    benchc.add_argument("--duplicate-fraction", type=float, default=0.3)
+    benchc.add_argument("--seed", type=int, default=0)
+    benchc.add_argument(
+        "--parity-entities", type=int, default=80,
+        help="entity count for the block-parity matrix riding along",
+    )
+    benchc.add_argument(
+        "--output", default="BENCH_constraints.json",
+        help="where to write the JSON payload",
+    )
+    benchc.add_argument(
+        "--check", action="store_true",
+        help="fail (nonzero exit) when the pushdown evaluation-savings "
+             "ratio drops below --min-ratio (constraint violations and "
+             "block-parity failures always fail)",
+    )
+    benchc.add_argument(
+        "--min-ratio", type=float, default=5.0,
+        help="the --check floor on postprocess/pushdown distance "
+             "evaluations",
+    )
+
     benchi = sub.add_parser(
         "bench-incremental",
         help="run the online insert/delete serving benchmark",
@@ -596,6 +691,14 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     relation = relation_from_csv(args.input)
+    if config.constraints:
+        from repro.core.constraints import ConstraintError, validate_constraints
+
+        try:
+            validate_constraints(config.constraints, relation.schema)
+        except ConstraintError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     params = _params_from_args(args)
     solver = DuplicateEliminator(
         DISTANCES[args.distance](),
@@ -750,6 +853,14 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     except (ConfigError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if config.constraints:
+        from repro.core.constraints import ConstraintError, validate_constraints
+
+        try:
+            validate_constraints(config.constraints, schema)
+        except ConstraintError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     session = ServeSession(config, schema=schema)
     for decision in session.replay(trace):
         if not args.quiet:
@@ -809,6 +920,55 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         print(report.render(), file=out)
         if not report.ok:
             return 1
+    return 0
+
+
+def _cmd_bench_constraints(args: argparse.Namespace, out) -> int:
+    from repro.eval.bench_constraints import (
+        check_constraint_payload,
+        constraint_table,
+        run_constraint_bench,
+        write_constraints_json,
+    )
+
+    try:
+        payload = run_constraint_bench(
+            entities=args.entities,
+            dataset=args.dataset,
+            distance=args.distance,
+            index=args.index,
+            cut=args.cut,
+            k=args.k,
+            theta=args.theta,
+            c=args.c,
+            window_days=args.window_days,
+            duplicate_fraction=args.duplicate_fraction,
+            seed=args.seed,
+            parity_entities=args.parity_entities,
+        )
+    except (ConfigError, ValueError, KernelUnavailable) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    path = write_constraints_json(payload, args.output)
+    print(constraint_table(payload), file=out)
+    print(f"\nwrote {path}", file=out)
+    failures = check_constraint_payload(payload, min_ratio=args.min_ratio)
+    for failure in failures.get("violations", ()):
+        print(f"ERROR: {failure}", file=out)
+    if failures.get("violations"):
+        # Emitting a constraint-forbidden pair is a correctness bug,
+        # not a perf regression: fail regardless of --check.
+        return 1
+    if args.check:
+        for failure in failures.get("ratio", ()):
+            print(f"ERROR: {failure}", file=out)
+        if failures.get("ratio"):
+            return 1
+        print(
+            "zero constraint violations in every mode; pushdown "
+            "savings within bounds",
+            file=out,
+        )
     return 0
 
 
@@ -1186,4 +1346,6 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_bench_phase2(args, out)
     if args.command == "bench-scale":
         return _cmd_bench_scale(args, out)
+    if args.command == "bench-constraints":
+        return _cmd_bench_constraints(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

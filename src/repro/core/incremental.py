@@ -135,6 +135,16 @@ class IncrementalDeduplicator:
         cached pairs on unbounded caches (bounded ones age them out via
         eviction; rids are never reused, so stale pairs are
         unreachable either way).
+    constraints, constraint_mode:
+        Constraints (:mod:`repro.core.constraints`) the maintained
+        solution must respect.  ``"postprocess"`` splits groups at
+        :meth:`partition` only — parity with the batch postprocess
+        mode.  ``"pushdown"`` (or ``"inline"``: they coincide online,
+        where there is no planning phase) additionally filters
+        forbidden pairs out of the maintained CSPairs relation as rows
+        are patched — parity with the batch inline mode.  The NN scan
+        is never pruned: per-arrival Phase 1 stays globally exact, so
+        ``incremental-nn-parity`` holds in every mode.
     """
 
     def __init__(
@@ -147,9 +157,16 @@ class IncrementalDeduplicator:
         refit_every: int | None = None,
         candidates=None,
         max_cache_entries: int | None = None,
+        constraints=(),
+        constraint_mode: str = "postprocess",
     ):
         if refit_every is not None and refit_every <= 0:
             raise ValueError("refit_every must be positive (or None)")
+        if constraint_mode not in ("postprocess", "pushdown", "inline"):
+            raise ValueError(
+                f"unknown constraint mode {constraint_mode!r}; expected "
+                "'postprocess', 'pushdown', or 'inline'"
+            )
         self.params = params
         self.refit_every = refit_every
         self.candidates = candidates
@@ -169,6 +186,23 @@ class IncrementalDeduplicator:
         self.relation = Relation(
             name=(seed.name if seed is not None else "incremental"),
             schema=(seed.schema if seed is not None else tuple(schema)),
+        )
+        from repro.core.constraints import (
+            Constraint,
+            PairFilter,
+            constraint_from_dict,
+        )
+
+        self.constraints = tuple(
+            c if isinstance(c, Constraint) else constraint_from_dict(c)
+            for c in constraints
+        )
+        self.constraint_mode = constraint_mode
+        #: Compiled conjunction (validates fields against the schema).
+        self._pair_filter = (
+            PairFilter(self.constraints, self.relation.schema)
+            if self.constraints
+            else None
         )
         #: rid -> cut-bounded NN list, exactly as Phase 1 would store it.
         self._neighbors: dict[int, list[Neighbor]] = {}
@@ -509,6 +543,14 @@ class IncrementalDeduplicator:
         construction.
         """
         params = self.params
+        # The online analogue of the batch inline mode: forbidden pairs
+        # never enter the maintained CSPairs relation.  Postprocess mode
+        # keeps them (parity with the paper-exact batch reference).
+        pair_filter = (
+            self._pair_filter
+            if self.constraint_mode in ("pushdown", "inline")
+            else None
+        )
         for rid in list(self._dirty):
             for key in self._pair_keys.pop(rid, set()):
                 if self._pairs.pop(key, None) is not None:
@@ -533,6 +575,10 @@ class IncrementalDeduplicator:
                 key = (id1, id2)
                 if key in self._pairs:
                     continue  # both endpoints dirty: already rebuilt
+                if pair_filter is not None and not pair_filter(
+                    self.relation.get(id1), self.relation.get(id2)
+                ):
+                    continue
                 l1, l2 = self._neighbors[id1], self._neighbors[id2]
                 flags = prefix_equal_flags(
                     id1,
@@ -605,6 +651,14 @@ class IncrementalDeduplicator:
         assigned = {rid for group in groups for rid in group}
         singles = [[rid] for rid in self.relation.ids() if rid not in assigned]
         partition = Partition.from_groups(groups + singles)
+        if self._pair_filter is not None:
+            # The unconditional zero-violation split — identical to the
+            # batch postprocess stage, so checksum parity holds.
+            from repro.core.predicates import apply_constraining_predicate
+
+            partition = apply_constraining_predicate(
+                partition, self.relation, self._pair_filter.forbids
+            )
         self.last_repair = RepairStats(
             n_pairs=len(rows),
             n_components=len(components),

@@ -42,20 +42,20 @@ def split_group(
     if len(members) <= 1:
         return [members]
 
+    # One pass over the pairs: evaluate the predicate exactly once per
+    # pair, recording forbidden pairs and unioning allowed ones as we
+    # go — the allowed-pair components fall out of the same scan.
     forbidden: set[tuple[int, int]] = set()
-    for i, a in enumerate(members):
-        for b in members[i + 1 :]:
-            if cannot_link(relation.get(a), relation.get(b)):
-                forbidden.add((a, b))
-    if not forbidden:
-        return [members]
-
-    # Components of the allowed-pair graph.
     sets = DisjointSets(members)
     for i, a in enumerate(members):
+        record_a = relation.get(a)
         for b in members[i + 1 :]:
-            if (a, b) not in forbidden:
+            if cannot_link(record_a, relation.get(b)):
+                forbidden.add((a, b))
+            else:
                 sets.union(a, b)
+    if not forbidden:
+        return [members]
 
     subgroups: list[list[int]] = []
     for component in sets.groups():

@@ -9,9 +9,10 @@ that precision/recall evaluation scores against.
 
 from __future__ import annotations
 
+import datetime
 import random
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.data.errors import ErrorModel
 from repro.data.schema import Record, Relation
@@ -89,6 +90,8 @@ def inject_duplicates(
     max_copies: int = 3,
     errors_per_copy: int = 2,
     seed: int = 0,
+    protected_fields: Sequence[str] = (),
+    date_jitter: Mapping[str, int] | None = None,
 ) -> DirtyDataset:
     """Create a dirty relation from clean entity rows.
 
@@ -107,11 +110,31 @@ def inject_duplicates(
         Error operations applied to each copy.
     seed:
         Controls entity selection, error draws, and the final shuffle.
+    protected_fields:
+        Field names copies must reproduce verbatim — identifier fields
+        the workload's hard constraints block on.
+    date_jitter:
+        ``{field_name: window_days}``: instead of textual corruption,
+        each copy shifts this ISO date forward by 1..``window_days``
+        days.  Shifts are one-directional so any two copies of one
+        entity also stay within ``window_days`` of *each other*, which
+        keeps a same-width :class:`~repro.core.constraints.TimeWindow`
+        constraint consistent with the gold standard.
     """
     if not 0.0 <= duplicate_fraction <= 1.0:
         raise ValueError("duplicate_fraction must be in [0, 1]")
     rng = random.Random(seed)
     errors = ErrorModel(seed=seed + 1)
+
+    jitter = {
+        tuple(schema).index(field_name): days
+        for field_name, days in (date_jitter or {}).items()
+    }
+    kept = {tuple(schema).index(field_name) for field_name in protected_fields}
+    kept.update(jitter)
+    eligible = (
+        [i for i in range(len(schema)) if i not in kept] if kept else None
+    )
 
     rows: list[tuple[int, tuple[str, ...]]] = []  # (entity, fields)
     for entity, fields in enumerate(clean_rows):
@@ -121,7 +144,20 @@ def inject_duplicates(
             while copies < max_copies and rng.random() < 0.3:
                 copies += 1
             for _ in range(copies):
-                dirty = errors.corrupt_fields(fields, n_errors=errors_per_copy)
+                dirty = errors.corrupt_fields(
+                    fields,
+                    n_errors=errors_per_copy,
+                    eligible_fields=eligible,
+                )
+                if jitter:
+                    shifted = list(dirty)
+                    for index, window in jitter.items():
+                        day = datetime.date.fromisoformat(shifted[index])
+                        shift = datetime.timedelta(
+                            days=rng.randint(1, max(1, window))
+                        )
+                        shifted[index] = (day + shift).isoformat()
+                    dirty = tuple(shifted)
                 rows.append((entity, dirty))
 
     rng.shuffle(rows)

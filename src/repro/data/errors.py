@@ -229,14 +229,20 @@ class ErrorModel:
         fields: Sequence[str],
         n_errors: int = 2,
         min_field_errors: int = 1,
+        eligible_fields: Sequence[int] | None = None,
     ) -> tuple[str, ...]:
         """Corrupt a multi-field record, spreading errors across fields.
 
         Non-empty fields are chosen uniformly; each chosen field
         receives at least ``min_field_errors`` of the error budget.
+        ``eligible_fields`` restricts corruption to those field
+        indexes — identifier fields a workload must keep intact.
         """
         result = list(fields)
-        eligible = [i for i, value in enumerate(result) if value]
+        candidates = (
+            range(len(result)) if eligible_fields is None else eligible_fields
+        )
+        eligible = [i for i in candidates if result[i]]
         if not eligible:
             return tuple(result)
         for _ in range(max(n_errors, min_field_errors)):

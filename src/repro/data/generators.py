@@ -23,6 +23,7 @@ thresholding, and benchmark F10 checks we reproduce that too.
 from __future__ import annotations
 
 import abc
+import datetime
 import random
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "BirdGenerator",
     "ParkGenerator",
     "CensusGenerator",
+    "ClaimsGenerator",
     "GENERATORS",
 ]
 
@@ -365,7 +367,95 @@ class CensusGenerator(DomainGenerator):
         return rows
 
 
-#: Registry keyed by dataset name (the paper's six evaluation datasets).
+class ClaimsGenerator(DomainGenerator):
+    """Insurance claims: the constraint-aware evaluation workload.
+
+    ``(patient_id, provider, service_date, procedure, amount)`` rows
+    where duplicate candidates are *structurally* confined: a
+    resubmitted claim always shares its patient and provider and lands
+    within the adjudication window of the original.  That is exactly
+    what ``BlockKey(patient_id) ∧ BlockKey(provider) ∧
+    TimeWindow(service_date, 30)`` expresses, so this domain is where
+    ``bench-constraints`` measures pushdown against postprocess.
+
+    The near-unique families are *treatment series*: one patient, one
+    provider, several legitimate sessions of the same procedure days
+    apart.  They sit inside one constraint block with highly similar
+    text, which is what keeps pushdown honest — blocks still need the
+    SN criterion, they are not trivially all-duplicates.
+    """
+
+    name = "claims"
+    schema = ("patient_id", "provider", "service_date", "procedure", "amount")
+
+    _PROVIDERS = [
+        "Lakeside Clinic", "Summit Medical Group", "Riverbend Hospital",
+        "Cascade Family Practice", "Harbor Health Center", "Evergreen Care",
+        "Pioneer Orthopedics", "Beacon Imaging", "Granite Physical Therapy",
+        "Sterling Dermatology", "Keystone Cardiology", "Liberty Pediatrics",
+        "Frontier Urgent Care", "Pacific Wellness", "Northern Radiology",
+        "Valley Surgical Associates",
+    ]
+
+    _PROCEDURES = [
+        "Office Visit Level", "Diagnostic Panel", "X Ray Series",
+        "MRI Scan", "Ultrasound Exam", "Allergy Screening",
+        "Annual Physical Exam", "Immunization Administration",
+        "Laceration Repair", "Joint Injection", "Pulmonary Function Test",
+        "Cardiac Stress Test", "Vision Screening", "Hearing Evaluation",
+    ]
+
+    _SERIES = [
+        "Physical Therapy", "Occupational Therapy", "Chemotherapy Infusion",
+        "Dialysis Treatment", "Radiation Therapy", "Speech Therapy",
+        "Wound Care Follow Up", "Chiropractic Adjustment",
+    ]
+
+    def _amount(self, rng: random.Random) -> str:
+        return f"{rng.randint(40, 900)}.{rng.choice(('00', '25', '50', '75'))}"
+
+    def _emit(self, rng: random.Random) -> list[tuple[str, ...]]:
+        patient = f"P{rng.randint(0, 99999):05d}"
+        provider = rng.choice(self._PROVIDERS)
+        base = datetime.date(2024, 1, 1) + datetime.timedelta(
+            days=rng.randrange(330)
+        )
+        if rng.random() < 0.25:
+            # A treatment series: distinct sessions of one course of
+            # care — same patient, same provider, days apart, nearly
+            # identical text.  The claims domain's near-unique family.
+            size = rng.randint(3, 5)
+            procedure = rng.choice(self._SERIES)
+            rows: list[tuple[str, ...]] = []
+            day = base
+            for session in range(size):
+                rows.append(
+                    (
+                        patient,
+                        provider,
+                        day.isoformat(),
+                        f"{procedure} Session {session + 1}",
+                        self._amount(rng),
+                    )
+                )
+                day += datetime.timedelta(days=rng.randint(3, 10))
+            return rows
+        procedure = rng.choice(self._PROCEDURES)
+        if procedure == "Office Visit Level":
+            procedure = f"{procedure} {rng.randint(1, 5)}"
+        return [
+            (
+                patient,
+                provider,
+                base.isoformat(),
+                procedure,
+                self._amount(rng),
+            )
+        ]
+
+
+#: Registry keyed by dataset name (the paper's six evaluation datasets,
+#: plus the claims constraint workload).
 GENERATORS: dict[str, DomainGenerator] = {
     generator.name: generator
     for generator in (
@@ -375,5 +465,6 @@ GENERATORS: dict[str, DomainGenerator] = {
         BirdGenerator(),
         ParkGenerator(),
         CensusGenerator(),
+        ClaimsGenerator(),
     )
 }

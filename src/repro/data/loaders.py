@@ -26,6 +26,17 @@ __all__ = [
 #: Hard caps where a generator's vocabulary is finite.
 _MAX_ENTITIES = {"parks": 280}
 
+#: Dataset-specific injection behavior.  Claims resubmissions keep
+#: their blocking keys verbatim and move only forward in time, so the
+#: workload's hard constraints (patient/provider block keys, 30-day
+#: service window) are consistent with the gold standard.
+_INJECTION_PROFILES: dict[str, dict] = {
+    "claims": {
+        "protected_fields": ("patient_id", "provider"),
+        "date_jitter": {"service_date": 30},
+    },
+}
+
 
 def dataset_names() -> list[str]:
     """Names of the available synthetic evaluation datasets."""
@@ -66,6 +77,7 @@ def load_dataset(
         errors_per_copy=errors_per_copy,
         max_copies=max_copies,
         seed=seed,
+        **_INJECTION_PROFILES.get(name, {}),
     )
 
 

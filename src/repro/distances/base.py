@@ -25,6 +25,7 @@ from repro.data.schema import Record, Relation
 
 __all__ = [
     "DistanceFunction",
+    "FrozenDistance",
     "FunctionDistance",
     "CachedDistance",
     "ScaledDistance",
@@ -221,6 +222,35 @@ class CachedDistance(DistanceFunction):
             self._cache[key] = cached
             self.misses += 1
         return cached
+
+
+class FrozenDistance(DistanceFunction):
+    """Delegate to an already-prepared distance; ``prepare`` is a no-op.
+
+    Two consumers rely on pinning corpus statistics this way: the
+    incremental-parity batch reference (parity is defined against the
+    statistics the online session actually used), and constraint-
+    pushdown block workers (every block must measure distances under
+    the *global* corpus statistics, or block-local IDF weights would
+    make pushdown and postprocess answers diverge).
+    """
+
+    def __init__(self, inner: DistanceFunction):
+        self.inner = inner
+        self.name = f"frozen({inner.name})"
+
+    def prepare(self, relation: Relation) -> None:  # noqa: ARG002
+        pass
+
+    def make_kernel(self, relation: Relation):
+        return self.inner.make_kernel(relation)
+
+    @property
+    def kernel_evaluations(self) -> int:
+        return self.inner.kernel_evaluations
+
+    def distance(self, a: Record, b: Record) -> float:
+        return self.inner.distance(a, b)
 
 
 class ScaledDistance(DistanceFunction):

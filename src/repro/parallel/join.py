@@ -83,6 +83,8 @@ class JoinChunkResult:
     keys_probed: int
     pairs_emitted: int
     seconds: float
+    #: Mutual pairs dropped by a constraint pair filter (inline mode).
+    pairs_filtered: int = 0
 
     def release(self) -> None:
         """Drop the row payload (the run now lives in a scratch table)."""
@@ -90,16 +92,20 @@ class JoinChunkResult:
 
 
 def _join_chunk(
-    index: HashIndex, params: DEParams, chunk: Chunk
+    index: HashIndex, params: DEParams, chunk: Chunk, pair_filter=None
 ) -> JoinChunkResult:
     """Join one contiguous anchor-id range against the shared index.
 
     Runs inside a worker.  Emits the chunk's CSPairs rows sorted by
-    ``(id1, id2)`` — a ready-to-merge run.
+    ``(id1, id2)`` — a ready-to-merge run.  ``pair_filter`` (a rid-pair
+    predicate, e.g. :class:`repro.core.constraints.RelationPairFilter`)
+    drops mutual pairs the constraints forbid before any flags are
+    computed — the inline constraint mode's join-time discharge.
     """
     started = time.perf_counter()
     rows_probed = 0
     keys_probed = 0
+    pairs_filtered = 0
     pairs: list[Row] = []
     probe_batch = index.probe_batch
     for rid in chunk.rids:
@@ -119,6 +125,9 @@ def _join_chunk(
                 r_list = right[1]
                 if rid not in r_list[: nn_list_limit(params, len(r_list))]:
                     continue  # not mutual
+                if pair_filter is not None and not pair_filter(rid, right[0]):
+                    pairs_filtered += 1
+                    continue
                 max_m = max_pair_size(len(nn_list), len(r_list), params)
                 pairs.append(
                     (
@@ -139,6 +148,7 @@ def _join_chunk(
         keys_probed=keys_probed,
         pairs_emitted=len(pairs),
         seconds=time.perf_counter() - started,
+        pairs_filtered=pairs_filtered,
     )
 
 
@@ -150,13 +160,13 @@ def _join_chunk(
 _JOIN_PAYLOAD: dict = {}
 
 
-def _init_join_worker(index, params) -> None:
-    _JOIN_PAYLOAD["args"] = (index, params)
+def _init_join_worker(index, params, pair_filter=None) -> None:
+    _JOIN_PAYLOAD["args"] = (index, params, pair_filter)
 
 
 def _join_chunk_in_process(chunk: Chunk) -> JoinChunkResult:
-    index, params = _JOIN_PAYLOAD["args"]
-    return _join_chunk(index, params, chunk)
+    index, params, pair_filter = _JOIN_PAYLOAD["args"]
+    return _join_chunk(index, params, chunk, pair_filter)
 
 
 class ParallelCSJoinEngine:
@@ -205,27 +215,30 @@ class ParallelCSJoinEngine:
         anchor_ids: Sequence[int],
         index: HashIndex,
         params: DEParams,
+        pair_filter=None,
     ) -> Iterator[JoinChunkResult]:
         """Yield each chunk's sorted run, in chunk (= anchor) order.
 
         The streaming core: a consumer can spill each run out of core
         as soon as it arrives, so peak memory holds one run, never the
-        whole CSPairs relation.
+        whole CSPairs relation.  ``pair_filter`` (picklable rid-pair
+        predicate) drops forbidden mutual pairs inside the workers.
         """
         chunks = self.plan(anchor_ids)
         if self.n_workers == 1 or len(chunks) <= 1:
             for chunk in chunks:
-                yield _join_chunk(index, params, chunk)
+                yield _join_chunk(index, params, chunk, pair_filter)
         elif self.pool == "thread":
             with ThreadPoolExecutor(max_workers=self.n_workers) as executor:
                 yield from executor.map(
-                    lambda chunk: _join_chunk(index, params, chunk), chunks
+                    lambda chunk: _join_chunk(index, params, chunk, pair_filter),
+                    chunks,
                 )
         else:
             with ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 initializer=_init_join_worker,
-                initargs=(index, params),
+                initargs=(index, params, pair_filter),
             ) as executor:
                 yield from executor.map(_join_chunk_in_process, chunks)
 
@@ -235,6 +248,7 @@ class ParallelCSJoinEngine:
         index: HashIndex,
         params: DEParams,
         stats=None,
+        pair_filter=None,
     ) -> list[Row]:
         """The merged, fully sorted CSPairs rows.
 
@@ -244,7 +258,9 @@ class ParallelCSJoinEngine:
         k-way merge.
         """
         started = time.perf_counter()
-        results = list(self.iter_chunk_results(anchor_ids, index, params))
+        results = list(
+            self.iter_chunk_results(anchor_ids, index, params, pair_filter)
+        )
         join_seconds = time.perf_counter() - started
 
         merge_started = time.perf_counter()
@@ -287,6 +303,7 @@ def record_join(
         stats.rows_probed += result.rows_probed
         stats.probes += result.keys_probed
         stats.pairs_emitted += result.pairs_emitted
+        stats.pairs_filtered += result.pairs_filtered
         stats.peak_run_rows = max(stats.peak_run_rows, result.pairs_emitted)
         stats.worker_runs.append(
             {
@@ -318,6 +335,7 @@ def build_cs_pairs_engine_parallel(
     cs_table_name: str = "CSPairs",
     stats=None,
     spill_runs: bool = False,
+    pair_filter=None,
 ) -> HeapTable:
     """CSPairs via the storage engine, hash-partitioned by anchor id.
 
@@ -356,7 +374,9 @@ def build_cs_pairs_engine_parallel(
 
     if not spill_runs:
         started = time.perf_counter()
-        results = list(join.iter_chunk_results(anchor_ids, id_index, params))
+        results = list(
+            join.iter_chunk_results(anchor_ids, id_index, params, pair_filter)
+        )
         join_seconds = time.perf_counter() - started
         merge_started = time.perf_counter()
         out.insert_many(merge_runs(result.pairs for result in results))
@@ -368,7 +388,9 @@ def build_cs_pairs_engine_parallel(
     run_tables = []
     results: list[JoinChunkResult] = []
     started = time.perf_counter()
-    for result in join.iter_chunk_results(anchor_ids, id_index, params):
+    for result in join.iter_chunk_results(
+        anchor_ids, id_index, params, pair_filter
+    ):
         # Slices of a sorted run are themselves sorted runs; bounding
         # them keeps every scratch table mergeable by streaming scans.
         pairs = result.pairs
@@ -401,11 +423,14 @@ def build_cs_pairs_parallel(
     pool: PoolKind = "thread",
     chunk_size: int | None = None,
     stats=None,
+    pair_filter=None,
 ) -> list[CSPair]:
     """In-memory CSPairs via the partitioned join.
 
     Bit-identical to :func:`repro.core.cspairs.build_cs_pairs` for any
     worker count — the in-memory leg of the Phase-2 parity suite.
+    (``pair_filter`` intentionally breaks that parity: inline-mode runs
+    drop constraint-forbidden pairs at the source.)
     """
     rows = nn_relation.as_rows()
     index = HashIndex({row[0]: [row] for row in rows})
@@ -413,5 +438,5 @@ def build_cs_pairs_parallel(
         n_workers=n_workers, pool=pool, chunk_size=chunk_size
     )
     merged = engine.join_rows([row[0] for row in rows], index, params,
-                              stats=stats)
+                              stats=stats, pair_filter=pair_filter)
     return rows_to_cs_pairs(merged)

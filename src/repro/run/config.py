@@ -21,10 +21,32 @@ import dataclasses
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
-__all__ = ["ConfigError", "RunConfig", "VERIFY_MODES"]
+from repro.core.constraints import (
+    Constraint,
+    ConstraintError,
+    TimeWindow,
+    constraint_from_dict,
+    constraints_to_dicts,
+)
+
+__all__ = [
+    "ConfigError",
+    "RunConfig",
+    "VERIFY_MODES",
+    "CONSTRAINT_MODES",
+    "constraints_from_cli_args",
+]
 
 #: Accepted values of :attr:`RunConfig.verify` (see the facade docs).
 VERIFY_MODES = (False, True, "report", "strict")
+
+#: Accepted values of :attr:`RunConfig.constraint_mode`:
+#: ``postprocess`` is the paper-exact reference (constraints split
+#: groups after partitioning); ``pushdown`` turns hard constraints into
+#: planning blocks, each solved by a full block-local pipeline;
+#: ``inline`` filters candidate pairs during the CSPairs join without
+#: re-planning (it is also the mode block workers execute under).
+CONSTRAINT_MODES = ("postprocess", "pushdown", "inline")
 
 _ORDERS = ("bf", "random", "sequential")
 _POOLS = ("thread", "process")
@@ -33,6 +55,38 @@ _KERNELS = ("auto", "numpy", "python")
 
 class ConfigError(ValueError):
     """An invalid run configuration (bad value or combination)."""
+
+
+def constraints_from_cli_args(args: Any) -> tuple:
+    """Build the constraint tuple from the shared CLI flags.
+
+    Reads ``--cannot-link FIELD`` / ``--block-key FIELD`` (repeatable)
+    and ``--time-window DAYS`` + ``--time-field FIELD``; used by both
+    the ``dedup`` and ``serve`` subcommands.  Raises
+    :class:`ConfigError` on inconsistent flags (the CLI's exit-2
+    convention).
+    """
+    from repro.core.constraints import BlockKey, CannotLink
+
+    constraints: list = []
+    for field_name in getattr(args, "cannot_link", None) or ():
+        constraints.append(CannotLink(field_name))
+    for field_name in getattr(args, "block_key", None) or ():
+        constraints.append(BlockKey(field_name))
+    window = getattr(args, "time_window", None)
+    time_field = getattr(args, "time_field", None)
+    if window is not None:
+        if not time_field:
+            raise ConfigError(
+                "--time-window requires --time-field FIELD (the ISO date "
+                "column the window applies to)"
+            )
+        if window < 0:
+            raise ConfigError("--time-window must be non-negative")
+        constraints.append(TimeWindow(time_field, days=window))
+    elif time_field:
+        raise ConfigError("--time-field requires --time-window DAYS")
+    return tuple(constraints)
 
 
 @dataclass(frozen=True)
@@ -118,8 +172,28 @@ class RunConfig:
     shards: int = 1
     shard_overlap: float = 0.2
     shards_in_flight: int | None = None
+    constraints: tuple = ()
+    constraint_mode: str = "postprocess"
 
     def __post_init__(self) -> None:
+        # Constraints may arrive as serialized dicts (from_dict, CLI
+        # round trips); normalize to the frozen algebra objects first so
+        # the rest of validation — and every consumer — sees one shape.
+        normalized = []
+        for entry in self.constraints:
+            if isinstance(entry, Constraint):
+                normalized.append(entry)
+            elif isinstance(entry, Mapping):
+                try:
+                    normalized.append(constraint_from_dict(entry))
+                except ConstraintError as exc:
+                    raise ConfigError(str(exc)) from exc
+            else:
+                raise ConfigError(
+                    f"constraints entries must be Constraint objects or "
+                    f"dicts; got {entry!r}"
+                )
+        object.__setattr__(self, "constraints", tuple(normalized))
         if self.order not in _ORDERS:
             raise ConfigError(
                 f"unknown lookup order {self.order!r}; expected one of {_ORDERS}"
@@ -171,6 +245,21 @@ class RunConfig:
                     f"shards_in_flight ({self.shards_in_flight}) cannot exceed "
                     f"shards ({self.shards})"
                 )
+        if self.constraint_mode not in CONSTRAINT_MODES:
+            raise ConfigError(
+                f"unknown constraint_mode {self.constraint_mode!r}; "
+                f"expected one of {CONSTRAINT_MODES}"
+            )
+        if (
+            self.constraint_mode == "pushdown"
+            and self.constraints
+            and self.shards > 1
+        ):
+            raise ConfigError(
+                "constraint pushdown plans its own blocks and cannot be "
+                "combined with LSH sharding (shards > 1); use "
+                "constraint_mode='postprocess' with shards, or shards=1"
+            )
 
     # ------------------------------------------------------------------
     # Derivation and round-tripping
@@ -182,7 +271,11 @@ class RunConfig:
 
     def to_dict(self) -> dict[str, Any]:
         """Render as a JSON-serializable dict (inverse of :meth:`from_dict`)."""
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        # asdict recurses into the constraint dataclasses but drops
+        # their class-level ``kind`` tags; serialize them explicitly.
+        payload["constraints"] = list(constraints_to_dicts(self.constraints))
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunConfig":
@@ -228,6 +321,8 @@ class RunConfig:
             shards=getattr(args, "shards", cls.shards),
             shard_overlap=getattr(args, "shard_overlap", cls.shard_overlap),
             shards_in_flight=getattr(args, "shards_in_flight", None),
+            constraints=constraints_from_cli_args(args),
+            constraint_mode=getattr(args, "constraint_mode", cls.constraint_mode),
         )
 
     def describe(self) -> str:

@@ -22,6 +22,7 @@ from repro.data.schema import Relation
 from repro.distances.base import CachedDistance
 from repro.run.context import RunContext
 from repro.run.stages import (
+    ConstraintStage,
     CSPairsStage,
     MergeStage,
     PartitionStage,
@@ -61,9 +62,17 @@ class StagedPipeline:
         CSPairs join.  With ``shards > 1`` the whole Phase-1/Phase-2
         program runs once per shard inside :class:`ShardStage` (each
         shard with its own engine budget), so the top level is just
-        shard → merge → postprocess.
+        shard → merge → postprocess.  Constraint pushdown has the same
+        shape with hard-constraint blocks in place of LSH shards:
+        constraint → merge → postprocess (block workers run in inline
+        mode, which is also why ``from_nn`` runs fall back to inline —
+        there is no Phase 1 left to push the blocking into).
         """
-        if not from_nn and self.context.config.shards > 1:
+        config = self.context.config
+        pushdown = config.constraint_mode == "pushdown" and config.constraints
+        if not from_nn and pushdown:
+            return [ConstraintStage(), MergeStage(), PostprocessStage()]
+        if not from_nn and config.shards > 1:
             return [ShardStage(), MergeStage(), PostprocessStage()]
         stages: list[Stage] = []
         if not from_nn:

@@ -60,7 +60,11 @@ class ServeConfig:
     generation through the persistent postings index (approximate,
     like the batch MinHash index).  ``store`` names a postings snapshot
     file: loaded on startup when present (warm restart — no signature
-    is recomputed), written back on shutdown.
+    is recomputed), written back on shutdown.  ``constraints`` /
+    ``constraint_mode`` mirror the batch config: the maintained
+    solution never emits a group violating a constraint, and the
+    pushdown/inline modes additionally keep forbidden pairs out of the
+    maintained CSPairs relation per arrival.
     """
 
     distance: str = "fms"
@@ -73,8 +77,30 @@ class ServeConfig:
     max_cache_entries: int | None = None
     store: str | None = None
     verify: bool = False
+    constraints: tuple = ()
+    constraint_mode: str = "postprocess"
 
     def __post_init__(self) -> None:
+        from repro.core.constraints import Constraint, ConstraintError
+        from repro.run.config import CONSTRAINT_MODES
+
+        normalized = []
+        for item in self.constraints:
+            if isinstance(item, Constraint):
+                normalized.append(item)
+            else:
+                from repro.core.constraints import constraint_from_dict
+
+                try:
+                    normalized.append(constraint_from_dict(item))
+                except ConstraintError as exc:
+                    raise ConfigError(str(exc)) from exc
+        object.__setattr__(self, "constraints", tuple(normalized))
+        if self.constraint_mode not in CONSTRAINT_MODES:
+            raise ConfigError(
+                f"unknown constraint mode {self.constraint_mode!r}; "
+                f"expected one of {CONSTRAINT_MODES}"
+            )
         if self.distance not in DISTANCES:
             raise ConfigError(
                 f"unknown distance {self.distance!r}; "
@@ -111,6 +137,8 @@ class ServeConfig:
     @classmethod
     def from_cli_args(cls, args: Any) -> "ServeConfig":
         """Build a config from the ``serve`` subcommand's namespace."""
+        from repro.run.config import constraints_from_cli_args
+
         return cls(
             distance=getattr(args, "distance", cls.distance),
             k=getattr(args, "k", cls.k),
@@ -122,6 +150,10 @@ class ServeConfig:
             max_cache_entries=getattr(args, "max_cache_entries", None),
             store=getattr(args, "store", None),
             verify=getattr(args, "verify", False),
+            constraints=constraints_from_cli_args(args),
+            constraint_mode=getattr(
+                args, "constraint_mode", cls.constraint_mode
+            ),
         )
 
 
@@ -192,6 +224,8 @@ class ServeSession:
             refit_every=config.refit_every,
             candidates=self.postings,
             max_cache_entries=config.max_cache_entries,
+            constraints=config.constraints,
+            constraint_mode=config.constraint_mode,
         )
         self._seq = 0
 
@@ -241,10 +275,25 @@ class ServeSession:
             yield self.apply(op, payload)
 
     def verify(self, label: str = ""):
-        """Batch-parity report for the current state (see the verify pkg)."""
+        """Batch-parity report for the current state (see the verify pkg).
+
+        With constraints configured, the report additionally carries
+        ``constraint-consistency`` over the maintained partition.
+        """
         from repro.verify.incremental import verify_incremental
 
-        return verify_incremental(self.dedup, label=label)
+        report = verify_incremental(self.dedup, label=label)
+        if self.dedup.constraints and len(self.dedup.relation) > 0:
+            from repro.verify.constraints import check_group_constraints
+
+            report = report.merged_with(
+                check_group_constraints(
+                    self.dedup.partition(),
+                    self.dedup.relation,
+                    self.dedup.constraints,
+                )
+            )
+        return report
 
     def save_store(self) -> Path | None:
         """Write the postings snapshot named by the config, if any."""
@@ -317,6 +366,8 @@ class IncrementalStage:
             state.params,
             schema=state.relation.schema,
             refit_every=self.refit_every,
+            constraints=ctx.config.constraints,
+            constraint_mode=ctx.config.constraint_mode,
         )
         for op, payload in self.trace:
             if op == "add":

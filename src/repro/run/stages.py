@@ -64,6 +64,7 @@ __all__ = [
     "CSPairsStage",
     "PartitionStage",
     "PostprocessStage",
+    "ConstraintStage",
     "ShardStage",
     "MergeStage",
     "VerifyStage",
@@ -222,6 +223,18 @@ class CSPairsStage:
         assert state.nn_relation is not None, "Phase 1 must run first"
         config = ctx.config
         keep = config.keep_cs_pairs or bool(config.verify)
+        pair_filter = None
+        if config.constraints and config.constraint_mode in ("inline", "pushdown"):
+            # Inline (and pushdown block-worker) runs discharge the
+            # constraints where pairs are born: a filtered pair never
+            # reaches partitioning.  Postprocess mode leaves the join
+            # untouched — it is the paper-exact reference.
+            from repro.core.constraints import PairFilter, RelationPairFilter
+
+            pair_filter = RelationPairFilter(
+                PairFilter(config.constraints, state.relation.schema),
+                state.relation,
+            )
         if ctx.engine is not None and state.nn_table is not None:
             table = build_cs_pairs_engine_parallel(
                 ctx.engine,
@@ -230,6 +243,7 @@ class CSPairsStage:
                 pool=config.phase2_pool,
                 stats=state.stats.phase2,
                 spill_runs=config.spill,
+                pair_filter=pair_filter,
             )
             state.cs_table = table
             state.stats.n_cs_pairs = table.n_rows
@@ -242,6 +256,7 @@ class CSPairsStage:
                 n_workers=config.phase2_workers,
                 pool=config.phase2_pool,
                 stats=state.stats.phase2,
+                pair_filter=pair_filter,
             )
             state.stats.n_cs_pairs = len(state.cs_pairs)
 
@@ -284,7 +299,14 @@ class PartitionStage:
 
 
 class PostprocessStage:
-    """Minimality refinement and constraining predicates (section 4.5)."""
+    """Minimality refinement and constraining predicates (section 4.5).
+
+    Config constraints split groups here in *every* mode: inline and
+    pushdown runs filter pairs earlier, but group extraction is
+    transitive, so two records can share a group through intermediates
+    while their own pair is forbidden.  The final split is what makes
+    the zero-violation guarantee unconditional.
+    """
 
     name = "postprocess"
 
@@ -298,6 +320,15 @@ class PostprocessStage:
         if ctx.cannot_link is not None:
             state.partition = apply_constraining_predicate(
                 state.partition, state.relation, ctx.cannot_link
+            )
+        if ctx.config.constraints:
+            from repro.core.constraints import PairFilter
+
+            forbids = PairFilter(
+                ctx.config.constraints, state.relation.schema
+            ).forbids
+            state.partition = apply_constraining_predicate(
+                state.partition, state.relation, forbids
             )
 
 
@@ -342,19 +373,68 @@ class ShardStage:
         }
         stats.shard_runs = [outcome.summary() for outcome in outcomes]
         stats.spilled = config.spill
-        phase1 = stats.phase1
-        for outcome in outcomes:
-            counters = outcome.phase1
-            phase1.lookups += counters.get("lookups", 0)
-            phase1.seconds += counters.get("seconds", 0.0)
-            phase1.evaluations += counters.get("evaluations", 0)
-            phase1.cache_hits += counters.get("cache_hits", 0)
-            phase1.cache_misses += counters.get("cache_misses", 0)
-            phase1.candidates_generated += counters.get(
-                "candidates_generated", 0
-            )
-            phase1.evaluations_pruned += counters.get("evaluations_pruned", 0)
-            phase1.kernel_evaluations += counters.get("kernel_evaluations", 0)
+        _aggregate_phase1(stats.phase1, outcomes)
+
+
+def _aggregate_phase1(phase1, outcomes) -> None:
+    """Sum per-shard (or per-block) Phase-1 counters into ``phase1``."""
+    for outcome in outcomes:
+        counters = outcome.phase1
+        phase1.lookups += counters.get("lookups", 0)
+        phase1.seconds += counters.get("seconds", 0.0)
+        phase1.evaluations += counters.get("evaluations", 0)
+        phase1.cache_hits += counters.get("cache_hits", 0)
+        phase1.cache_misses += counters.get("cache_misses", 0)
+        phase1.candidates_generated += counters.get("candidates_generated", 0)
+        phase1.evaluations_pruned += counters.get("evaluations_pruned", 0)
+        phase1.kernel_evaluations += counters.get("kernel_evaluations", 0)
+
+
+class ConstraintStage:
+    """Plan hard-constraint blocks and run the pipeline once per block.
+
+    The pushdown mode's planner stage: hard constraints (``BlockKey``,
+    hard ``TimeWindow``) partition the relation into equivalence-class
+    blocks (:func:`~repro.shard.plan.plan_constraint_blocks`), and each
+    multi-record block runs the *full* Phase-1/Phase-2 program over its
+    own sub-relation on the shard runner
+    (:meth:`~repro.shard.runner.ShardRunner.run_blocks`).  Distances
+    are prepared once, globally, before any block runs — block workers
+    wrap the prepared distance in
+    :class:`~repro.distances.base.FrozenDistance` so every block
+    measures under the full-corpus statistics, exactly like an
+    unblocked run.  Singleton blocks are never executed; the merge
+    stage closes them as singleton groups.
+    """
+
+    name = "constraint"
+
+    def run(self, ctx: RunContext, state: RunState) -> None:
+        # Imported lazily: repro.shard depends on the run modules.
+        from repro.shard.plan import plan_constraint_blocks
+        from repro.shard.runner import ShardRunner
+
+        config = ctx.config
+        ctx.distance.prepare(state.relation)
+        plan = plan_constraint_blocks(state.relation, config.constraints)
+        outcomes = ShardRunner(ctx).run_blocks(
+            state.relation, state.params, plan
+        )
+        state.shard_plan = plan
+        state.shard_outcomes = outcomes
+
+        stats = state.stats
+        sizes = [len(members) for members in plan.members]
+        stats.constraint_plan = {
+            "mode": "pushdown",
+            "n_blocks": plan.n_shards,
+            "n_multi_blocks": sum(1 for size in sizes if size >= 2),
+            "largest_block": max(sizes, default=0),
+            "n_candidate_pairs": plan.n_candidate_pairs,
+            "n_coresident_pairs": plan.n_coresident_pairs,
+        }
+        stats.shard_runs = [outcome.summary() for outcome in outcomes]
+        _aggregate_phase1(stats.phase1, outcomes)
 
 
 class MergeStage:
@@ -401,14 +481,38 @@ class VerifyStage:
         # Imported lazily: repro.verify depends on the pipeline modules.
         from repro.verify.verifier import verify_result
 
-        postprocessed = ctx.config.minimal or ctx.cannot_link is not None
-        checks = ("partition", "cut-spec", "nn-parity") if postprocessed else None
-        result.verification = verify_result(
+        config = ctx.config
+        postprocessed = (
+            config.minimal
+            or ctx.cannot_link is not None
+            or bool(config.constraints)
+        )
+        if config.constraints and config.constraint_mode == "pushdown":
+            # Per-block Phase 1 makes the global NN lists intentionally
+            # different from an unblocked run; inline mode keeps Phase 1
+            # global, so nn-parity still holds there.
+            checks: tuple[str, ...] | None = ("partition", "cut-spec")
+        elif postprocessed:
+            checks = ("partition", "cut-spec", "nn-parity")
+        else:
+            checks = None
+        report = verify_result(
             result,
             state.relation,
             ctx.distance,
             cs_pairs=result.cs_pairs,
             checks=checks,
             radius_fn=ctx.radius_fn,
-            strict=ctx.config.verify == "strict",
+            strict=False,
         )
+        if config.constraints:
+            from repro.verify.constraints import check_group_constraints
+
+            report = report.merged_with(
+                check_group_constraints(
+                    result.partition, state.relation, config.constraints
+                )
+            )
+        result.verification = report
+        if config.verify == "strict":
+            report.raise_for_violations()

@@ -52,6 +52,9 @@ class Phase2Stats:
         Outer rows consumed, hash-index keys looked up (batched), and
         CSPairs rows produced — deterministic per-chunk sums, identical
         for any worker count.
+    pairs_filtered:
+        Mutual pairs the constraint pair filter dropped at join time
+        (inline constraint mode; zero elsewhere).
     join_seconds, merge_seconds:
         Wall time of the chunked probe phase and of the k-way merge of
         locally sorted runs.
@@ -78,6 +81,7 @@ class Phase2Stats:
     rows_probed: int = 0
     probes: int = 0
     pairs_emitted: int = 0
+    pairs_filtered: int = 0
     join_seconds: float = 0.0
     merge_seconds: float = 0.0
     worker_runs: list[dict[str, Any]] = field(default_factory=list)
@@ -96,6 +100,7 @@ class Phase2Stats:
             "rows_probed": self.rows_probed,
             "probes": self.probes,
             "pairs_emitted": self.pairs_emitted,
+            "pairs_filtered": self.pairs_filtered,
             "join_seconds": self.join_seconds,
             "merge_seconds": self.merge_seconds,
             "worker_runs": list(self.worker_runs),
@@ -143,6 +148,10 @@ class RunStats:
         ``shards_in_flight × buffer_pages``), one timing/buffer summary
         per shard, and the merge's component accounting (boundary vs
         reused components, reconstructed cross rows).
+    constraint_plan:
+        Pushdown-mode blocking telemetry (``None`` off that path):
+        block counts, the largest block, and the candidate-vs-
+        co-resident pair accounting that quantifies the pruning.
     """
 
     phase1: Phase1Stats = field(default_factory=Phase1Stats)
@@ -157,6 +166,7 @@ class RunStats:
     shard_plan: dict[str, Any] | None = None
     shard_runs: list[dict[str, Any]] = field(default_factory=list)
     shard_merge: dict[str, Any] | None = None
+    constraint_plan: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -244,4 +254,6 @@ class RunStats:
                 "runs": [dict(run) for run in self.shard_runs],
                 "merge": dict(self.shard_merge) if self.shard_merge else None,
             }
+        if self.constraint_plan is not None:
+            payload["constraints"] = dict(self.constraint_plan)
         return payload

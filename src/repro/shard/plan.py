@@ -50,11 +50,12 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.core.constraints import plan_blocks
 from repro.data.schema import Relation
 from repro.distances.tokens import tokenize
 from repro.index.minhash import band_keys, minhash_signature
 
-__all__ = ["ShardPlan", "plan_shards"]
+__all__ = ["ShardPlan", "plan_constraint_blocks", "plan_shards"]
 
 #: Buckets larger than this are still unioned into one component but
 #: excluded from pair-level recall accounting (their pair count is
@@ -210,6 +211,38 @@ def _split_component(
             chunk = list(chunks[-1][-ov:]) + chunk
         chunks.append(chunk)
     return chunks
+
+
+def plan_constraint_blocks(relation: Relation, constraints) -> ShardPlan:
+    """Plan shards from hard-constraint equivalence blocks.
+
+    Unlike :func:`plan_shards`, the blocking signal here is *semantic*:
+    :func:`repro.core.constraints.plan_blocks` partitions the relation
+    into the equivalence classes of the hard ``BlockKey`` /
+    ``TimeWindow`` constraints, and each block becomes one shard.
+    Blocks are disjoint (overlap 0), so the merge is a concatenation.
+
+    Co-residency accounting records the plan's pruning power rather
+    than a recall deficit: ``n_candidate_pairs`` is the all-pairs
+    total, ``n_coresident_pairs`` the within-block pairs the pipelines
+    will actually consider.  Every cross-block pair is *excluded by
+    construction of the constraint semantics*, so the plan's recall is
+    1.0 by definition — nothing a constrained run may emit is lost.
+    """
+    blocks = plan_blocks(relation, constraints)
+    n = len(relation)
+    n_pairs = n * (n - 1) // 2
+    n_coresident = sum(len(block) * (len(block) - 1) // 2 for block in blocks)
+    return ShardPlan(
+        n_shards=len(blocks),
+        overlap=0.0,
+        members=tuple(tuple(block) for block in blocks),
+        recall=1.0,
+        n_candidate_pairs=n_pairs,
+        n_coresident_pairs=n_coresident,
+        n_components=len(blocks),
+        n_split_components=0,
+    )
 
 
 def plan_shards(

@@ -128,6 +128,11 @@ def _run_shard(task) -> ShardOutcome:
         verify=False,
         keep_cs_pairs=True,
         minimal=False,
+        # Constraint splitting runs once, globally, after the merge;
+        # splitting shard-locally would hide boundary context from the
+        # connected-component peel and could diverge from the unsharded
+        # answer.
+        constraints=(),
     )
     engine = None
     if shard_config.use_engine:
@@ -168,6 +173,84 @@ def _run_shard(task) -> ShardOutcome:
             for timing in stats.timings
         },
         phase1={name: getattr(phase1, name) for name in _PHASE1_COUNTERS},
+        buffer=buffer,
+        n_cs_pairs=stats.n_cs_pairs,
+    )
+
+
+def _run_block(task) -> ShardOutcome:
+    """Execute one constraint block end to end (runs inside a worker).
+
+    Unlike :func:`_run_shard`, a constraint block is *closed*: hard
+    constraints guarantee no cross-block pair can ever be a duplicate,
+    so the block runs the full Phase-1/Phase-2 program over its own
+    sub-relation with a private index.  The distance arrives already
+    prepared on the full corpus and is wrapped in
+    :class:`~repro.distances.base.FrozenDistance` so the block-local
+    ``index.build`` cannot re-fit statistics to the block.  Residual
+    constraints (soft predicates, pairwise time windows) run in inline
+    mode inside the block — filtered at the join, split after
+    partitioning.
+    """
+    shard_id, sub_relation, params, config, radius_fn, distance = task
+
+    started = time.perf_counter()
+    worker_config = config.replace(
+        shards=1,
+        shards_in_flight=None,
+        n_workers=1,
+        phase2_workers=1,
+        verify=False,
+        keep_cs_pairs=True,
+        minimal=False,
+        constraint_mode="inline",
+    )
+    engine = None
+    if worker_config.use_engine:
+        engine = Engine(
+            buffer_pages=worker_config.buffer_pages,
+            page_capacity=worker_config.page_capacity,
+        )
+    from repro.distances.base import FrozenDistance
+    from repro.run.registry import make_index
+
+    index = make_index(worker_config.index)
+    ctx = RunContext(
+        worker_config,
+        FrozenDistance(distance),
+        index,
+        engine=engine,
+        radius_fn=radius_fn,
+    )
+    result = StagedPipeline(ctx).run(sub_relation, params)
+    stats = ctx.last_stats
+    assert stats is not None and result.cs_pairs is not None
+
+    buffer = None
+    if stats.buffer is not None:
+        buffer = {
+            "pages": worker_config.buffer_pages,
+            "hits": stats.buffer.hits,
+            "misses": stats.buffer.misses,
+            "evictions": stats.buffer.evictions,
+        }
+    return ShardOutcome(
+        shard_id=shard_id,
+        n_members=len(sub_relation),
+        nn_rows=[entry_to_row(entry) for entry in result.nn_relation],
+        cs_rows=[
+            (pair.id1, pair.id2, pair.ng1, pair.ng2, pair.flags)
+            for pair in result.cs_pairs
+        ],
+        groups=[list(group) for group in result.partition.non_trivial_groups()],
+        seconds=time.perf_counter() - started,
+        stage_seconds={
+            timing.stage: stats.stage_seconds(timing.stage)
+            for timing in stats.timings
+        },
+        phase1={
+            name: getattr(stats.phase1, name) for name in _PHASE1_COUNTERS
+        },
         buffer=buffer,
         n_cs_pairs=stats.n_cs_pairs,
     )
@@ -219,6 +302,46 @@ class ShardRunner:
         else:
             with ThreadPoolExecutor(max_workers=in_flight) as executor:
                 outcomes = list(executor.map(_run_shard, tasks))
+        return sorted(outcomes, key=lambda outcome: outcome.shard_id)
+
+    def run_blocks(
+        self,
+        relation: Relation,
+        params: DEParams,
+        plan: ShardPlan,
+    ) -> list[ShardOutcome]:
+        """Execute every multi-record block of a constraint plan.
+
+        Singleton blocks are skipped — they cannot contain a duplicate
+        pair, and the merge's singleton closure emits them as trivial
+        groups — which is exactly where pushdown's work saving comes
+        from.  Parallelism is bounded by ``config.n_workers`` (under
+        pushdown the config's ``shards`` knob is 1, so the
+        ``shards_in_flight`` cap does not apply).  The context's
+        distance must already be prepared on the full relation.
+        """
+        config: RunConfig = self.context.config
+        tasks = [
+            (
+                shard_id,
+                relation.subset(list(members)),
+                params,
+                config,
+                self.context.radius_fn,
+                self.context.distance,
+            )
+            for shard_id, members in enumerate(plan.members)
+            if len(members) >= 2
+        ]
+        in_flight = max(1, min(config.n_workers, max(1, len(tasks))))
+        if in_flight <= 1 or len(tasks) <= 1:
+            outcomes = [_run_block(task) for task in tasks]
+        elif config.pool == "process":
+            with ProcessPoolExecutor(max_workers=in_flight) as executor:
+                outcomes = list(executor.map(_run_block, tasks))
+        else:
+            with ThreadPoolExecutor(max_workers=in_flight) as executor:
+                outcomes = list(executor.map(_run_block, tasks))
         return sorted(outcomes, key=lambda outcome: outcome.shard_id)
 
     @staticmethod

@@ -18,6 +18,10 @@ mode is requested.  See ``docs/verification.md``.
 """
 
 from repro.verify.checks import VerificationContext
+from repro.verify.constraints import (
+    check_group_constraints,
+    verify_constraint_blocks,
+)
 from repro.verify.incremental import (
     FrozenDistance,
     batch_reference,
@@ -51,11 +55,13 @@ __all__ = [
     "Violation",
     "batch_reference",
     "check_cross_path",
+    "check_group_constraints",
     "cut_params",
     "default_checks",
     "nn_signature",
     "run_paths",
     "summarize",
+    "verify_constraint_blocks",
     "verify_incremental",
     "verify_paths",
     "verify_result",

@@ -29,32 +29,10 @@ from __future__ import annotations
 from repro.core.incremental import IncrementalDeduplicator
 from repro.core.pipeline import DuplicateEliminator
 from repro.data.schema import Record, Relation
-from repro.distances.base import DistanceFunction
+from repro.distances.base import FrozenDistance
 from repro.verify.report import CheckResult, VerificationReport, Violation
 
 __all__ = ["FrozenDistance", "batch_reference", "verify_incremental"]
-
-
-class FrozenDistance(DistanceFunction):
-    """Delegate to an already-prepared distance; ``prepare`` is a no-op.
-
-    The batch reference pipeline calls ``prepare(relation)`` before
-    Phase 1; this wrapper pins the corpus statistics the incremental
-    session actually used so the comparison is apples-to-apples.
-    """
-
-    def __init__(self, inner: DistanceFunction):
-        self.inner = inner
-        self.name = f"frozen({inner.name})"
-
-    def prepare(self, relation: Relation) -> None:  # noqa: ARG002
-        pass
-
-    def make_kernel(self, relation: Relation):
-        return self.inner.make_kernel(relation)
-
-    def distance(self, a: Record, b: Record) -> float:
-        return self.inner.distance(a, b)
 
 
 def batch_reference(dedup: IncrementalDeduplicator):
@@ -68,9 +46,20 @@ def batch_reference(dedup: IncrementalDeduplicator):
     relation = Relation(name=dedup.relation.name, schema=dedup.relation.schema)
     for record in dedup.relation:
         relation.add(Record(record.rid, record.fields))
-    batch = DuplicateEliminator(
-        FrozenDistance(dedup.distance), keep_cs_pairs=True
+    # Mirror the session's constraints: a postprocess session compares
+    # against a postprocess batch run, a pushdown session against the
+    # inline (join-filtered) batch mode — the batch semantics its
+    # per-arrival pair filter maintains.
+    from repro.run.config import RunConfig
+
+    config = RunConfig(
+        keep_cs_pairs=True,
+        constraints=dedup.constraints,
+        constraint_mode=(
+            "inline" if dedup.constraint_mode == "pushdown" else "postprocess"
+        ),
     )
+    batch = DuplicateEliminator(FrozenDistance(dedup.distance), config=config)
     return batch.run(relation, dedup.params)
 
 

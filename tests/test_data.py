@@ -197,7 +197,8 @@ class TestInjectDuplicates:
 class TestLoaders:
     def test_dataset_names(self):
         assert dataset_names() == sorted(
-            ["media", "org", "restaurants", "birds", "parks", "census"]
+            ["media", "org", "restaurants", "birds", "parks", "census",
+             "claims"]
         )
 
     def test_load_dataset(self):
