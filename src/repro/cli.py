@@ -59,6 +59,7 @@ from repro.data.loaders import (
 from repro.eval.bench_phase1 import (
     BENCH_DISTANCES,
     INDEX_FACTORIES,
+    build_throughput_table,
     index_matrix_table,
     phase1_table,
     run_phase1_bench,
@@ -549,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-n", type=int, default=None,
         help="the --check floor on the relation size n",
     )
+    benchs.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="the --check floor on the vectorized signer's speedup "
+             "over the scalar per-occurrence signer (build throughput)",
+    )
 
     benchc = sub.add_parser(
         "bench-constraints",
@@ -731,6 +737,11 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
     if args.stats:
         stats = result.stats.phase1
         print(file=out)
+        cache_note = (
+            "cache bypassed (kernel)"
+            if stats.cache_bypassed
+            else f"cache hit rate {stats.cache_hit_rate:.2f}"
+        )
         print(
             f"phase 1 [{args.index}]: {stats.lookups} lookups in "
             f"{stats.seconds:.2f}s ({stats.throughput:.0f}/s), "
@@ -739,10 +750,15 @@ def _cmd_dedup(args: argparse.Namespace, out) -> int:
             f"[{result.stats.kernel_backend} backend], "
             f"{stats.candidates_generated} candidates verified, "
             f"{stats.evaluations_pruned} pairs pruned "
-            f"(prune rate {stats.prune_rate:.2f}, "
-            f"cache hit rate {stats.cache_hit_rate:.2f})",
+            f"(prune rate {stats.prune_rate:.2f}, {cache_note})",
             file=out,
         )
+        if stats.substage_seconds:
+            breakdown = ", ".join(
+                f"{name} {seconds:.3f}s"
+                for name, seconds in sorted(stats.substage_seconds.items())
+            )
+            print(f"phase 1 sub-stages: {breakdown}", file=out)
         run_stats = result.stats
         p2 = run_stats.phase2
         if p2.join_workers:
@@ -1164,12 +1180,22 @@ def _cmd_bench_phase1(args: argparse.Namespace, out) -> int:
     path = write_phase1_json(payload, args.output)
     _print_parallelism_warning(payload, out)
     print(phase1_table(payload), file=out)
+    build = payload.get("build_throughput")
+    if build:
+        print("", file=out)
+        print(build_throughput_table(build), file=out)
     for matrix in payload.get("index_matrix") or ():
         print("", file=out)
         print(index_matrix_table(matrix), file=out)
     print(f"\nwrote {path}", file=out)
     if not all(payload["parity"].values()):
         print("ERROR: execution modes disagreed on the NN relation", file=out)
+        return 1
+    if build and not build.get("parity", True):
+        print(
+            "ERROR: signer backends disagreed on MinHash signatures",
+            file=out,
+        )
         return 1
     verification = payload.get("verification")
     if verification is not None:
@@ -1295,7 +1321,10 @@ def _cmd_bench_scale(args: argparse.Namespace, out) -> int:
     print(f"\nwrote {path}", file=out)
     _print_parallelism_warning(payload, out)
     failures = check_scale_payload(
-        payload, min_recall=args.min_recall, min_n=args.min_n
+        payload,
+        min_recall=args.min_recall,
+        min_n=args.min_n,
+        min_speedup=args.min_speedup,
     )
     for failure in failures.get("checksum", ()):
         print(f"ERROR: {failure}", file=out)
@@ -1304,14 +1333,18 @@ def _cmd_bench_scale(args: argparse.Namespace, out) -> int:
         # regression: fail regardless of --check.
         return 1
     if args.check:
-        gated = failures.get("recall", []) + failures.get("scale", [])
+        gated = (
+            failures.get("recall", [])
+            + failures.get("scale", [])
+            + failures.get("speedup", [])
+        )
         for failure in gated:
             print(f"ERROR: {failure}", file=out)
         if gated:
             return 1
         print(
-            "checksums agree across shard counts; plan recall and size "
-            "within bounds",
+            "checksums agree across shard counts; plan recall, size, "
+            "and build speedup within bounds",
             file=out,
         )
     return 0

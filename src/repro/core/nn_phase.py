@@ -57,6 +57,11 @@ class Phase1Stats:
     kernel_evaluations: int = 0
     n_chunks: int = 0
     chunk_seconds: list[float] = field(default_factory=list)
+    #: Phase-1 sub-stage wall times — build-side ``tokenize`` / ``sign``
+    #: / ``bucket`` plus lookup-side ``candidates`` / ``verify`` —
+    #: harvested as deltas from ``NNIndex.substage_seconds`` by the
+    #: drivers (sequential, subset, parallel engine, shard runner).
+    substage_seconds: dict[str, float] = field(default_factory=dict)
     #: Per-index-name accumulation of {lookups, evaluations,
     #: candidates_generated, evaluations_pruned} — one stats object can
     #: aggregate runs over several indexes (the bench matrix does).
@@ -88,6 +93,28 @@ class Phase1Stats:
         row["candidates_generated"] += candidates_generated
         row["evaluations_pruned"] += evaluations_pruned
         row["kernel_evaluations"] += kernel_evaluations
+
+    def add_substages(self, delta: "dict[str, float] | None") -> None:
+        """Accumulate a sub-stage wall-time delta into this object."""
+        if not delta:
+            return
+        for name, seconds in delta.items():
+            self.substage_seconds[name] = (
+                self.substage_seconds.get(name, 0.0) + seconds
+            )
+
+    @property
+    def cache_bypassed(self) -> bool:
+        """Whether distance work skipped the pair cache entirely.
+
+        True on kernel-backed batch runs: every pair went through the
+        vectorized kernel, so the pair cache saw zero traffic and
+        :attr:`cache_hit_rate` is undefined rather than genuinely 0.0.
+        """
+        return (
+            self.cache_hits + self.cache_misses == 0
+            and self.kernel_evaluations > 0
+        )
 
     @property
     def prune_rate(self) -> float:
@@ -126,10 +153,31 @@ class Phase1Stats:
         return self.cache_hits / total
 
 
+def _substage_snapshot(index: NNIndex) -> dict[str, float]:
+    """Copy the index's sub-stage ledger (for later delta computation)."""
+    return dict(getattr(index, "substage_seconds", None) or {})
+
+
+def _substage_delta(
+    index: NNIndex, before: dict[str, float]
+) -> dict[str, float]:
+    """Per-stage wall time accrued on ``index`` since ``before``."""
+    after = getattr(index, "substage_seconds", None) or {}
+    delta = {
+        name: seconds - before.get(name, 0.0)
+        for name, seconds in after.items()
+    }
+    return {name: seconds for name, seconds in delta.items() if seconds > 0.0}
+
+
 def _fetch(
     index: NNIndex, relation: Relation, rid: int, params: DEParams
 ) -> Sequence[Neighbor]:
+    # Materializing the query record (possibly a buffer-pool page read)
+    # is the probe's input prep — credited to ``candidates``.
+    started = time.perf_counter()
     record = relation.get(rid)
+    index._credit_substage("candidates", time.perf_counter() - started)
     if isinstance(params.cut, SizeCut):
         return index.knn(record, params.cut.k)
     if isinstance(params.cut, CombinedCut):
@@ -232,6 +280,7 @@ def prepare_nn_lists(
     candidates_before = getattr(index, "candidates_generated", 0)
     pruned_before = getattr(index, "evaluations_pruned", 0)
     kernel_before = getattr(index, "kernel_evaluations", 0)
+    substages_before = _substage_snapshot(index)
     lookups_before = stats.lookups if stats is not None else 0
 
     def lookup(rid: int) -> Sequence[Neighbor]:
@@ -269,13 +318,23 @@ def prepare_nn_lists(
         candidates = getattr(index, "candidates_generated", 0) - candidates_before
         pruned = getattr(index, "evaluations_pruned", 0) - pruned_before
         kernel = getattr(index, "kernel_evaluations", 0) - kernel_before
-        stats.seconds += time.perf_counter() - started
+        loop_seconds = time.perf_counter() - started
+        stats.seconds += loop_seconds
         stats.evaluations += evaluations
         stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
         stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
         stats.candidates_generated += candidates
         stats.evaluations_pruned += pruned
         stats.kernel_evaluations += kernel
+        substages = _substage_delta(index, substages_before)
+        # The loop's own traversal order + result assembly, attributed
+        # explicitly so the timers account for the full wall time.  Can
+        # go non-positive when thread-pool workers accrue concurrently
+        # on the shared index; skip the entry then.
+        drive = loop_seconds - sum(substages.values())
+        if drive > 0.0:
+            substages["drive"] = drive
+        stats.add_substages(substages)
         stats.credit_index(
             index.name,
             lookups=stats.lookups - lookups_before,
@@ -320,12 +379,17 @@ def _subset_nn_lists(
     candidates_before = getattr(index, "candidates_generated", 0)
     pruned_before = getattr(index, "evaluations_pruned", 0)
     kernel_before = getattr(index, "kernel_evaluations", 0)
+    substages_before = _substage_snapshot(index)
     lookups_before = stats.lookups if stats is not None else 0
 
     size = chunk_size if chunk_size and chunk_size > 0 else 256
     for start in range(0, len(rids), size):
         chunk = rids[start : start + size]
+        fetch_started = time.perf_counter()
         records = [relation.get(rid) for rid in chunk]
+        index._credit_substage(
+            "candidates", time.perf_counter() - fetch_started
+        )
         batch = index.phase1_batch(
             records, k=k, theta=theta, p=params.p, radius_fn=radius_fn
         )
@@ -341,13 +405,22 @@ def _subset_nn_lists(
         candidates = getattr(index, "candidates_generated", 0) - candidates_before
         pruned = getattr(index, "evaluations_pruned", 0) - pruned_before
         kernel = getattr(index, "kernel_evaluations", 0) - kernel_before
-        stats.seconds += time.perf_counter() - started
+        loop_seconds = time.perf_counter() - started
+        stats.seconds += loop_seconds
         stats.evaluations += evaluations
         stats.cache_hits += getattr(index, "cache_hits", 0) - hits_before
         stats.cache_misses += getattr(index, "cache_misses", 0) - misses_before
         stats.candidates_generated += candidates
         stats.evaluations_pruned += pruned
         stats.kernel_evaluations += kernel
+        substages = _substage_delta(index, substages_before)
+        # See prepare_nn_lists: the chunk loop's own bookkeeping,
+        # attributed explicitly (skipped when concurrent accrual on a
+        # shared index makes the remainder non-positive).
+        drive = loop_seconds - sum(substages.values())
+        if drive > 0.0:
+            substages["drive"] = drive
+        stats.add_substages(substages)
         stats.credit_index(
             index.name,
             lookups=stats.lookups - lookups_before,

@@ -83,12 +83,63 @@ class ColumnarVectors:
         self._pindptr = None
         self._prows = None
         self._pvals = None
+        self._rid_table = None
+        self._rid_table_built = False
 
     def __len__(self) -> int:
         return len(self.rid_list)
 
     def __contains__(self, rid: int) -> bool:
         return rid in self.row_of
+
+    def rid_row_table(self):
+        """Dense ``rid → row`` int64 table (``-1`` marks absent rids).
+
+        Built lazily; ``None`` when the rid space is too sparse for a
+        dense table to be worth its memory (callers then fall back to
+        the ``row_of`` dict).
+        """
+        if not self._rid_table_built:
+            np = self._np
+            if len(self.rid_list):
+                lo = int(self.rids[0])
+                hi = int(self.rids[-1])
+                if lo >= 0 and hi <= 4 * len(self.rid_list) + 1024:
+                    table = np.full(hi + 1, -1, dtype=np.int64)
+                    table[self.rids] = np.arange(
+                        len(self.rid_list), dtype=np.int64
+                    )
+                    self._rid_table = table
+            self._rid_table_built = True
+        return self._rid_table
+
+    def resolve_rows(self, rids):
+        """Vectorized ``rid → row`` mapping for a candidate array.
+
+        Returns an int64 row array aligned with ``rids``, or ``None``
+        when any rid is not indexed — one bulk table gather instead of
+        a python dict lookup per candidate.
+        """
+        np = self._np
+        arr = np.asarray(rids, dtype=np.int64)
+        if len(arr) == 0:
+            return arr
+        table = self.rid_row_table()
+        if table is None:
+            row_of = self.row_of
+            rows = np.empty(len(arr), dtype=np.int64)
+            for k, rid in enumerate(arr.tolist()):
+                row = row_of.get(rid)
+                if row is None:
+                    return None
+                rows[k] = row
+            return rows
+        if int(arr.min()) < 0 or int(arr.max()) >= len(table):
+            return None
+        rows = table[arr]
+        if rows.min() < 0:
+            return None
+        return rows
 
     def postings(self):
         """CSC view ``(pindptr, prows, pvals)``; built on first use."""

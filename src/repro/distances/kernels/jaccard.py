@@ -59,8 +59,89 @@ class JaccardKernel(DistanceKernel):
         self.evaluations += len(query_rids) * max(0, n - 1)
         return out
 
-    def pairs(self, query_rid: int, rids: Sequence[int]) -> list[float]:
-        row = self._distance_row(self._v.row_of[query_rid])
-        row_of = self._v.row_of
+    def _subset_distances(self, i: int, rows):
+        """Distances from row ``i`` to ``rows`` only, bit-identical.
+
+        Cost ∝ the candidates' total set size instead of the
+        relation's: gather each candidate row's CSR segment, membership-
+        test against the query row via ``searchsorted``, and count hits
+        per candidate.  Intersection/union sizes are integers, so the
+        only float ops are the same ``int / int`` divide and ``1 - sim``
+        the full row performs.
+        """
+        np = self._np
+        v = self._v
+        size_q = int(self._sizes[i])
+        sizes = self._sizes[rows]
+        if size_q == 0:
+            return np.where(sizes == 0, 0.0, 1.0)
+        starts = v.indptr[rows]
+        lengths = v.indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        inter = np.zeros(len(rows), dtype=np.int64)
+        if total:
+            offs = np.cumsum(lengths) - lengths
+            flat = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(offs, lengths)
+                + np.repeat(starts, lengths)
+            )
+            cols = v.indices[flat]
+            qs, qe = int(v.indptr[i]), int(v.indptr[i + 1])
+            qcols = v.indices[qs:qe]
+            pos = np.searchsorted(qcols, cols)
+            # Out-of-range cols clamp to 0; safe because such a col is
+            # greater than every query col, so the equality check fails.
+            pos[pos == len(qcols)] = 0
+            hit = qcols[pos] == cols
+            seg = np.repeat(np.arange(len(rows), dtype=np.int64), lengths)
+            inter = np.bincount(seg[hit], minlength=len(rows))
+        denom = sizes + (size_q - inter)
+        sim = inter / denom
+        return np.clip(1.0 - sim, 0.0, 1.0)
+
+    def resolve_rows(self, query_rid: int, rids: Sequence[int]):
+        """``(query_row, candidate rows array)`` or ``None`` on a miss.
+
+        One vectorized membership-check-plus-row-mapping over the whole
+        candidate list; feed the rows back through ``pairs_array`` to
+        skip its per-rid dict lookups.
+        """
+        i = self._v.row_of.get(query_rid)
+        if i is None:
+            return None
+        rows = self._v.resolve_rows(rids)
+        if rows is None:
+            return None
+        return i, rows
+
+    def pairs_array(
+        self,
+        query_rid: int,
+        rids: Sequence[int],
+        rows=None,
+        query_row: int | None = None,
+    ):
+        """Distances to ``rids`` as a float64 array.
+
+        Short candidate lists take the subset gather (cost ∝ candidate
+        set sizes); lists a sizable fraction of the relation fall back
+        to one full ``_distance_row``.  Both are bit-identical.
+        ``rows``/``query_row`` (from :meth:`resolve_rows`) skip the
+        rid → row dict mapping.
+        """
+        np = self._np
+        v = self._v
+        i = v.row_of[query_rid] if query_row is None else query_row
+        if rows is None:
+            row_of = v.row_of
+            rows = np.fromiter(
+                (row_of[rid] for rid in rids), dtype=np.int64, count=len(rids)
+            )
         self.evaluations += len(rids)
-        return [float(row[row_of[rid]]) for rid in rids]
+        if len(rids) * 4 >= len(v):
+            return self._distance_row(i)[rows]
+        return self._subset_distances(i, rows)
+
+    def pairs(self, query_rid: int, rids: Sequence[int]) -> list[float]:
+        return self.pairs_array(query_rid, rids).tolist()

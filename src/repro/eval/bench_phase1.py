@@ -25,6 +25,7 @@ import hashlib
 import json
 import os
 import platform
+import time
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
@@ -51,9 +52,11 @@ __all__ = [
     "INDEX_FACTORIES",
     "nn_checksum",
     "parallelism_advisory",
+    "run_build_throughput",
     "run_phase1_bench",
     "run_index_matrix",
     "phase1_table",
+    "build_throughput_table",
     "index_matrix_table",
     "write_phase1_json",
 ]
@@ -119,6 +122,147 @@ def nn_checksum(nn_relation: NNRelation) -> str:
     return digest.hexdigest()
 
 
+def run_build_throughput(
+    dataset: str = "org",
+    n_entities: int = 2000,
+    n_hashes: int = 64,
+    n_bands: int = 16,
+    duplicate_fraction: float = 0.3,
+    seed: int = 0,
+) -> dict:
+    """Time MinHash signing + banding: scalar baseline vs the factory.
+
+    The index-build half of the Phase-1 cost model, isolated, across
+    three signers of the same relation:
+
+    - ``scalar`` — the seed path: ``minhash_signature`` per record
+      (hashes every token *occurrence* per salt) plus the per-record
+      ``band_keys`` bucketing loop;
+    - ``python`` / ``numpy`` — the two backends of the
+      vocabulary-hashed :class:`~repro.index.signatures.
+      SignatureFactory` (hash each *distinct* token once per salt).
+
+    The payload records per-signer wall time, records/sec, the
+    tokenize/sign/bucket split, the vocabulary compression ratio
+    (occurrences / distinct tokens — the quantity vocabulary hashing
+    exploits, and the reason the factory wins), a signature checksum,
+    ``parity`` (checksums byte-identical across all signers),
+    ``speedup_vectorized_vs_scalar`` (the headline: best factory
+    backend vs the scalar baseline — what ``bench-scale
+    --min-speedup`` gates), and ``speedup_numpy_vs_python`` (the
+    factory's backends against each other; near 1.0 is expected, the
+    shared blake2b hashing dominates both).
+    """
+    from repro.distances.kernels.compat import have_numpy
+    from repro.distances.tokens import tokenize
+    from repro.index.minhash import band_keys, minhash_signature
+    from repro.index.signatures import SignatureFactory, group_band_buckets
+
+    relation = load_dataset(
+        dataset,
+        n_entities=n_entities,
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    ).relation
+    rids = relation.ids()
+    texts = {rid: relation.get(rid).text() for rid in rids}
+    occurrences = sum(len(tokenize(text)) for text in texts.values())
+    vocabulary = len({t for text in texts.values() for t in tokenize(text)})
+
+    def checksum_of(signature_items) -> str:
+        digest = hashlib.sha256()
+        for rid, signature in signature_items:
+            digest.update(repr((rid, signature)).encode())
+        return digest.hexdigest()
+
+    rows: list[dict] = []
+    checksums: set[str] = set()
+
+    # Scalar baseline: per-occurrence hashing, per-record bucketing.
+    started = time.perf_counter()
+    element_sets = {rid: set(tokenize(texts[rid])) for rid in rids}
+    tokenize_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    scalar_signatures = [
+        (rid, minhash_signature(element_sets[rid], n_hashes)) for rid in rids
+    ]
+    sign_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    scalar_buckets: dict = {}
+    for rid, signature in scalar_signatures:
+        for band, key in band_keys(signature, n_bands):
+            scalar_buckets.setdefault((band, key), []).append(rid)
+    bucket_seconds = time.perf_counter() - started
+    seconds = tokenize_seconds + sign_seconds + bucket_seconds
+    checksum = checksum_of(scalar_signatures)
+    checksums.add(checksum)
+    rows.append(
+        {
+            "backend": "scalar",
+            "seconds": seconds,
+            "records_per_second": len(rids) / seconds if seconds > 0 else None,
+            "tokenize_seconds": tokenize_seconds,
+            "sign_seconds": sign_seconds,
+            "bucket_seconds": bucket_seconds,
+            "n_buckets": len(scalar_buckets),
+            "signature_checksum": checksum,
+        }
+    )
+
+    for backend in ["python"] + (["numpy"] if have_numpy() else []):
+        factory = SignatureFactory(n_hashes, backend=backend)
+        started = time.perf_counter()
+        signed = factory.sign_records(rids, lambda rid: tokenize(texts[rid]))
+        grouping = group_band_buckets(signed, n_bands)
+        seconds = time.perf_counter() - started
+        checksum = checksum_of(zip(signed.rids, signed.tuples))
+        checksums.add(checksum)
+        rows.append(
+            {
+                "backend": backend,
+                "seconds": seconds,
+                "records_per_second": (
+                    len(rids) / seconds if seconds > 0 else None
+                ),
+                "tokenize_seconds": signed.timings.get("tokenize", 0.0),
+                "sign_seconds": signed.timings.get("sign", 0.0),
+                "bucket_seconds": grouping.seconds,
+                "n_buckets": len(grouping.buckets),
+                "signature_checksum": checksum,
+            }
+        )
+
+    by_backend = {row["backend"]: row for row in rows}
+    best = by_backend.get("numpy") or by_backend["python"]
+    vectorized_speedup = (
+        by_backend["scalar"]["seconds"] / best["seconds"]
+        if best["seconds"] > 0
+        else None
+    )
+    backend_speedup = None
+    if "python" in by_backend and "numpy" in by_backend:
+        numpy_seconds = by_backend["numpy"]["seconds"]
+        if numpy_seconds > 0:
+            backend_speedup = by_backend["python"]["seconds"] / numpy_seconds
+    return {
+        "dataset": dataset,
+        "n": len(relation),
+        "n_entities": n_entities,
+        "n_hashes": n_hashes,
+        "n_bands": n_bands,
+        "token_occurrences": occurrences,
+        "distinct_tokens": vocabulary,
+        "vocab_compression": (
+            occurrences / vocabulary if vocabulary else None
+        ),
+        "rows": rows,
+        "vectorized_backend": best["backend"],
+        "speedup_vectorized_vs_scalar": vectorized_speedup,
+        "speedup_numpy_vs_python": backend_speedup,
+        "parity": len(checksums) == 1,
+    }
+
+
 def _run_mode(
     relation,
     distance_cls: type[DistanceFunction],
@@ -148,7 +292,13 @@ def _run_mode(
         "evaluations": stats.evaluations,
         "kernel_evaluations": stats.kernel_evaluations,
         "backend": index.kernel_backend,
-        "cache_hit_rate": stats.cache_hit_rate,
+        # Kernel-backed runs route every pair around the pair cache, so
+        # 0.0 would be misleading: null + the explicit flag instead.
+        "cache_hit_rate": (
+            None if stats.cache_bypassed else stats.cache_hit_rate
+        ),
+        "cache_bypassed": stats.cache_bypassed,
+        "substages": dict(stats.substage_seconds),
         "n_chunks": stats.n_chunks,
         "checksum": nn_checksum(nn),
     }
@@ -244,7 +394,11 @@ def run_index_matrix(
             "candidates_generated": stats.candidates_generated,
             "evaluations_pruned": stats.evaluations_pruned,
             "prune_rate": stats.prune_rate,
-            "cache_hit_rate": stats.cache_hit_rate,
+            "cache_hit_rate": (
+                None if stats.cache_bypassed else stats.cache_hit_rate
+            ),
+            "cache_bypassed": stats.cache_bypassed,
+            "substages": dict(stats.substage_seconds),
             "evaluations_ratio_vs_brute": (
                 brute_total / total if brute_total and total else None
             ),
@@ -360,6 +514,13 @@ def run_phase1_bench(
             seed=seed,
         )
 
+    build_throughput = run_build_throughput(
+        dataset=dataset,
+        n_entities=max(sizes),
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    )
+
     index_matrix = None
     if indexes:
         index_matrix = [
@@ -395,6 +556,7 @@ def run_phase1_bench(
         "runs": runs,
         "speedup_batch_vs_per_query": speedups,
         "parity": parity,
+        "build_throughput": build_throughput,
         "verification": verification,
         "index_matrix": index_matrix,
     }
@@ -445,7 +607,11 @@ def phase1_table(payload: Mapping) -> str:
             f"{run['throughput']:.0f}/s",
             run["evaluations"],
             run.get("kernel_evaluations", 0),
-            f"{run['cache_hit_rate']:.2f}",
+            (
+                "-(kernel)"
+                if run.get("cache_hit_rate") is None
+                else f"{run['cache_hit_rate']:.2f}"
+            ),
         )
         for run in payload["runs"]
     ]
@@ -460,6 +626,50 @@ def phase1_table(payload: Mapping) -> str:
         for n, s in sorted(payload["speedup_batch_vs_per_query"].items(), key=lambda kv: int(kv[0]))
     )
     return f"{table}\n\nbatch (1 worker) vs per-query speedup: {speedups}"
+
+
+def build_throughput_table(build: Mapping) -> str:
+    """Render a :func:`run_build_throughput` section as a text table."""
+    rows = [
+        (
+            row["backend"],
+            f"{row['seconds']:.3f}s",
+            (
+                f"{row['records_per_second']:.0f}/s"
+                if row["records_per_second"]
+                else "-"
+            ),
+            f"{row['tokenize_seconds']:.3f}s",
+            f"{row['sign_seconds']:.3f}s",
+            f"{row['bucket_seconds']:.3f}s",
+            row["n_buckets"],
+            row["signature_checksum"][:12],
+        )
+        for row in build["rows"]
+    ]
+    title = (
+        f"index build throughput: n={build['n']} "
+        f"h={build['n_hashes']} bands={build['n_bands']} "
+        f"vocab {build['distinct_tokens']}/{build['token_occurrences']} "
+        f"({build['vocab_compression']:.1f}x compression)"
+        if build.get("vocab_compression")
+        else f"index build throughput: n={build['n']}"
+    )
+    table = format_table(
+        ("backend", "seconds", "rec/s", "tokenize", "sign", "bucket",
+         "buckets", "checksum"),
+        rows,
+        title=title,
+    )
+    speedup = build.get("speedup_vectorized_vs_scalar")
+    footer = (
+        f"vectorized ({build.get('vectorized_backend')}) vs scalar "
+        f"signer speedup: {speedup:.2f}x"
+        if speedup
+        else "no vectorized-vs-scalar speedup recorded"
+    )
+    parity = "identical" if build.get("parity") else "MISMATCH"
+    return f"{table}\n\n{footer}; signatures across backends: {parity}"
 
 
 def index_matrix_table(matrix: Mapping) -> str:

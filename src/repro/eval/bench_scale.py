@@ -34,7 +34,7 @@ from typing import Mapping, Sequence
 
 from repro.core.formulation import DEParams
 from repro.data.loaders import load_dataset
-from repro.eval.bench_phase1 import parallelism_advisory
+from repro.eval.bench_phase1 import parallelism_advisory, run_build_throughput
 from repro.eval.report import format_table
 
 __all__ = [
@@ -142,6 +142,20 @@ def run_scale_bench(
             "n_cs_pairs": result.stats.n_cs_pairs,
             "n_groups": len(result.partition.non_trivial_groups()),
             "kernel_backend": stats.kernel_backend,
+            "phase1": {
+                "seconds": stats.phase1.seconds,
+                "evaluations": stats.phase1.evaluations,
+                "kernel_evaluations": stats.phase1.kernel_evaluations,
+                # Kernel-backed runs bypass the pair cache entirely —
+                # report null, not a misleading 0.0 (see Phase1Stats).
+                "cache_hit_rate": (
+                    None
+                    if stats.phase1.cache_bypassed
+                    else stats.phase1.cache_hit_rate
+                ),
+                "cache_bypassed": stats.phase1.cache_bypassed,
+                "substages": dict(stats.phase1.substage_seconds),
+            },
             "speedup_vs_single": (
                 single_seconds / seconds
                 if single_seconds and seconds > 0
@@ -175,6 +189,16 @@ def run_scale_bench(
         duplicate_fraction=duplicate_fraction,
         seed=seed,
     ).relation
+    build_throughput = run_build_throughput(
+        dataset=dataset,
+        # Bound the isolated build-throughput sample: the python signer
+        # re-hashes every token occurrence, so at headline sizes the
+        # comparison leg alone would dominate the bench's wall time.
+        n_entities=min(entities, 20_000),
+        duplicate_fraction=duplicate_fraction,
+        seed=seed,
+    )
+
     parity_report = verify_shard_merge(
         small,
         distance=distance,
@@ -216,6 +240,7 @@ def run_scale_bench(
             )
         ),
         "runs": runs,
+        "build_throughput": build_throughput,
         "parity": len(checksums) == 1,
         "min_plan_recall": min(recalls) if recalls else None,
         "small_parity": summarize(parity_report),
@@ -226,18 +251,28 @@ def check_scale_payload(
     payload: Mapping,
     min_recall: float = 0.9,
     min_n: int | None = None,
+    min_speedup: float | None = None,
 ) -> dict[str, list[str]]:
     """The bench gates: failures in a payload, keyed by severity.
 
     ``"checksum"`` failures (shard counts disagreeing on the partition,
-    or the small cross-cut/cross-kernel parity matrix failing) are
+    the small cross-cut/cross-kernel parity matrix failing, or the
+    build-throughput backends disagreeing on signatures) are
     correctness violations — the CLI always fails on them.
     ``"recall"`` failures flag a shard plan whose blocking kept fewer
     than ``min_recall`` of the LSH candidate pairs co-resident.
     ``"scale"`` failures (only checked when ``min_n`` is given) flag a
     headline run smaller than the roadmap's floor.
+    ``"speedup"`` failures (only checked when ``min_speedup`` is given)
+    flag a vectorized signer slower than ``min_speedup`` x the scalar
+    per-occurrence one in the payload's build-throughput section.
     """
-    failures: dict[str, list[str]] = {"checksum": [], "recall": [], "scale": []}
+    failures: dict[str, list[str]] = {
+        "checksum": [],
+        "recall": [],
+        "scale": [],
+        "speedup": [],
+    }
     if not payload.get("parity", False):
         checksums = sorted(
             {run["checksum"] for run in payload.get("runs", ())}
@@ -260,6 +295,23 @@ def check_scale_payload(
         failures["scale"].append(
             f"relation size n={payload.get('n')} below the {min_n} floor"
         )
+    build = payload.get("build_throughput") or {}
+    if build and not build.get("parity", True):
+        failures["checksum"].append(
+            "build-throughput backends produced different signature checksums"
+        )
+    if min_speedup is not None:
+        speedup = build.get("speedup_vectorized_vs_scalar")
+        if speedup is None:
+            failures["speedup"].append(
+                "payload records no vectorized-vs-scalar build speedup "
+                "(no build_throughput section)"
+            )
+        elif speedup < min_speedup:
+            failures["speedup"].append(
+                f"vectorized signer speedup {speedup:.2f}x below the "
+                f"{min_speedup:.2f}x floor"
+            )
     return {key: value for key, value in failures.items() if value}
 
 

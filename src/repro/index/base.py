@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import abc
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
@@ -81,6 +82,11 @@ class NNIndex(abc.ABC):
         #: bare ``build()`` keeps exact historical counter behavior;
         #: the run layer opts in via :meth:`enable_kernel`.
         self.kernel_mode = "python"
+        #: Phase-1 sub-stage wall times, accumulated by implementations:
+        #: build-side ``tokenize`` / ``sign`` / ``bucket`` and lookup-side
+        #: ``candidates`` / ``verify``.  Mirrored (as deltas) into
+        #: ``Phase1Stats.substage_seconds`` by the Phase-1 drivers.
+        self.substage_seconds: dict[str, float] = {}
         self._kernel = None
         #: Canonical-direction pair cache keyed by ``(min_rid, max_rid)``.
         #: Batch scopes fill it; per-query calls only consult it, so the
@@ -105,8 +111,17 @@ class NNIndex(abc.ABC):
             self._resolve_kernel()
 
     def build(self, relation: Relation, distance: DistanceFunction) -> None:
-        """Index ``relation`` under ``distance`` (calls ``prepare``)."""
+        """Index ``relation`` under ``distance`` (calls ``prepare``).
+
+        ``distance.prepare`` (corpus statistics) and the batch-kernel
+        construction (columnar token vectors) both walk the corpus into
+        token-derived structures, so their wall time is credited to the
+        ``tokenize`` sub-stage alongside the index's own token-set
+        extraction.
+        """
+        started = time.perf_counter()
         distance.prepare(relation)
+        self._credit_substage("tokenize", time.perf_counter() - started)
         self.relation = relation
         self.distance = distance
         # Cached pairs are keyed by rid and scoped to one relation;
@@ -114,7 +129,9 @@ class NNIndex(abc.ABC):
         # another relation's distances.
         self._pair_cache.clear()
         self._build()
+        started = time.perf_counter()
         self._resolve_kernel()
+        self._credit_substage("tokenize", time.perf_counter() - started)
 
     def enable_kernel(self, mode: str) -> None:
         """Select the batch-kernel mode (``python``/``auto``/``numpy``).
@@ -344,6 +361,12 @@ class NNIndex(abc.ABC):
             self._pair_cache[key] = d
         return d
 
+    def _credit_substage(self, name: str, seconds: float) -> None:
+        """Accumulate wall time under one Phase-1 sub-stage."""
+        self.substage_seconds[name] = (
+            self.substage_seconds.get(name, 0.0) + seconds
+        )
+
     def _candidate_distances(
         self, record: Record, rids: "Sequence[int]"
     ) -> list[float]:
@@ -357,14 +380,91 @@ class NNIndex(abc.ABC):
         either without affecting results.  Kernels whose row evaluation
         is O(n) advertise ``pairs_min`` to skip tiny candidate lists.
         """
+        started = time.perf_counter()
+        try:
+            kernel = self._kernel
+            if (
+                kernel is not None
+                and len(rids) >= getattr(kernel, "pairs_min", 1)
+                and record.rid in kernel
+                and all(rid in kernel for rid in rids)
+            ):
+                self.kernel_evaluations += len(rids)
+                return kernel.pairs(record.rid, rids)
+            relation, _ = self._checked()
+            return [self._pair_distance(record, relation.get(rid)) for rid in rids]
+        finally:
+            self._credit_substage("verify", time.perf_counter() - started)
+
+    def _select_neighbors(
+        self,
+        record: Record,
+        rids: "Sequence[int]",
+        k: int | None = None,
+        radius: float | None = None,
+        inclusive: bool = False,
+    ) -> "list[Neighbor] | None":
+        """Kernel-vectorized verify + select for one candidate list.
+
+        Computes all candidate distances through the kernel's array
+        path, filters by radius, and ranks by ``(distance, rid)`` with a
+        stable ``lexsort`` — the exact total order ``Neighbor`` tuples
+        sort by, so the result is bit-identical to the scalar
+        build-``Neighbor``-objects-then-sort route while skipping
+        millions of python-level comparisons on large candidate lists.
+        Returns ``None`` when the kernel/numpy path cannot serve the
+        query (caller falls back to the scalar path).
+        """
         kernel = self._kernel
-        if (
-            kernel is not None
-            and len(rids) >= getattr(kernel, "pairs_min", 1)
-            and record.rid in kernel
-            and all(rid in kernel for rid in rids)
-        ):
+        if kernel is None or not hasattr(kernel, "pairs_array"):
+            return None
+        if len(rids) < getattr(kernel, "pairs_min", 1):
+            return None
+        from repro.distances.kernels.compat import numpy_or_none
+
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - kernels imply numpy
+            return None
+        started = time.perf_counter()
+        try:
+            candidates = np.asarray(rids, dtype=np.int64)
+            query_row = None
+            rows = None
+            resolver = getattr(kernel, "resolve_rows", None)
+            if resolver is not None:
+                # One bulk membership-check-plus-row-mapping instead of
+                # a python ``in`` probe per candidate.
+                resolved = resolver(record.rid, candidates)
+                if resolved is None:
+                    return None
+                query_row, rows = resolved
+            elif record.rid not in kernel or not all(
+                rid in kernel for rid in rids
+            ):
+                return None
             self.kernel_evaluations += len(rids)
-            return kernel.pairs(record.rid, rids)
-        relation, _ = self._checked()
-        return [self._pair_distance(record, relation.get(rid)) for rid in rids]
+            if rows is None:
+                distances = kernel.pairs_array(record.rid, rids)
+            else:
+                distances = kernel.pairs_array(
+                    record.rid, candidates, rows=rows, query_row=query_row
+                )
+            if radius is not None:
+                # ``d < r or (inclusive and d == r)`` — distances are
+                # clipped floats (never NaN), so ``<=`` is the same set.
+                keep = (
+                    distances <= radius if inclusive else distances < radius
+                )
+                distances = distances[keep]
+                candidates = candidates[keep]
+            order = np.lexsort((candidates, distances))
+            if k is not None:
+                order = order[:k]
+            return [
+                Neighbor(d, rid)
+                for d, rid in zip(
+                    distances[order].tolist(), candidates[order].tolist()
+                )
+            ]
+        finally:
+            self._credit_substage("verify", time.perf_counter() - started)

@@ -26,10 +26,17 @@ Phase 1 are served from the shared pair cache.  See
 from __future__ import annotations
 
 import hashlib
+import time
 
 from repro.data.schema import Record
+from repro.distances.kernels.compat import numpy_or_none
 from repro.distances.tokens import qgrams, tokenize
 from repro.index.base import Neighbor, NNIndex
+from repro.index.signatures import (
+    RelationSignatures,
+    SignatureFactory,
+    group_band_buckets,
+)
 
 __all__ = ["MinHashIndex", "minhash_signature", "band_keys"]
 
@@ -114,6 +121,27 @@ class MinHashIndex(NNIndex):
         #: a signature.
         self._band_keys: dict[int, tuple[tuple[int, tuple[int, ...]], ...]] = {}
         self._buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+        #: rid -> relation-order row, plus per-band row -> bucket member
+        #: lists (aliases of ``_buckets`` values): the hash-free probe
+        #: path for in-relation lookups.
+        self._row_of: dict[int, int] = {}
+        self._row_buckets: list[list[list[int]]] = []
+        #: numpy twin of ``_row_buckets`` (int64 member views) when the
+        #: grouping ran on the numpy backend: probes union bands with
+        #: ``np.unique`` instead of per-member python set inserts.
+        self._row_bucket_arrays = None
+        #: Relation rids in relation order (numpy int64 when available),
+        #: backing the vectorized exhaustive-fallback extension.
+        self._rid_array = None
+        self._relation_signatures: RelationSignatures | None = None
+
+    def __getstate__(self) -> dict:
+        # The columnar signature batch (with its (n, n_hashes) matrix)
+        # exists to be shared with shard planning in the parent process;
+        # lookups never touch it, so process-pool workers skip the copy.
+        state = super().__getstate__()
+        state["_relation_signatures"] = None
+        return state
 
     def _elements(self, record: Record) -> list[str]:
         text = record.text()
@@ -132,31 +160,104 @@ class MinHashIndex(NNIndex):
         structures, so a second ``build`` never duplicates bucket
         entries, and no lookup ever recomputes a signature or band key
         for an in-relation record.
+
+        Signing runs through the columnar
+        :class:`~repro.index.signatures.SignatureFactory` (vocabulary
+        hashing + min-gather) on the backend selected by
+        ``kernel_mode``; bucketing through
+        :func:`~repro.index.signatures.group_band_buckets`.  Both are
+        bit-identical to the scalar :func:`minhash_signature` /
+        :func:`band_keys` path, and the classic ``_signatures`` /
+        ``_band_keys`` / ``_buckets`` views are kept for compatibility
+        (they alias the grouping's shared key tuples and member lists).
+        Build wall time lands in ``substage_seconds`` under
+        ``tokenize`` / ``sign`` / ``bucket``.
         """
         relation, _ = self._checked()
-        self._signatures = {}
-        self._band_keys = {}
-        self._buckets = {}
-        for record in relation:
-            signature = self._signature(record)
-            keys = self._keys_of(signature)
-            self._signatures[record.rid] = signature
-            self._band_keys[record.rid] = keys
-            for key in keys:
-                self._buckets.setdefault(key, []).append(record.rid)
+        started = time.perf_counter()
+        records = {record.rid: record for record in relation}
+        # The corpus scan (possibly through the buffer pool) is input
+        # materialization for token-set extraction.
+        self._credit_substage("tokenize", time.perf_counter() - started)
+        factory = SignatureFactory(self.n_hashes, backend=self.kernel_mode)
+        signatures = factory.sign_records(
+            list(records), lambda rid: self._elements(records[rid])
+        )
+        grouping = group_band_buckets(signatures, self.n_bands)
+        started = time.perf_counter()
+        rids = signatures.rids
+        self._signatures = dict(zip(rids, signatures.tuples))
+        self._band_keys = dict(zip(rids, grouping.row_keys))
+        self._buckets = grouping.buckets
+        self._row_of = {rid: i for i, rid in enumerate(rids)}
+        self._row_buckets = grouping.row_buckets
+        self._row_bucket_arrays = grouping.row_bucket_arrays
+        np = numpy_or_none()
+        self._rid_array = (
+            np.asarray(rids, dtype=np.int64) if np is not None else None
+        )
+        self._relation_signatures = signatures
+        self._credit_substage("tokenize", signatures.timings.get("tokenize", 0.0))
+        self._credit_substage("sign", signatures.timings.get("sign", 0.0))
+        self._credit_substage(
+            "bucket", grouping.seconds + (time.perf_counter() - started)
+        )
 
-    def _candidates(self, record: Record) -> list[int]:
-        keys = self._band_keys.get(record.rid)
-        if keys is None:
+    def relation_signatures(self) -> RelationSignatures | None:
+        """The build's signature batch, shareable with shard planning.
+
+        ``None`` when the index signs q-gram sets (shard planning signs
+        word-token sets) or has not been built.  Callers must still
+        check :meth:`RelationSignatures.matches` against their own rid
+        list and signature width.
+        """
+        if self.use_qgrams:
+            return None
+        return self._relation_signatures
+
+    def _candidates(self, record: Record):
+        """Sorted candidate rids: ``list[int]``, or int64 array on the
+        numpy probe path (same rids in the same ascending order)."""
+        row = self._row_of.get(record.rid)
+        seen: set[int] = set()
+        if row is not None:
+            arrays = self._row_bucket_arrays
+            if arrays is not None:
+                # In-relation numpy probe: union the bands' member
+                # views with one C-level sort instead of per-member
+                # python set inserts.
+                np = numpy_or_none()
+                merged = np.unique(
+                    np.concatenate([band_rows[row] for band_rows in arrays])
+                )
+                return merged[merged != record.rid]
+            # In-relation probe: no hashing, no key lookups — each
+            # band's bucket member list is already resolved per row.
+            for band_rows in self._row_buckets:
+                seen.update(band_rows[row])
+            seen.discard(record.rid)
+        else:
             # Out-of-relation probe: sign on the fly (the only case
             # where a signature is ever computed outside _build).
-            keys = self._keys_of(self._signature(record))
-        seen: set[int] = set()
-        for key in keys:
-            for rid in self._buckets.get(key, ()):
-                if rid != record.rid:
-                    seen.add(rid)
+            for key in self._keys_of(self._signature(record)):
+                seen.update(self._buckets.get(key, ()))
+            seen.discard(record.rid)
         return sorted(seen)
+
+    def _fallback_rest(self, record: Record, candidates: list[int]) -> list[int]:
+        """Relation rids not already surfaced, in relation order."""
+        if self._rid_array is not None:
+            np = numpy_or_none()
+            if np is not None:
+                exclude = np.asarray(
+                    candidates + [record.rid], dtype=np.int64
+                )
+                mask = np.isin(self._rid_array, exclude)
+                return self._rid_array[~mask].tolist()
+        relation, _ = self._checked()
+        extra = set(candidates)
+        extra.add(record.rid)
+        return [r.rid for r in relation if r.rid not in extra]
 
     def _final_candidates(self, record: Record, k: int | None) -> list[int]:
         """Candidate rids for one query, with pruning accounting.
@@ -164,29 +265,41 @@ class MinHashIndex(NNIndex):
         ``candidates_generated`` counts the pairs handed to
         verification (including any exhaustive-fallback extension);
         ``evaluations_pruned`` counts the pairs never examined at all.
+        Wall time is credited to the ``candidates`` sub-stage.
         """
-        relation, _ = self._checked()
-        candidates = self._candidates(record)
-        if (
-            k is not None
-            and len(candidates) < k
-            and self.exhaustive_fallback
-        ):
-            extra = set(candidates)
-            extra.add(record.rid)
-            candidates = candidates + [
-                r.rid for r in relation if r.rid not in extra
-            ]
-        n_others = len(relation) - (1 if record.rid in relation else 0)
-        self.candidates_generated += len(candidates)
-        self.evaluations_pruned += n_others - len(candidates)
-        return candidates
+        started = time.perf_counter()
+        try:
+            relation, _ = self._checked()
+            candidates = self._candidates(record)
+            if (
+                k is not None
+                and len(candidates) < k
+                and self.exhaustive_fallback
+            ):
+                if not isinstance(candidates, list):
+                    candidates = candidates.tolist()
+                candidates = candidates + self._fallback_rest(
+                    record, candidates
+                )
+            n_others = len(relation) - (1 if record.rid in relation else 0)
+            self.candidates_generated += len(candidates)
+            self.evaluations_pruned += n_others - len(candidates)
+            return candidates
+        finally:
+            self._credit_substage(
+                "candidates", time.perf_counter() - started
+            )
 
     def knn(self, record: Record, k: int) -> list[Neighbor]:
         relation, _ = self._checked()
         if k <= 0 or len(relation) <= 1:
             return []
         candidates = self._final_candidates(record, k)
+        hits = self._select_neighbors(record, candidates, k=k)
+        if hits is not None:
+            return hits
+        if not isinstance(candidates, list):
+            candidates = candidates.tolist()
         hits = [
             Neighbor(d, rid)
             for d, rid in zip(
@@ -201,6 +314,13 @@ class MinHashIndex(NNIndex):
     ) -> list[Neighbor]:
         relation, _ = self._checked()
         candidates = self._final_candidates(record, None)
+        hits = self._select_neighbors(
+            record, candidates, radius=radius, inclusive=inclusive
+        )
+        if hits is not None:
+            return hits
+        if not isinstance(candidates, list):
+            candidates = candidates.tolist()
         hits = [
             Neighbor(d, rid)
             for d, rid in zip(

@@ -36,12 +36,13 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Literal, Sequence
 
 from repro.core.bforder import random_order
 from repro.core.formulation import CombinedCut, DEParams, SizeCut
 from repro.core.neighborhood import NNEntry, NNRelation
+from repro.core.nn_phase import _substage_delta, _substage_snapshot
 from repro.data.schema import Relation
 from repro.index.base import NNIndex
 from repro.parallel.chunking import Chunk, plan_chunks
@@ -70,6 +71,11 @@ class ChunkResult:
     candidates_generated: int = 0
     evaluations_pruned: int = 0
     kernel_evaluations: int = 0
+    #: Sub-stage wall-time deltas accrued on the worker's index during
+    #: this chunk (``candidates`` / ``verify``); exact for process
+    #: pools, indicative only under thread interleaving (the engine
+    #: then uses the global delta instead).
+    substage_seconds: dict[str, float] = field(default_factory=dict)
 
 
 def _cut_shape(params: DEParams) -> tuple[int | None, float | None]:
@@ -101,6 +107,7 @@ def _run_chunk(
     assert relation is not None
     started = time.perf_counter()
     ev0, hit0, miss0, cand0, pruned0, kern0 = _counters(index)
+    substages0 = _substage_snapshot(index)
     records = [relation.get(rid) for rid in chunk.rids]
     k, theta = _cut_shape(params)
     answers = index.phase1_batch(
@@ -122,6 +129,7 @@ def _run_chunk(
         candidates_generated=cand1 - cand0,
         evaluations_pruned=pruned1 - pruned0,
         kernel_evaluations=kern1 - kern0,
+        substage_seconds=_substage_delta(index, substages0),
     )
 
 
@@ -225,6 +233,7 @@ class ParallelNNEngine:
         chunks = self.plan(rids)
         started = time.perf_counter()
         ev0, hit0, miss0, cand0, pruned0, kern0 = _counters(index)
+        substages0 = _substage_snapshot(index)
         results: list[ChunkResult] = []
 
         def finalize() -> None:
@@ -244,6 +253,10 @@ class ParallelNNEngine:
                 candidates = sum(r.candidates_generated for r in results)
                 pruned = sum(r.evaluations_pruned for r in results)
                 kernel = sum(r.kernel_evaluations for r in results)
+                substages: dict[str, float] = {}
+                for r in results:
+                    for name, seconds in r.substage_seconds.items():
+                        substages[name] = substages.get(name, 0.0) + seconds
             else:
                 # Shared index: per-chunk deltas interleave across
                 # threads, but the global delta is exact.
@@ -254,12 +267,14 @@ class ParallelNNEngine:
                 candidates = cand1 - cand0
                 pruned = pruned1 - pruned0
                 kernel = kern1 - kern0
+                substages = _substage_delta(index, substages0)
             stats.evaluations += evaluations
             stats.cache_hits += cache_hits
             stats.cache_misses += cache_misses
             stats.candidates_generated += candidates
             stats.evaluations_pruned += pruned
             stats.kernel_evaluations += kernel
+            stats.add_substages(substages)
             stats.credit_index(
                 index.name,
                 lookups=lookups,

@@ -35,7 +35,11 @@ from repro.core.cspairs import (
 from repro.core.formulation import DEParams
 from repro.core.minimality import enforce_minimality
 from repro.core.neighborhood import NNRelation, entry_to_row
-from repro.core.nn_phase import prepare_nn_lists
+from repro.core.nn_phase import (
+    _substage_delta,
+    _substage_snapshot,
+    prepare_nn_lists,
+)
 from repro.core.partitioner import partition_records, partition_records_sharded
 from repro.core.predicates import apply_constraining_predicate
 from repro.core.result import Partition
@@ -116,7 +120,12 @@ class Phase1Stage:
 
     def run(self, ctx: RunContext, state: RunState) -> None:
         config = ctx.config
+        # Build-side sub-stage timers (tokenize/sign/bucket) accrue on
+        # the index during build; lookup drivers capture their own
+        # deltas afterwards, so harvesting here never double-counts.
+        before = _substage_snapshot(ctx.index)
         ctx.index.build(state.relation, ctx.distance)
+        state.stats.phase1.add_substages(_substage_delta(ctx.index, before))
         if config.spill:
             return
         state.nn_relation = prepare_nn_lists(
@@ -354,9 +363,15 @@ class ShardStage:
         from repro.shard.runner import ShardRunner
 
         config = ctx.config
+        before = _substage_snapshot(ctx.index)
         ctx.index.build(state.relation, ctx.distance)
+        state.stats.phase1.add_substages(_substage_delta(ctx.index, before))
+        signatures = getattr(ctx.index, "relation_signatures", lambda: None)()
         plan = plan_shards(
-            state.relation, config.shards, overlap=config.shard_overlap
+            state.relation,
+            config.shards,
+            overlap=config.shard_overlap,
+            signatures=signatures,
         )
         outcomes = ShardRunner(ctx).run(state.relation, state.params, plan)
         state.shard_plan = plan
@@ -388,6 +403,7 @@ def _aggregate_phase1(phase1, outcomes) -> None:
         phase1.candidates_generated += counters.get("candidates_generated", 0)
         phase1.evaluations_pruned += counters.get("evaluations_pruned", 0)
         phase1.kernel_evaluations += counters.get("kernel_evaluations", 0)
+        phase1.add_substages(counters.get("substage_seconds"))
 
 
 class ConstraintStage:

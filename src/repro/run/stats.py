@@ -230,8 +230,17 @@ class RunStats:
                 "evaluations_pruned": self.phase1.evaluations_pruned,
                 "kernel_evaluations": self.phase1.kernel_evaluations,
                 "prune_rate": self.phase1.prune_rate,
-                "cache_hit_rate": self.phase1.cache_hit_rate,
+                # On kernel-backed runs every pair bypasses the pair
+                # cache, so a 0.0 rate would be misleading: report null
+                # plus the explicit bypass flag instead.
+                "cache_hit_rate": (
+                    None
+                    if self.phase1.cache_bypassed
+                    else self.phase1.cache_hit_rate
+                ),
+                "cache_bypassed": self.phase1.cache_bypassed,
                 "n_chunks": self.phase1.n_chunks,
+                "substages": dict(self.phase1.substage_seconds),
             },
             "kernel_backend": self.kernel_backend,
             "phase2": self.phase2.to_dict(),

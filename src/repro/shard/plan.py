@@ -53,7 +53,11 @@ from typing import Sequence
 from repro.core.constraints import plan_blocks
 from repro.data.schema import Relation
 from repro.distances.tokens import tokenize
-from repro.index.minhash import band_keys, minhash_signature
+from repro.index.signatures import (
+    RelationSignatures,
+    SignatureFactory,
+    group_band_buckets,
+)
 
 __all__ = ["ShardPlan", "plan_constraint_blocks", "plan_shards"]
 
@@ -80,6 +84,9 @@ class ShardPlan:
     n_components: int
     #: Components larger than the per-shard capacity, split into chunks.
     n_split_components: int
+    #: Wall time the planner spent signing the relation; 0.0 when the
+    #: index's signature batch was reused (or no signing was needed).
+    sign_seconds: float = 0.0
 
     @classmethod
     def from_members(
@@ -133,18 +140,32 @@ class ShardPlan:
             "n_coresident_pairs": self.n_coresident_pairs,
             "n_components": self.n_components,
             "n_split_components": self.n_split_components,
+            "sign_seconds": self.sign_seconds,
         }
 
 
 def _lsh_components(
-    relation: Relation, n_hashes: int, n_bands: int
-) -> tuple[list[list[int]], list[set[tuple[int, int]]], int]:
+    relation: Relation,
+    n_hashes: int,
+    n_bands: int,
+    signatures: RelationSignatures | None = None,
+) -> tuple[list[list[int]], list[set[tuple[int, int]]], int, float]:
     """Union-find rids over LSH band buckets.
 
-    Returns ``(components, component_pairs, n_skipped_buckets)`` with
-    components sorted internally by rid and ordered by (size desc,
-    min rid asc); ``component_pairs[i]`` is the deduped set of
-    bucket-co-occurrence pairs whose endpoints lie in component ``i``.
+    Returns ``(components, component_pairs, n_skipped_buckets,
+    sign_seconds)`` with components sorted internally by rid and
+    ordered by (size desc, min rid asc); ``component_pairs[i]`` is the
+    deduped set of bucket-co-occurrence pairs whose endpoints lie in
+    component ``i``.
+
+    ``signatures`` (an index's build output) is reused when it covers
+    exactly this relation at this signature width — the planner then
+    hashes nothing at all; otherwise the columnar
+    :class:`~repro.index.signatures.SignatureFactory` signs the
+    relation once, timed as ``sign_seconds``.  The component structure
+    is independent of which route signed: union-find components do not
+    depend on bucket iteration order, and both routes produce the very
+    same signatures.
     """
     ids = relation.ids()
     parent: dict[int, int] = {rid: rid for rid in ids}
@@ -157,12 +178,14 @@ def _lsh_components(
             parent[x], x = root, parent[x]
         return root
 
-    buckets: dict[tuple[int, str], list[int]] = {}
-    for rid in ids:
-        elements = set(tokenize(relation.get(rid).text()))
-        signature = minhash_signature(elements, n_hashes)
-        for band, key in enumerate(band_keys(signature, n_bands)):
-            buckets.setdefault((band, key), []).append(rid)
+    sign_seconds = 0.0
+    if signatures is None or not signatures.matches(ids, n_hashes):
+        factory = SignatureFactory(n_hashes, backend="auto")
+        signatures = factory.sign_records(
+            ids, lambda rid: tokenize(relation.get(rid).text())
+        )
+        sign_seconds = sum(signatures.timings.values())
+    buckets = group_band_buckets(signatures, n_bands).buckets
 
     pair_buckets: list[list[int]] = []
     n_skipped = 0
@@ -196,7 +219,7 @@ def _lsh_components(
         for i, a in enumerate(ordered):
             for b in ordered[i + 1 :]:
                 pairs.add((a, b))
-    return components, component_pairs, n_skipped
+    return components, component_pairs, n_skipped, sign_seconds
 
 
 def _split_component(
@@ -251,6 +274,7 @@ def plan_shards(
     overlap: float = 0.2,
     n_hashes: int = 64,
     n_bands: int = 8,
+    signatures: RelationSignatures | None = None,
 ) -> ShardPlan:
     """Block the relation into ``n_shards`` overlapping shards.
 
@@ -258,6 +282,9 @@ def plan_shards(
     seeded by position, not process state).  ``overlap`` is the
     fraction of the per-shard capacity replicated between consecutive
     chunks of a *split* component; whole components never need it.
+    ``signatures`` lets the caller share an index's already-computed
+    signature batch (see :func:`_lsh_components`); the plan is
+    identical with or without it.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be at least 1")
@@ -277,7 +304,9 @@ def plan_shards(
             n_split_components=0,
         )
 
-    components, component_pairs, _ = _lsh_components(relation, n_hashes, n_bands)
+    components, component_pairs, _, sign_seconds = _lsh_components(
+        relation, n_hashes, n_bands, signatures=signatures
+    )
     cap = max(1, -(-len(ids) // n_shards))  # ceil(n / n_shards)
 
     pieces: list[tuple[int, list[int]]] = []  # (component idx, chunk)
@@ -333,4 +362,5 @@ def plan_shards(
         n_coresident_pairs=n_coresident,
         n_components=len(components),
         n_split_components=n_split,
+        sign_seconds=sign_seconds,
     )

@@ -172,7 +172,10 @@ def _run_shard(task) -> ShardOutcome:
             timing.stage: stats.stage_seconds(timing.stage)
             for timing in stats.timings
         },
-        phase1={name: getattr(phase1, name) for name in _PHASE1_COUNTERS},
+        phase1={
+            **{name: getattr(phase1, name) for name in _PHASE1_COUNTERS},
+            "substage_seconds": dict(phase1.substage_seconds),
+        },
         buffer=buffer,
         n_cs_pairs=stats.n_cs_pairs,
     )
@@ -249,7 +252,11 @@ def _run_block(task) -> ShardOutcome:
             for timing in stats.timings
         },
         phase1={
-            name: getattr(stats.phase1, name) for name in _PHASE1_COUNTERS
+            **{
+                name: getattr(stats.phase1, name)
+                for name in _PHASE1_COUNTERS
+            },
+            "substage_seconds": dict(stats.phase1.substage_seconds),
         },
         buffer=buffer,
         n_cs_pairs=stats.n_cs_pairs,

@@ -1,0 +1,200 @@
+"""Parity tests for the columnar signature factory.
+
+The factory's whole contract is *bit-identity*: whatever backend signs
+a relation — the pure-python per-record loop or the vocabulary-hashed
+numpy gather — the signatures, band keys, and LSH buckets must be
+byte-for-byte the ones :func:`~repro.index.minhash.minhash_signature`
+and :func:`~repro.index.minhash.band_keys` produce.  Hypothesis drives
+arbitrary unicode (including astral-plane) token sets through both
+paths; a divisor matrix covers every ``(n_hashes, n_bands)`` shape the
+index accepts; and the persistent postings' batch loader must leave
+logs indistinguishable from one-at-a-time inserts.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import Record, Relation
+from repro.distances.kernels.compat import have_numpy
+from repro.index.minhash import _PRIME, band_keys, minhash_signature
+from repro.index.postings import PersistentMinHashPostings
+from repro.index.signatures import (
+    SignatureFactory,
+    group_band_buckets,
+    resolve_signer_backend,
+)
+from repro.storage.engine import Engine
+
+BACKENDS = ["python"] + (["numpy"] if have_numpy() else [])
+
+# Arbitrary unicode tokens, astral plane included: the keyed blake2b
+# hashes utf-8 bytes, so surrogate-free text is the only constraint.
+tokens_strategy = st.lists(
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs",), min_codepoint=1
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestSignatureParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=60, deadline=None)
+    @given(token_sets=st.lists(tokens_strategy, min_size=1, max_size=6))
+    def test_sign_sets_matches_scalar(self, backend, token_sets):
+        factory = SignatureFactory(16, backend=backend)
+        signed = factory.sign_sets([set(ts) for ts in token_sets])
+        for tokens, signature in zip(token_sets, signed.tuples):
+            assert signature == minhash_signature(set(tokens), 16)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_set_signs_all_prime(self, backend):
+        factory = SignatureFactory(8, backend=backend)
+        signed = factory.sign_sets([set()])
+        assert signed.tuples[0] == (_PRIME,) * 8
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_rows_between_full_rows(self, backend):
+        # Empty CSR rows are the reduceat hazard: boundaries collide.
+        sets = [{"a", "b"}, set(), {"c"}, set(), set(), {"a", "c"}]
+        factory = SignatureFactory(8, backend=backend)
+        signed = factory.sign_sets(sets)
+        for tokens, signature in zip(sets, signed.tuples):
+            assert signature == minhash_signature(tokens, 8)
+
+    def test_backends_agree(self):
+        if not have_numpy():
+            pytest.skip("numpy unavailable")
+        sets = [{"cascade", "systems"}, {"café", "\U0001f600"}, set()]
+        python = SignatureFactory(32, backend="python").sign_sets(sets)
+        numpy = SignatureFactory(32, backend="numpy").sign_sets(sets)
+        assert python.tuples == numpy.tuples
+        assert python.backend == "python"
+        assert numpy.backend == "numpy"
+
+    def test_auto_resolution(self):
+        expected = "numpy" if have_numpy() else "python"
+        assert resolve_signer_backend("auto") == expected
+        assert SignatureFactory(8, backend="auto").backend == expected
+
+
+class TestBandGroupingParity:
+    SETS = [
+        {"cascade", "systems"},
+        {"cascade", "sistems"},
+        {"granite"},
+        set(),
+        {"granite", "manufacturing", "inc"},
+        {"cascade", "systems"},  # exact duplicate: must share buckets
+    ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "n_hashes,n_bands",
+        [(h, b) for h in (8, 16, 64) for b in (1, 2, 4, 8, 16, 32, 64)
+         if b <= h and h % b == 0],
+    )
+    def test_buckets_match_scalar_band_keys(self, backend, n_hashes, n_bands):
+        factory = SignatureFactory(n_hashes, backend=backend)
+        signed = factory.sign_sets(self.SETS)
+        grouping = group_band_buckets(signed, n_bands)
+        expected: dict = {}
+        for row, tokens in enumerate(self.SETS):
+            signature = minhash_signature(tokens, n_hashes)
+            for band, key in band_keys(signature, n_bands):
+                expected.setdefault((band, key), []).append(row)
+        assert {
+            key: members for key, members in grouping.buckets.items()
+        } == expected
+        for row, keys in enumerate(grouping.row_keys):
+            signature = minhash_signature(self.SETS[row], n_hashes)
+            assert keys == band_keys(signature, n_bands)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_row_buckets_alias_bucket_lists(self, backend):
+        # row_buckets must share list identity with buckets so the
+        # index's member-probe path never diverges from the key path.
+        factory = SignatureFactory(16, backend=backend)
+        grouping = group_band_buckets(factory.sign_sets(self.SETS), 4)
+        for band, per_row in enumerate(grouping.row_buckets):
+            for row, members in enumerate(per_row):
+                key = grouping.row_keys[row][band]
+                assert members is grouping.buckets[key]
+
+
+class TestSignRecords:
+    def test_rids_and_timings(self):
+        relation = Relation.from_strings(
+            "orgs", ["cascade systems", "cascade sistems", "granite"]
+        )
+        factory = SignatureFactory(16, backend="auto")
+        signed = factory.sign_records(
+            relation.ids(),
+            lambda rid: set(relation.get(rid).text().split()),
+        )
+        assert signed.rids == relation.ids()
+        assert set(signed.timings) == {"tokenize", "sign"}
+        assert signed.matches(relation.ids(), 16)
+        assert not signed.matches(relation.ids(), 32)
+        assert not signed.matches(relation.ids()[:-1], 16)
+
+
+class TestPostingsBatchParity:
+    CORPUS = [
+        "cascade systems",
+        "cascade sistems",
+        "granite manufacturing",
+        "granite manufacturing inc",
+        "zzz totally unrelated",
+    ]
+
+    def records(self):
+        return [Record(rid, (text,)) for rid, text in enumerate(self.CORPUS)]
+
+    def test_add_many_matches_sequential_adds(self):
+        sequential = PersistentMinHashPostings(Engine(), use_qgrams=True)
+        for record in self.records():
+            sequential.add(record)
+        batched = PersistentMinHashPostings(Engine(), use_qgrams=True)
+        batched.add_many(self.records())
+        assert batched._signatures == sequential._signatures
+        assert batched._buckets == sequential._buckets
+        assert batched.log_rows_appended == sequential.log_rows_appended
+        assert batched.signatures_computed == sequential.signatures_computed
+        for table in (sequential.signatures_table, sequential.postings_table):
+            assert list(batched.engine.table(table).scan()) == list(
+                sequential.engine.table(table).scan()
+            )
+
+    def test_warm_restart_after_add_many(self):
+        engine = Engine()
+        batched = PersistentMinHashPostings(engine, use_qgrams=True)
+        batched.add_many(self.records())
+        probe = Record(0, (self.CORPUS[0],))
+        expected = batched.candidates(probe)
+        restarted = PersistentMinHashPostings(engine, use_qgrams=True)
+        assert restarted.restored
+        assert restarted.signatures_computed == 0
+        assert restarted.candidates(probe) == expected
+
+    def test_add_many_rejects_duplicates(self):
+        postings = PersistentMinHashPostings(Engine(), use_qgrams=True)
+        with pytest.raises(ValueError):
+            postings.add_many(
+                [Record(0, ("a b",)), Record(0, ("c d",))]
+            )
+        postings.add(Record(1, ("a b",)))
+        with pytest.raises(ValueError):
+            postings.add_many([Record(1, ("a b",))])
+
+    def test_add_many_empty_batch_is_noop(self):
+        postings = PersistentMinHashPostings(Engine(), use_qgrams=True)
+        postings.add_many([])
+        assert len(postings) == 0
+        assert postings.log_rows_appended == 0

@@ -331,3 +331,59 @@ class TestFallbacks:
         index.build(relation, CosineDistance())
         assert index.kernel_backend == "python"
         assert len(index.knn(relation.get(0), 1)) == 1
+
+
+@needs_numpy
+class TestSubsetPairsParity:
+    """``pairs_array`` (the LSH candidate-verification route) must be
+    bit-identical to slicing the full distance row, on both the sparse
+    subset-gather path and the dense full-row fallback."""
+
+    @staticmethod
+    def make_kernel(relation, distance_name):
+        distance = DISTANCES[distance_name]()
+        distance.prepare(relation)
+        return distance.make_kernel(relation)
+
+    @settings(max_examples=40, deadline=None)
+    @given(words=texts, distance_name=st.sampled_from(["cosine", "jaccard"]))
+    def test_subset_matches_full_row(self, words, distance_name):
+        import numpy as np
+
+        relation = Relation.from_strings("r", words)
+        kernel = self.make_kernel(relation, distance_name)
+        rids = relation.ids()
+        for query in rids:
+            others = [rid for rid in rids if rid != query]
+            row = kernel._distance_row(kernel._v.row_of[query])
+            for subset in (others, others[:1], others[::2]):
+                if not subset:
+                    continue
+                got = kernel.pairs_array(query, subset)
+                want = row[[kernel._v.row_of[rid] for rid in subset]]
+                np.testing.assert_array_equal(got, want)
+
+    def test_sparse_path_exercised(self):
+        """A subset small enough relative to n must take the gather
+        path (the ``len(rids) * 4 >= n`` dense switch not taken) and
+        still agree bitwise with the dense row."""
+        import numpy as np
+
+        words = [f"tok{i} shared common" for i in range(40)]
+        relation = Relation.from_strings("r", words)
+        for distance_name in ("cosine", "jaccard"):
+            kernel = self.make_kernel(relation, distance_name)
+            subset = [1, 7, 23]  # 3 * 4 < 40: sparse route
+            got = kernel.pairs_array(0, subset)
+            row = kernel._distance_row(kernel._v.row_of[0])
+            want = row[[kernel._v.row_of[rid] for rid in subset]]
+            np.testing.assert_array_equal(got, want)
+
+    def test_pairs_list_matches_array(self):
+        relation = Relation.from_strings(
+            "r", ["alpha beta", "alpha bexa", "gamma delta", "alpha"]
+        )
+        kernel = self.make_kernel(relation, "cosine")
+        assert kernel.pairs(0, [1, 2, 3]) == kernel.pairs_array(
+            0, [1, 2, 3]
+        ).tolist()
